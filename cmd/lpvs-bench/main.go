@@ -1,0 +1,176 @@
+// Command lpvs-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	lpvs-bench -exp all            # everything
+//	lpvs-bench -exp fig7           # one experiment
+//	lpvs-bench -exp fig8 -seed 42  # with a different seed
+//	lpvs-bench -exp all -out data  # also write plot-ready CSVs
+//
+// Experiments: fig1 fig2 table1 table2 fig5 fig7 fig8 fig9 fig10
+// ablation-swap ablation-bayes ablation-solver ablation-slot
+// ablation-engine trace-wide behavior overhead autodim validation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"lpvs/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all'")
+	seed := flag.Int64("seed", 1, "random seed")
+	slots := flag.Int("slots", 24, "emulated slots per run for fig7/fig8")
+	out := flag.String("out", "", "directory to write plot-ready CSV data files")
+	flag.Parse()
+
+	if err := run(os.Stdout, *exp, *seed, *slots, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "lpvs-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// result is the common shape of an experiment outcome: a text report and
+// an optional CSV exporter.
+type result struct {
+	text string
+	csv  func(io.Writer) error
+}
+
+func run(w io.Writer, exp string, seed int64, slots int, outDir string) error {
+	eval := experiments.DefaultEvalConfig()
+	eval.Seed = seed
+	eval.Slots = slots
+
+	type runner struct {
+		id string
+		fn func() (result, error)
+	}
+	runners := []runner{
+		{"fig1", func() (result, error) {
+			r := experiments.Fig1()
+			return result{r.Render(), r.WriteCSV}, nil
+		}},
+		{"fig2", func() (result, error) {
+			r, err := experiments.Fig2(seed)
+			return result{r.Render(), r.WriteCSV}, err
+		}},
+		{"table1", func() (result, error) {
+			r, err := experiments.Table1(seed)
+			return result{r.Render(), r.WriteCSV}, err
+		}},
+		{"table2", func() (result, error) {
+			r := experiments.Table2(seed)
+			return result{r.Render(), nil}, nil
+		}},
+		{"fig5", func() (result, error) {
+			r, err := experiments.Fig5(seed)
+			return result{r.Render(), r.WriteCSV}, err
+		}},
+		{"fig7", func() (result, error) {
+			r, err := experiments.Fig7(eval)
+			return result{r.Render(), r.WriteCSV}, err
+		}},
+		{"fig8", func() (result, error) {
+			r, err := experiments.Fig8(eval)
+			return result{r.Render(), r.WriteCSV}, err
+		}},
+		{"fig9", func() (result, error) {
+			r, err := experiments.Fig9(eval)
+			return result{r.Render(), r.WriteCSV}, err
+		}},
+		{"fig10", func() (result, error) {
+			r, err := experiments.Fig10(eval, nil)
+			return result{r.Render(), r.WriteCSV}, err
+		}},
+		{"ablation-swap", func() (result, error) {
+			r, err := experiments.AblationSwap(seed)
+			return result{r.Render(), r.WriteCSV}, err
+		}},
+		{"ablation-bayes", func() (result, error) {
+			r, err := experiments.AblationBayes(seed)
+			return result{r.Render(), r.WriteCSV}, err
+		}},
+		{"ablation-solver", func() (result, error) {
+			r, err := experiments.AblationSolver(seed)
+			return result{r.Render(), r.WriteCSV}, err
+		}},
+		{"ablation-slot", func() (result, error) {
+			r, err := experiments.AblationSlotLength(seed)
+			return result{r.Render(), r.WriteCSV}, err
+		}},
+		{"ablation-engine", func() (result, error) {
+			r, err := experiments.AblationEngine(seed)
+			return result{r.Render(), r.WriteCSV}, err
+		}},
+		{"trace-wide", func() (result, error) {
+			r, err := experiments.TraceWide(seed, 0)
+			return result{r.Render(), r.WriteCSV}, err
+		}},
+		{"behavior", func() (result, error) {
+			r, err := experiments.Behavior(seed)
+			return result{r.Render(), nil}, err
+		}},
+		{"overhead", func() (result, error) {
+			r, err := experiments.Overhead(seed)
+			return result{r.Render(), nil}, err
+		}},
+		{"autodim", func() (result, error) {
+			r, err := experiments.AutoDim(seed)
+			return result{r.Render(), nil}, err
+		}},
+		{"validation", func() (result, error) {
+			r, err := experiments.Validation(seed)
+			return result{r.Render(), nil}, err
+		}},
+	}
+
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return fmt.Errorf("create output dir: %w", err)
+		}
+	}
+
+	ran := false
+	for _, r := range runners {
+		if exp != "all" && exp != r.id {
+			continue
+		}
+		res, err := r.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.id, err)
+		}
+		fmt.Fprintln(w, res.text)
+		fmt.Fprintln(w, strings.Repeat("-", 72))
+		if outDir != "" && res.csv != nil {
+			path := filepath.Join(outDir, r.id+".csv")
+			if err := writeCSVFile(path, res.csv); err != nil {
+				return fmt.Errorf("%s: %w", r.id, err)
+			}
+			fmt.Fprintf(w, "data written to %s\n", path)
+		}
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+func writeCSVFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

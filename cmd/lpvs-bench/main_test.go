@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope", 1, 4, ""); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig2", 1, 4, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "LBA incidence") {
+		t.Fatal("missing fig2 output")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run(&buf, "fig7", 1, 4, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig7.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "group_size,energy_saving,anxiety_reduction") {
+		t.Fatalf("bad csv header: %s", string(data)[:60])
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 7 { // header + 6 group sizes
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+}
+
+func TestRunFastExperiments(t *testing.T) {
+	for _, id := range []string{"fig1", "table2", "fig5", "behavior"} {
+		var buf bytes.Buffer
+		if err := run(&buf, id, 1, 4, ""); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s: no output", id)
+		}
+	}
+}

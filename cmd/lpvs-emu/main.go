@@ -1,0 +1,140 @@
+// Command lpvs-emu runs one paired LPVS emulation (treated vs
+// no-transform baseline) and prints the headline metrics.
+//
+// Usage:
+//
+//	lpvs-emu -n 100 -slots 24 -lambda 1 -capacity -1
+//	lpvs-emu -n 300 -capacity 100 -policy random
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"lpvs"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 100, "virtual-cluster size")
+		slots    = flag.Int("slots", 24, "stream length in 5-minute slots")
+		lambda   = flag.Float64("lambda", 1, "energy/anxiety balance")
+		capacity = flag.Int("capacity", lpvs.UnboundedCapacity, "edge capacity in 720p streams (-1 = unbounded)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		policy   = flag.String("policy", "lpvs", "policy: lpvs, random, greedy-battery, joint")
+		jsonOut  = flag.String("json", "", "write the paired comparison as JSON to this file")
+		timeline = flag.Bool("timeline", false, "print the per-slot timeline of the treated run")
+		genre    = flag.String("genre", "Gaming", "stream genre (Gaming, Esports, IRL, Music, Sports)")
+		streams  = flag.Int("streams", 1, "distinct live streams in the cluster")
+		frames   = flag.Bool("frames", false, "use the per-pixel keyframe transform engine")
+		personal = flag.Bool("personalized", false, "schedule against per-user anxiety curves")
+	)
+	flag.Parse()
+
+	g, err := parseGenre(*genre)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := lpvs.EmulationConfig{
+		Seed:                *seed,
+		GroupSize:           *n,
+		Slots:               *slots,
+		Lambda:              *lambda,
+		ServerStreams:       *capacity,
+		Genre:               g,
+		Streams:             *streams,
+		UseFrames:           *frames,
+		PersonalizedAnxiety: *personal,
+	}
+	ds := lpvs.GenerateSurvey(lpvs.DefaultSurveyConfig())
+	cfg.Device.GiveUpSampler = lpvs.SurveyGiveUpSampler(ds)
+
+	var cmp *lpvs.Comparison
+	switch *policy {
+	case "lpvs":
+		cmp, err = lpvs.RunComparison(cfg)
+	default:
+		p, perr := buildPolicy(*policy, cfg, *seed)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		cmp, err = lpvs.RunPolicyComparison(cfg, p)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("policy:             %s\n", cmp.Treated.Policy)
+	fmt.Printf("cluster:            %d devices, %d slots (%.0f min)\n",
+		*n, cmp.Treated.SlotsRun, float64(cmp.Treated.SlotsRun)*5)
+	fmt.Printf("energy saving:      %.2f%%\n", 100*cmp.EnergySavingRatio())
+	fmt.Printf("anxiety reduction:  %.2f%%\n", 100*cmp.AnxietyReduction())
+	base, treated, gain := cmp.TPVGain()
+	fmt.Printf("low-battery TPV:    %.1f min -> %.1f min (%+.1f%%, cohort %d)\n",
+		base, treated, 100*gain, cmp.CohortSize())
+	fmt.Printf("scheduler time:     %.3f s over %d slots\n",
+		cmp.Treated.SchedSeconds, cmp.Treated.SlotsRun)
+
+	if *timeline {
+		fmt.Println("\nslot  watching  selected  mean-energy  mean-anxiety")
+		for _, st := range cmp.Treated.Timeline {
+			fmt.Printf("%4d  %8d  %8d  %10.1f%%  %12.3f\n",
+				st.Slot, st.Watching, st.Selected, 100*st.MeanEnergyFrac, st.MeanAnxiety)
+		}
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cmp.WriteJSON(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("comparison written to %s\n", *jsonOut)
+	}
+}
+
+func parseGenre(name string) (lpvs.VideoGenre, error) {
+	for _, g := range []lpvs.VideoGenre{lpvs.GenreGaming, lpvs.GenreEsports, lpvs.GenreIRL, lpvs.GenreMusic, lpvs.GenreSports} {
+		if g.String() == name {
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown genre %q", name)
+}
+
+func buildPolicy(name string, cfg lpvs.EmulationConfig, seed int64) (lpvs.Policy, error) {
+	scfg, err := schedulerConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case "random":
+		return lpvs.NewRandomPolicy(scfg, seed)
+	case "greedy-battery":
+		return lpvs.NewGreedyBatteryPolicy(scfg)
+	case "joint":
+		return lpvs.NewJointKnapsackPolicy(scfg)
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func schedulerConfig(cfg lpvs.EmulationConfig) (lpvs.SchedulerConfig, error) {
+	scfg := lpvs.SchedulerConfig{Lambda: cfg.Lambda}
+	if cfg.ServerStreams >= 0 {
+		srv, err := lpvs.NewEdgeServer(cfg.ServerStreams)
+		if err != nil {
+			return scfg, err
+		}
+		scfg.Server = srv
+	}
+	return scfg, nil
+}

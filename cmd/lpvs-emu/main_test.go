@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"lpvs"
+)
+
+func TestBuildPolicy(t *testing.T) {
+	cfg := lpvs.EmulationConfig{GroupSize: 10, Slots: 2, ServerStreams: 5}
+	for _, name := range []string{"random", "greedy-battery", "joint"} {
+		p, err := buildPolicy(name, cfg, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p == nil {
+			t.Fatalf("%s: nil policy", name)
+		}
+	}
+	if _, err := buildPolicy("nonsense", cfg, 1); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestSchedulerConfigUnbounded(t *testing.T) {
+	cfg := lpvs.EmulationConfig{GroupSize: 10, Slots: 2, ServerStreams: lpvs.UnboundedCapacity}
+	scfg, err := schedulerConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scfg.Server != nil {
+		t.Fatal("unbounded config got a server")
+	}
+	cfg.ServerStreams = 50
+	scfg, err = schedulerConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scfg.Server == nil || scfg.Server.ComputeCapacity != 50 {
+		t.Fatalf("server %+v", scfg.Server)
+	}
+}

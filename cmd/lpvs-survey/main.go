@@ -1,0 +1,111 @@
+// Command lpvs-survey generates the synthetic low-battery-anxiety
+// survey, prints the headline statistics and the Table II demographics,
+// and extracts the Fig. 2 anxiety curve.
+//
+// Usage:
+//
+//	lpvs-survey -n 2032 -seed 1
+//	lpvs-survey -curve-csv curve.csv   # export the curve points
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"lpvs"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 2032, "number of effective answers")
+		seed     = flag.Int64("seed", 1, "random seed")
+		curveCSV = flag.String("curve-csv", "", "write the anxiety curve points to this CSV file")
+		dataCSV  = flag.String("data-csv", "", "write the respondent dataset to this CSV file")
+		loadCSV  = flag.String("load", "", "load respondents from a CSV instead of generating")
+	)
+	flag.Parse()
+
+	var ds *lpvs.SurveyDataset
+	if *loadCSV != "" {
+		f, err := os.Open(*loadCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err = lpvs.ReadSurvey(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cfg := lpvs.DefaultSurveyConfig()
+		cfg.N = *n
+		cfg.Seed = *seed
+		ds = lpvs.GenerateSurvey(cfg)
+	}
+
+	fmt.Printf("effective answers:  %d (discarded during cleansing: %d)\n", ds.N(), ds.Discarded)
+	fmt.Printf("LBA incidence:      %.2f%% (paper: 91.88%%)\n", 100*ds.LBARate())
+	fmt.Printf("give up at <=20%%:   %.1f%% of viewers (paper: >20%%)\n", 100*ds.GiveUpRateAt(20))
+	fmt.Printf("give up at <=10%%:   %.1f%% of viewers (paper: ~50%%)\n", 100*ds.GiveUpRateAt(10))
+	fmt.Println()
+	fmt.Println(ds.Demographics().Render())
+
+	curve, err := lpvs.ExtractAnxietyCurve(ds.ChargeThresholds())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("anxiety curve (battery level -> anxiety degree):")
+	for _, lv := range []int{1, 5, 10, 20, 30, 50, 70, 100} {
+		a := curve.AtLevel(lv)
+		fmt.Printf("  %3d%%  %5.3f %s\n", lv, a, strings.Repeat("#", int(a*40+0.5)))
+	}
+
+	if *curveCSV != "" {
+		if err := writeCurveCSV(*curveCSV, curve); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("curve written to %s\n", *curveCSV)
+	}
+	if *dataCSV != "" {
+		f, err := os.Create(*dataCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ds.WriteCSV(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("dataset written to %s\n", *dataCSV)
+	}
+}
+
+func writeCurveCSV(path string, curve *lpvs.AnxietyCurve) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"battery_level", "anxiety_degree"}); err != nil {
+		return err
+	}
+	for _, pt := range curve.Points() {
+		rec := []string{
+			strconv.Itoa(int(pt[0])),
+			strconv.FormatFloat(pt[1], 'f', 6, 64),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lpvs"
+)
+
+func TestWriteCurveCSV(t *testing.T) {
+	ds := lpvs.GenerateSurvey(lpvs.DefaultSurveyConfig())
+	curve, err := lpvs.ExtractAnxietyCurve(ds.ChargeThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "curve.csv")
+	if err := writeCurveCSV(path, curve); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 101 {
+		t.Fatalf("lines = %d, want 101", len(lines))
+	}
+	if lines[0] != "battery_level,anxiety_degree" {
+		t.Fatalf("header %q", lines[0])
+	}
+}
+
+func TestWriteCurveCSVBadPath(t *testing.T) {
+	ds := lpvs.GenerateSurvey(lpvs.DefaultSurveyConfig())
+	curve, err := lpvs.ExtractAnxietyCurve(ds.ChargeThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeCurveCSV(filepath.Join(t.TempDir(), "missing", "curve.csv"), curve); err == nil {
+		t.Fatal("bad path accepted")
+	}
+}

@@ -1,0 +1,96 @@
+// Command lpvs-trace generates and inspects Twitch-like workload traces.
+//
+// Usage:
+//
+//	lpvs-trace                        # print summary + Fig. 5 histogram
+//	lpvs-trace -json trace.json       # write the full trace as JSON
+//	lpvs-trace -csv sessions.csv      # write one row per session
+//	lpvs-trace -load trace.json       # inspect an existing trace file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"lpvs"
+	"lpvs/internal/stats"
+)
+
+func main() {
+	var (
+		channels = flag.Int("channels", 1566, "number of live channels")
+		sessions = flag.Int("sessions", 4761, "total number of sessions")
+		seed     = flag.Int64("seed", 1, "random seed")
+		jsonOut  = flag.String("json", "", "write the trace as JSON to this file")
+		csvOut   = flag.String("csv", "", "write session rows as CSV to this file")
+		loadPath = flag.String("load", "", "load and inspect an existing JSON trace")
+	)
+	flag.Parse()
+
+	var (
+		tr  *lpvs.Trace
+		err error
+	)
+	if *loadPath != "" {
+		tr, err = loadTrace(*loadPath)
+	} else {
+		cfg := lpvs.DefaultTraceConfig()
+		cfg.NumChannels = *channels
+		cfg.TargetSessions = *sessions
+		cfg.Seed = *seed
+		tr, err = lpvs.GenerateTrace(cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	durations := tr.DurationsMin()
+	fmt.Printf("channels:  %d\n", len(tr.Channels))
+	fmt.Printf("sessions:  %d\n", tr.NumSessions())
+	fmt.Printf("duration:  median %.0f min, p90 %.0f min, max %.0f min\n",
+		stats.Percentile(durations, 50), stats.Percentile(durations, 90), stats.Percentile(durations, 100))
+	fmt.Printf("timeline:  %d slots of %d minutes\n", tr.MaxSlot(), tr.SampleIntervalMinutes)
+	peakSlot, peakViewers := tr.PeakConcurrency()
+	fmt.Printf("audience:  %.0f viewer-hours, peak %d concurrent at slot %d\n",
+		tr.ViewerHours(), peakViewers, peakSlot)
+	fmt.Printf("busiest channels: %v\n", tr.TopChannels(5))
+	fmt.Println("\nsession duration histogram (30-min bins):")
+	fmt.Print(tr.DurationHistogram(30).Render(50))
+
+	if *jsonOut != "" {
+		if err := writeFile(*jsonOut, tr.WriteJSON); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *jsonOut)
+	}
+	if *csvOut != "" {
+		if err := writeFile(*csvOut, tr.WriteSessionsCSV); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("sessions written to %s\n", *csvOut)
+	}
+}
+
+func loadTrace(path string) (*lpvs.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return lpvs.ReadTrace(f)
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lpvs"
+)
+
+func smallTrace(t *testing.T) *lpvs.Trace {
+	t.Helper()
+	cfg := lpvs.DefaultTraceConfig()
+	cfg.NumChannels, cfg.TargetSessions = 4, 8
+	tr, err := lpvs.GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestWriteFileAndLoadTrace(t *testing.T) {
+	tr := smallTrace(t)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := writeFile(path, tr.WriteJSON); err != nil {
+		t.Fatal(err)
+	}
+	back, err := loadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSessions() != tr.NumSessions() {
+		t.Fatalf("sessions %d, want %d", back.NumSessions(), tr.NumSessions())
+	}
+}
+
+func TestLoadTraceMissingFile(t *testing.T) {
+	if _, err := loadTrace(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestWriteFileErrors(t *testing.T) {
+	if err := writeFile(filepath.Join(t.TempDir(), "no", "dir.json"), func(io.Writer) error { return nil }); err == nil {
+		t.Fatal("bad path accepted")
+	}
+	path := filepath.Join(t.TempDir(), "x.json")
+	if err := writeFile(path, func(io.Writer) error { return os.ErrClosed }); err == nil {
+		t.Fatal("writer error swallowed")
+	}
+}

@@ -1,0 +1,117 @@
+// Command lpvsd runs the LPVS edge daemon: an HTTP service that gathers
+// device reports, schedules video transforming each slot, and serves
+// decisions and chunk metadata.
+//
+// Usage:
+//
+//	lpvsd -addr :8080 -capacity 100 -lambda 1 -genre Gaming
+//
+// A background ticker advances the scheduling slot every -slot seconds
+// (use -manual-tick to drive slots via POST /v1/tick instead, as the
+// tests and the streaming-service example do).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lpvs/internal/server"
+	"lpvs/internal/stats"
+	"lpvs/internal/video"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		capacity   = flag.Int("capacity", 100, "edge capacity in 720p transform streams (-1 = unbounded)")
+		lambda     = flag.Float64("lambda", 1, "energy/anxiety balance")
+		slotSec    = flag.Float64("slot", 300, "scheduling slot length in seconds")
+		genreName  = flag.String("genre", "Gaming", "stream genre (Gaming, Esports, IRL, Music, Sports)")
+		seed       = flag.Int64("seed", 1, "content generation seed")
+		manualTick = flag.Bool("manual-tick", false, "disable the automatic slot ticker")
+	)
+	flag.Parse()
+
+	genre, err := parseGenre(*genreName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chunks := int(*slotSec/video.DefaultChunkSeconds) * 12 // two hours of content, wrapped
+	stream, err := video.Generate(stats.NewRNG(*seed), video.DefaultGenConfig("live", genre, chunks))
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Stream:        stream,
+		ServerStreams: *capacity,
+		Lambda:        *lambda,
+		SlotSec:       *slotSec,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if !*manualTick {
+		go func() {
+			client := &http.Client{Timeout: 30 * time.Second}
+			ticker := time.NewTicker(time.Duration(*slotSec * float64(time.Second)))
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+				}
+				resp, err := client.Post("http://localhost"+normalizeAddr(*addr)+"/v1/tick", "application/json", nil)
+				if err != nil {
+					log.Printf("tick: %v", err)
+					continue
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		<-ctx.Done()
+		log.Print("lpvsd shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("lpvsd listening on %s (capacity=%d, lambda=%.2f, slot=%.0fs)", *addr, *capacity, *lambda, *slotSec)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}
+
+func parseGenre(name string) (video.Genre, error) {
+	for _, g := range video.AllGenres() {
+		if g.String() == name {
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown genre %q", name)
+}
+
+func normalizeAddr(addr string) string {
+	if addr != "" && addr[0] == ':' {
+		return addr
+	}
+	return addr
+}

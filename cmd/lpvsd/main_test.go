@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestParseGenre(t *testing.T) {
+	for _, name := range []string{"Gaming", "Esports", "IRL", "Music", "Sports"} {
+		g, err := parseGenre(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.String() != name {
+			t.Fatalf("round trip %s -> %s", name, g)
+		}
+	}
+	if _, err := parseGenre("Cooking"); err == nil {
+		t.Fatal("unknown genre accepted")
+	}
+}
+
+func TestNormalizeAddr(t *testing.T) {
+	if got := normalizeAddr(":8080"); got != ":8080" {
+		t.Fatalf("got %q", got)
+	}
+	if got := normalizeAddr("127.0.0.1:9"); got != "127.0.0.1:9" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,81 @@
+package lpvs_test
+
+import (
+	"fmt"
+
+	"lpvs"
+)
+
+// ExampleRunComparison runs one paired emulation and reads the paper's
+// headline metrics. Results are deterministic given the seed.
+func ExampleRunComparison() {
+	cfg := lpvs.EmulationConfig{
+		Seed:          1,
+		GroupSize:     40,
+		Slots:         10,
+		Lambda:        1,
+		ServerStreams: lpvs.UnboundedCapacity,
+		Genre:         lpvs.GenreGaming,
+	}
+	cmp, err := lpvs.RunComparison(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("saved energy: %v\n", cmp.EnergySavingRatio() > 0.25)
+	fmt.Printf("reduced anxiety: %v\n", cmp.AnxietyReduction() > 0)
+	// Output:
+	// saved energy: true
+	// reduced anxiety: true
+}
+
+// ExampleExtractAnxietyCurve extracts the Fig. 2 curve from survey
+// answers with the paper's four-step procedure.
+func ExampleExtractAnxietyCurve() {
+	// Three users: two charge at 20%, one at 60%.
+	curve, err := lpvs.ExtractAnxietyCurve([]int{20, 20, 60})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("anxiety at 10%%: %.2f\n", curve.AtLevel(10))
+	fmt.Printf("anxiety at 40%%: %.2f\n", curve.AtLevel(40))
+	// Output:
+	// anxiety at 10%: 1.00
+	// anxiety at 40%: 0.33
+}
+
+// ExampleNewScheduler schedules one empty slot; real requests carry the
+// device display, energy status and available chunks.
+func ExampleNewScheduler() {
+	server, err := lpvs.NewEdgeServer(100)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	s, err := lpvs.NewScheduler(lpvs.SchedulerConfig{Lambda: 1, Server: server})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	dec, err := s.Schedule(nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(s.Name(), "selected", dec.Selected)
+	// Output:
+	// lpvs selected 0
+}
+
+// ExampleGenerateTrace reproduces the paper's dataset population.
+func ExampleGenerateTrace() {
+	tr, err := lpvs.GenerateTrace(lpvs.DefaultTraceConfig())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%d channels, %d sessions\n", len(tr.Channels), tr.NumSessions())
+	// Output:
+	// 1566 channels, 4761 sessions
+}

@@ -1,0 +1,3 @@
+module lpvs
+
+go 1.22

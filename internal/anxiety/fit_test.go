@@ -1,0 +1,62 @@
+package anxiety
+
+import (
+	"testing"
+
+	"lpvs/internal/survey"
+)
+
+func TestFitCanonicalRecoversItself(t *testing.T) {
+	truth := &Canonical{AnxietyAtWarning: 0.65, ConvexPower: 1.8, ConcavePower: 2.2}
+	got, err := FitCanonical(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse := RMSE(truth, got); rmse > 0.01 {
+		t.Fatalf("self-fit RMSE %v", rmse)
+	}
+}
+
+func TestFitCanonicalOnEmpiricalCurve(t *testing.T) {
+	ds := survey.Generate(survey.DefaultConfig())
+	curve, err := Extract(ds.ChargeThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := FitCanonical(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse := RMSE(curve, fit); rmse > 0.05 {
+		t.Fatalf("empirical fit RMSE %v", rmse)
+	}
+	// The fit must beat the default calibration on the empirical data.
+	if RMSE(curve, fit) > RMSE(curve, NewCanonical())+1e-9 {
+		t.Fatal("fit worse than the default calibration")
+	}
+}
+
+func TestFitCanonicalLinearTarget(t *testing.T) {
+	// A linear target is outside the family; the fit must still return
+	// something sane without error.
+	fit, err := FitCanonical(Linear{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.AnxietyAtWarning <= 0 || fit.AnxietyAtWarning >= 1 {
+		t.Fatalf("degenerate warm point %v", fit.AnxietyAtWarning)
+	}
+}
+
+func TestFitCanonicalNil(t *testing.T) {
+	if _, err := FitCanonical(nil); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}
+
+func TestRMSEZeroForIdentical(t *testing.T) {
+	m := NewCanonical()
+	if got := RMSE(m, m); got != 0 {
+		t.Fatalf("self RMSE %v", got)
+	}
+}

@@ -1,0 +1,40 @@
+package anxiety
+
+import "testing"
+
+// FuzzExtract feeds arbitrary answer vectors to the curve extraction:
+// valid inputs must yield a monotone curve in [0, 1] with the maximum at
+// level 1; invalid inputs must error, never panic.
+func FuzzExtract(f *testing.F) {
+	f.Add([]byte{20, 20, 30, 50})
+	f.Add([]byte{1})
+	f.Add([]byte{100, 100, 100})
+	f.Add([]byte{})
+	f.Add([]byte{0, 20})   // 0 is out of range
+	f.Add([]byte{200, 20}) // 200 is out of range
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		answers := make([]int, len(data))
+		for i, b := range data {
+			answers[i] = int(b)
+		}
+		c, err := Extract(answers)
+		if err != nil {
+			return
+		}
+		if got := c.AtLevel(1); got != 1 {
+			t.Fatalf("normalised maximum = %v, want 1", got)
+		}
+		prev := 2.0
+		for level := 1; level <= Levels; level++ {
+			v := c.AtLevel(level)
+			if v < 0 || v > 1 {
+				t.Fatalf("curve out of range at level %d: %v", level, v)
+			}
+			if v > prev+1e-12 {
+				t.Fatalf("curve increases at level %d", level)
+			}
+			prev = v
+		}
+	})
+}

@@ -1,0 +1,265 @@
+// Package client implements the device side of the LPVS edge protocol:
+// reporting status, fetching decisions and chunk metadata, simulating
+// playback with the local display power model, and feeding realised
+// power reductions back to the edge.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"lpvs/internal/device"
+	"lpvs/internal/display"
+	"lpvs/internal/server"
+	"lpvs/internal/stats"
+)
+
+// Client talks to one LPVS edge daemon on behalf of one device.
+type Client struct {
+	base    string
+	http    *http.Client
+	dev     *device.Device
+	channel string // stream the device watches; empty = the default
+
+	retries int
+	backoff time.Duration
+}
+
+// Option customises a Client.
+type Option func(*Client)
+
+// WithRetries makes the client retry transport errors and 5xx responses
+// up to n extra attempts with exponential backoff starting at initial.
+// 4xx responses are never retried — they mean the request is wrong.
+func WithRetries(n int, initial time.Duration) Option {
+	return func(c *Client) {
+		if n < 0 {
+			n = 0
+		}
+		if initial <= 0 {
+			initial = 50 * time.Millisecond
+		}
+		c.retries = n
+		c.backoff = initial
+	}
+}
+
+// SetChannel switches which of the edge's streams subsequent reports
+// subscribe to (empty = the site's default stream).
+func (c *Client) SetChannel(id string) { c.channel = id }
+
+// New builds a client for the device against the daemon at baseURL.
+// Pass nil for the default HTTP client.
+func New(baseURL string, dev *device.Device, httpClient *http.Client, opts ...Option) (*Client, error) {
+	if dev == nil {
+		return nil, fmt.Errorf("client: nil device")
+	}
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := url.Parse(baseURL); err != nil {
+		return nil, fmt.Errorf("client: bad base URL: %w", err)
+	}
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	c := &Client{base: baseURL, http: httpClient, dev: dev}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Device returns the client's device.
+func (c *Client) Device() *device.Device { return c.dev }
+
+// Report sends the device's slot report.
+func (c *Client) Report() (server.ReportResponse, error) {
+	req := server.ReportRequest{
+		DeviceID:         c.dev.ID,
+		ChannelID:        c.channel,
+		DisplayType:      c.dev.Display.Type.String(),
+		Width:            c.dev.Display.Resolution.Width,
+		Height:           c.dev.Display.Resolution.Height,
+		DiagonalInch:     c.dev.Display.DiagonalInch,
+		Brightness:       c.dev.Display.Brightness,
+		EnergyFrac:       c.dev.EnergyFrac(),
+		BatteryCapacityJ: c.dev.Battery.CapacityJ,
+		BasePowerW:       c.dev.BasePowerW,
+	}
+	var resp server.ReportResponse
+	err := c.post("/v1/report", req, &resp)
+	return resp, err
+}
+
+// Decision fetches the device's current transform decision.
+func (c *Client) Decision() (server.DecisionResponse, error) {
+	var resp server.DecisionResponse
+	err := c.get("/v1/decision?device="+url.QueryEscape(c.dev.ID), &resp)
+	return resp, err
+}
+
+// Chunk fetches metadata of one chunk in the device's current slot.
+func (c *Client) Chunk(index int) (server.ChunkResponse, error) {
+	var resp server.ChunkResponse
+	err := c.get("/v1/chunk?device="+url.QueryEscape(c.dev.ID)+"&index="+strconv.Itoa(index), &resp)
+	return resp, err
+}
+
+// Playlist fetches the manifest of the device's current slot.
+func (c *Client) Playlist() (server.PlaylistResponse, error) {
+	var resp server.PlaylistResponse
+	err := c.get("/v1/playlist?device="+url.QueryEscape(c.dev.ID), &resp)
+	return resp, err
+}
+
+// PlayCurrentSlot fetches the slot manifest and plays every chunk in it
+// — the full player loop without the caller knowing the slot geometry.
+func (c *Client) PlayCurrentSlot() (SlotResult, error) {
+	pl, err := c.Playlist()
+	if err != nil {
+		return SlotResult{}, err
+	}
+	return c.PlaySlot(pl.Chunks)
+}
+
+// Observe reports the realised mean power reduction of the played slot.
+func (c *Client) Observe(reduction float64) (server.ObserveResponse, error) {
+	var resp server.ObserveResponse
+	err := c.post("/v1/observe", server.ObserveRequest{DeviceID: c.dev.ID, Reduction: reduction}, &resp)
+	return resp, err
+}
+
+// SlotResult summarises one played slot on the client.
+type SlotResult struct {
+	ChunksPlayed   int
+	WatchedSec     float64
+	EnergyJ        float64
+	UntransformedJ float64
+	MeanReduction  float64
+	Transformed    bool
+}
+
+// PlaySlot plays chunk metadata [0, chunks) of the current slot on the
+// local device: it derives the display power from the served content
+// statistics (honouring the backlight-scale instruction), drains the
+// battery, and — when the slot was transformed — feeds the realised
+// reduction back to the edge.
+func (c *Client) PlaySlot(chunks int) (SlotResult, error) {
+	var res SlotResult
+	dec, err := c.Decision()
+	if err != nil {
+		return res, err
+	}
+	res.Transformed = dec.Transform
+	var reductions []float64
+	for k := 0; k < chunks; k++ {
+		if c.dev.State != device.Watching {
+			break
+		}
+		chunk, err := c.Chunk(k)
+		if err != nil {
+			return res, err
+		}
+		cs := display.ContentStats{
+			MeanLuma: chunk.MeanLuma,
+			PeakLuma: chunk.PeakLuma,
+			MeanR:    chunk.MeanR,
+			MeanG:    chunk.MeanG,
+			MeanB:    chunk.MeanB,
+		}
+		spec := c.dev.Display
+		spec.Brightness = stats.Clamp(spec.Brightness*chunk.BrightnessScale, 0, 1)
+		actualW, err := display.PlaybackPower(spec, cs)
+		if err != nil {
+			return res, fmt.Errorf("client: power model: %w", err)
+		}
+		// The edge estimates the untransformed power p_{n,m}(kappa) for
+		// this device and ships it with the chunk; the difference against
+		// the locally measured draw is the realised reduction.
+		plainW := chunk.PlainPowerW
+		if !chunk.Transformed {
+			plainW = actualW
+		}
+		watched := c.dev.Watch(chunk.DurationSec, actualW)
+		res.ChunksPlayed++
+		res.WatchedSec += watched
+		res.EnergyJ += actualW * watched
+		res.UntransformedJ += plainW * watched
+		if chunk.Transformed && plainW > 0 {
+			reductions = append(reductions, (plainW-actualW)/plainW)
+		}
+	}
+	if len(reductions) > 0 {
+		res.MeanReduction = stats.Mean(reductions)
+		if _, err := c.Observe(res.MeanReduction); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+func (c *Client) post(path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("client: marshal: %w", err)
+	}
+	return c.withRetry(func() (*http.Response, error) {
+		return c.http.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	}, "POST "+path, out)
+}
+
+func (c *Client) get(path string, out any) error {
+	return c.withRetry(func() (*http.Response, error) {
+		return c.http.Get(c.base + path)
+	}, "GET "+path, out)
+}
+
+// withRetry runs the request, retrying transport failures and 5xx
+// responses with exponential backoff when the client was built with
+// WithRetries.
+func (c *Client) withRetry(do func() (*http.Response, error), label string, out any) error {
+	delay := c.backoff
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(delay)
+			delay *= 2
+		}
+		resp, err := do()
+		if err != nil {
+			lastErr = fmt.Errorf("client: %s: %w", label, err)
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			lastErr = decode(resp, out)
+			resp.Body.Close()
+			continue
+		}
+		err = decode(resp, out)
+		resp.Body.Close()
+		return err
+	}
+	return lastErr
+}
+
+func decode(resp *http.Response, out any) error {
+	if resp.StatusCode != http.StatusOK {
+		var apiErr server.ErrorResponse
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("client: edge returned %d: %s", resp.StatusCode, apiErr.Error)
+		}
+		return fmt.Errorf("client: edge returned %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode: %w", err)
+	}
+	return nil
+}

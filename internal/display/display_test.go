@@ -1,0 +1,234 @@
+package display
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func validSpec(t Type) Spec {
+	return Spec{Type: t, Resolution: Res1080p, DiagonalInch: 6, Brightness: 0.6}
+}
+
+func midContent() ContentStats {
+	return ContentStats{MeanLuma: 0.4, PeakLuma: 0.8, MeanR: 0.35, MeanG: 0.4, MeanB: 0.3}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		ok   bool
+	}{
+		{"valid", func(*Spec) {}, true},
+		{"zero width", func(s *Spec) { s.Resolution.Width = 0 }, false},
+		{"zero height", func(s *Spec) { s.Resolution.Height = 0 }, false},
+		{"zero diagonal", func(s *Spec) { s.DiagonalInch = 0 }, false},
+		{"huge diagonal", func(s *Spec) { s.DiagonalInch = 42 }, false},
+		{"negative brightness", func(s *Spec) { s.Brightness = -0.1 }, false},
+		{"over brightness", func(s *Spec) { s.Brightness = 1.1 }, false},
+		{"bad type", func(s *Spec) { s.Type = Type(9) }, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := validSpec(LCD)
+			c.mut(&s)
+			if err := s.Validate(); (err == nil) != c.ok {
+				t.Fatalf("Validate() err = %v, want ok=%v", err, c.ok)
+			}
+		})
+	}
+}
+
+func TestContentStatsValidate(t *testing.T) {
+	good := midContent()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.PeakLuma = 0.2 // below mean
+	if err := bad.Validate(); err == nil {
+		t.Fatal("peak<mean accepted")
+	}
+	bad = good
+	bad.MeanB = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range channel accepted")
+	}
+}
+
+func TestLCDPowerIndependentOfColor(t *testing.T) {
+	s := validSpec(LCD)
+	dark := ContentStats{MeanLuma: 0.05, PeakLuma: 0.1, MeanR: 0.02, MeanG: 0.02, MeanB: 0.02}
+	bright := ContentStats{MeanLuma: 0.9, PeakLuma: 1, MeanR: 0.9, MeanG: 0.9, MeanB: 0.9}
+	pd, err := PlaybackPower(s, dark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := PlaybackPower(s, bright)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pd-pb) > 1e-12 {
+		t.Fatalf("LCD power depends on content: %v vs %v", pd, pb)
+	}
+}
+
+func TestLCDPowerGrowsWithBrightness(t *testing.T) {
+	s := validSpec(LCD)
+	prev := -1.0
+	for _, b := range []float64{0.1, 0.4, 0.7, 1.0} {
+		s.Brightness = b
+		p := MustPlaybackPower(s, midContent())
+		if p <= prev {
+			t.Fatalf("LCD power not increasing in brightness at %v", b)
+		}
+		prev = p
+	}
+}
+
+func TestOLEDPowerGrowsWithContent(t *testing.T) {
+	s := validSpec(OLED)
+	dark := ContentStats{MeanLuma: 0.05, PeakLuma: 0.1, MeanR: 0.02, MeanG: 0.02, MeanB: 0.02}
+	bright := ContentStats{MeanLuma: 0.9, PeakLuma: 1, MeanR: 0.9, MeanG: 0.9, MeanB: 0.9}
+	if MustPlaybackPower(s, dark) >= MustPlaybackPower(s, bright) {
+		t.Fatal("OLED power must grow with emitted light")
+	}
+}
+
+func TestOLEDBlueCostsMoreThanGreen(t *testing.T) {
+	s := validSpec(OLED)
+	base := ContentStats{MeanLuma: 0.3, PeakLuma: 0.6}
+	blue, green := base, base
+	blue.MeanB = 0.5
+	green.MeanG = 0.5
+	pb := MustPlaybackPower(s, blue)
+	pg := MustPlaybackPower(s, green)
+	ratio := (pb - MustPlaybackPower(s, base)) / (pg - MustPlaybackPower(s, base))
+	if math.Abs(ratio-2.0) > 1e-9 {
+		t.Fatalf("blue/green marginal power ratio = %v, want 2.0", ratio)
+	}
+	red := base
+	red.MeanR = 0.5
+	pr := MustPlaybackPower(s, red)
+	rr := (pr - MustPlaybackPower(s, base)) / (pg - MustPlaybackPower(s, base))
+	if rr <= 1 || rr >= 2 {
+		t.Fatalf("red/green marginal power ratio = %v, want in (1, 2)", rr)
+	}
+}
+
+func TestPowerScalesWithArea(t *testing.T) {
+	small, big := validSpec(OLED), validSpec(OLED)
+	small.DiagonalInch = 5
+	big.DiagonalInch = 6.7
+	if MustPlaybackPower(small, midContent()) >= MustPlaybackPower(big, midContent()) {
+		t.Fatal("larger panel must draw more power")
+	}
+}
+
+func TestPowerScalesWithResolution(t *testing.T) {
+	lo, hi := validSpec(LCD), validSpec(LCD)
+	lo.Resolution = Res720p
+	hi.Resolution = Res1440p
+	if MustPlaybackPower(lo, midContent()) >= MustPlaybackPower(hi, midContent()) {
+		t.Fatal("higher resolution must draw more power")
+	}
+}
+
+func TestPlaybackPowerErrors(t *testing.T) {
+	bad := validSpec(LCD)
+	bad.Brightness = 2
+	if _, err := PlaybackPower(bad, midContent()); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	badC := midContent()
+	badC.MeanLuma = -1
+	if _, err := PlaybackPower(validSpec(LCD), badC); err == nil {
+		t.Fatal("invalid content accepted")
+	}
+}
+
+func TestMustPlaybackPowerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	bad := validSpec(LCD)
+	bad.DiagonalInch = -1
+	MustPlaybackPower(bad, midContent())
+}
+
+func TestPowerPlausibleRangeProperty(t *testing.T) {
+	f := func(ty bool, b, r, g, bl uint8) bool {
+		s := Spec{Resolution: Res1080p, DiagonalInch: 6, Brightness: float64(b%101) / 100}
+		if ty {
+			s.Type = OLED
+		}
+		c := ContentStats{
+			MeanR: float64(r%101) / 100,
+			MeanG: float64(g%101) / 100,
+			MeanB: float64(bl%101) / 100,
+		}
+		c.MeanLuma = (c.MeanR + c.MeanG + c.MeanB) / 3
+		c.PeakLuma = c.MeanLuma
+		p, err := PlaybackPower(s, c)
+		if err != nil {
+			return false
+		}
+		// A 6-inch phone display draws between 0 and ~2 W.
+		return p >= 0 && p < 2.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponentBreakdownDisplayDominates(t *testing.T) {
+	for _, ty := range []Type{LCD, OLED} {
+		comps := ComponentBreakdown(ty)
+		var dispW, maxOther float64
+		for _, c := range comps {
+			if c.Name == "Display" {
+				dispW = c.PowerW
+			} else if c.PowerW > maxOther {
+				maxOther = c.PowerW
+			}
+		}
+		if dispW <= maxOther {
+			t.Fatalf("%v: display (%v W) is not the primary consumer (max other %v W)", ty, dispW, maxOther)
+		}
+		share := DisplayShare(ty)
+		if share < 0.35 || share > 0.65 {
+			t.Fatalf("%v: display share = %v, want dominant but plausible", ty, share)
+		}
+	}
+}
+
+func TestOLEDBreakdownAboveLCD(t *testing.T) {
+	if DisplayShare(OLED) <= DisplayShare(LCD) {
+		t.Fatal("OLED display share must exceed LCD on video content")
+	}
+}
+
+func TestRenderBreakdown(t *testing.T) {
+	out := RenderBreakdown()
+	for _, want := range []string{"LCD", "OLED", "Display", "CPU"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if LCD.String() != "LCD" || OLED.String() != "OLED" || Type(7).String() == "" {
+		t.Fatal("type stringer")
+	}
+	if Res720p.String() != "1280x720" {
+		t.Fatal("resolution stringer")
+	}
+	if Res1080p.Pixels() != 1920*1080 {
+		t.Fatal("pixel count")
+	}
+}

@@ -1,0 +1,184 @@
+package edge
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lpvs/internal/display"
+	"lpvs/internal/stats"
+	"lpvs/internal/video"
+)
+
+func chunks(t *testing.T, n int, bitrate int) []video.Chunk {
+	t.Helper()
+	cfg := video.DefaultGenConfig("e", video.Gaming, n)
+	cfg.BitrateKbps = bitrate
+	v, err := video.Generate(stats.NewRNG(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.Chunks
+}
+
+func TestNewServer(t *testing.T) {
+	s, err := NewServer(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ComputeCapacity != 100 {
+		t.Fatalf("compute = %v, want 100", s.ComputeCapacity)
+	}
+	if s.StorageCapacityMB <= 0 {
+		t.Fatal("no storage")
+	}
+	if _, err := NewServer(-1); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	// Zero-capacity servers are legal (failure-injection scenarios).
+	z, err := NewServer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Fits(0.1, 0) {
+		t.Fatal("zero server fits work")
+	}
+	if !z.Fits(0, 0) {
+		t.Fatal("zero server rejects empty load")
+	}
+}
+
+func TestFits(t *testing.T) {
+	s, _ := NewServer(10)
+	if !s.Fits(10, s.StorageCapacityMB) {
+		t.Fatal("exact fit rejected")
+	}
+	if s.Fits(10.1, 0) {
+		t.Fatal("compute overflow accepted")
+	}
+	if s.Fits(0, s.StorageCapacityMB+1) {
+		t.Fatal("storage overflow accepted")
+	}
+}
+
+func TestComputeCostReference(t *testing.T) {
+	// A full 5-minute slot of 720p chunks costs exactly 1 unit.
+	slotSec := 300.0
+	cs := chunks(t, 30, 2500) // 30 x 10 s
+	got := ComputeCost(display.Res720p, cs, slotSec)
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("720p full slot = %v units, want 1", got)
+	}
+	// 1080p costs pixel-proportionally more.
+	got1080 := ComputeCost(display.Res1080p, cs, slotSec)
+	wantRatio := float64(display.Res1080p.Pixels()) / float64(display.Res720p.Pixels())
+	if math.Abs(got1080/got-wantRatio) > 1e-9 {
+		t.Fatalf("1080p/720p cost ratio = %v, want %v", got1080/got, wantRatio)
+	}
+	// Half a slot costs half.
+	gotHalf := ComputeCost(display.Res720p, cs[:15], slotSec)
+	if math.Abs(gotHalf-0.5) > 1e-9 {
+		t.Fatalf("half slot = %v, want 0.5", gotHalf)
+	}
+}
+
+func TestComputeCostPanicsOnBadSlot(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ComputeCost(display.Res720p, nil, 0)
+}
+
+func TestStorageCost(t *testing.T) {
+	cs := chunks(t, 30, 2500)
+	got := StorageCost(cs)
+	// 2.5 Mbps x 300 s / 8 = 93.75 MB.
+	if math.Abs(got-93.75) > 1e-6 {
+		t.Fatalf("storage = %v MB, want 93.75", got)
+	}
+	if StorageCost(nil) != 0 {
+		t.Fatal("empty chunk list should cost nothing")
+	}
+}
+
+func TestDefaultServerHoldsHundredStreams(t *testing.T) {
+	s, _ := NewServer(DefaultConcurrentStreams)
+	cs := chunks(t, 30, 2500)
+	perStream := ComputeCost(display.Res720p, cs, 300)
+	storage := StorageCost(cs)
+	if !s.Fits(perStream*100, storage*100) {
+		t.Fatal("default server cannot hold 100 reference streams")
+	}
+	if s.Fits(perStream*140, storage*140) {
+		t.Fatal("default server unexpectedly holds 140 reference streams")
+	}
+}
+
+func TestNewCacheValidation(t *testing.T) {
+	if _, err := NewCache(1.5, 0.5); err == nil {
+		t.Fatal("bad hit ratio accepted")
+	}
+	if _, err := NewCache(0.5, 0); err == nil {
+		t.Fatal("zero min prefix accepted")
+	}
+	if _, err := NewCache(0.5, 1.2); err == nil {
+		t.Fatal("min prefix above 1 accepted")
+	}
+	if c := DefaultCache(); c.HitRatio <= 0 {
+		t.Fatal("default cache broken")
+	}
+}
+
+func TestAvailableChunksBounds(t *testing.T) {
+	c, _ := NewCache(0.5, 0.3)
+	rng := stats.NewRNG(9)
+	sawPartial, sawFull := false, false
+	for i := 0; i < 500; i++ {
+		got := c.AvailableChunks(rng, 30)
+		if got < 1 || got > 30 {
+			t.Fatalf("available = %d outside [1, 30]", got)
+		}
+		if got == 30 {
+			sawFull = true
+		} else {
+			sawPartial = true
+		}
+	}
+	if !sawFull || !sawPartial {
+		t.Fatal("cache never produced both full and partial windows")
+	}
+	if c.AvailableChunks(rng, 0) != 0 {
+		t.Fatal("zero total must yield zero")
+	}
+}
+
+func TestAlwaysAvailableWithPerfectCache(t *testing.T) {
+	c, _ := NewCache(1, 0.5)
+	rng := stats.NewRNG(2)
+	for i := 0; i < 100; i++ {
+		if got := c.AvailableChunks(rng, 12); got != 12 {
+			t.Fatalf("perfect cache returned %d of 12", got)
+		}
+	}
+}
+
+func TestAvailableChunksProperty(t *testing.T) {
+	f := func(seed int64, hit, minP, total uint8) bool {
+		c, err := NewCache(float64(hit%101)/100, float64(minP%100+1)/100)
+		if err != nil {
+			return false
+		}
+		rng := stats.NewRNG(seed)
+		n := int(total % 60)
+		got := c.AvailableChunks(rng, n)
+		if n == 0 {
+			return got == 0
+		}
+		return got >= 1 && got <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,215 @@
+package edge
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"lpvs/internal/video"
+)
+
+// ChunkKey identifies one cached chunk at the edge.
+type ChunkKey struct {
+	VideoID string
+	Index   int
+}
+
+// CacheStats reports an LRU cache's behaviour.
+type CacheStats struct {
+	Hits      int
+	Misses    int
+	Evictions int
+	UsedMB    float64
+	Entries   int
+}
+
+// HitRatio returns hits / lookups (0 for no lookups).
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// LRUCache is a byte-budgeted least-recently-used chunk cache, the
+// storage side of the CDN-to-edge content delivery strategy the paper
+// builds on ("which may prefetch a certain amount of video content from
+// the CDN servers to the edge server"). It is safe for concurrent use.
+type LRUCache struct {
+	capacityMB float64
+
+	mu      sync.Mutex
+	usedMB  float64
+	order   *list.List // front = most recently used
+	items   map[ChunkKey]*list.Element
+	hits    int
+	misses  int
+	evicted int
+}
+
+type lruEntry struct {
+	key    ChunkKey
+	sizeMB float64
+}
+
+// NewLRUCache builds a cache holding up to capacityMB of chunk payload.
+func NewLRUCache(capacityMB float64) (*LRUCache, error) {
+	if capacityMB <= 0 {
+		return nil, fmt.Errorf("edge: LRU capacity %v MB", capacityMB)
+	}
+	return &LRUCache{
+		capacityMB: capacityMB,
+		order:      list.New(),
+		items:      make(map[ChunkKey]*list.Element),
+	}, nil
+}
+
+// Get reports whether the chunk is cached, promoting it on a hit.
+func (c *LRUCache) Get(k ChunkKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return true
+}
+
+// Contains reports presence without promoting or counting.
+func (c *LRUCache) Contains(k ChunkKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[k]
+	return ok
+}
+
+// Put inserts a chunk, evicting least-recently-used entries as needed.
+// A chunk larger than the whole cache is rejected.
+func (c *LRUCache) Put(k ChunkKey, sizeMB float64) error {
+	if sizeMB <= 0 {
+		return fmt.Errorf("edge: chunk size %v MB", sizeMB)
+	}
+	if sizeMB > c.capacityMB {
+		return fmt.Errorf("edge: chunk of %v MB exceeds cache capacity %v MB", sizeMB, c.capacityMB)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		// Refresh: adjust accounting if the size changed, then evict as
+		// needed (a grown entry can push the cache over budget).
+		c.usedMB += sizeMB - el.Value.(*lruEntry).sizeMB
+		el.Value.(*lruEntry).sizeMB = sizeMB
+		c.order.MoveToFront(el)
+		c.evictOver(0)
+		return nil
+	}
+	c.evictOver(sizeMB)
+	el := c.order.PushFront(&lruEntry{key: k, sizeMB: sizeMB})
+	c.items[k] = el
+	c.usedMB += sizeMB
+	return nil
+}
+
+// evictOver drops least-recently-used entries until incoming more
+// megabytes would fit. Callers hold the lock.
+func (c *LRUCache) evictOver(incoming float64) {
+	for c.usedMB+incoming > c.capacityMB {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		ent := oldest.Value.(*lruEntry)
+		c.order.Remove(oldest)
+		delete(c.items, ent.key)
+		c.usedMB -= ent.sizeMB
+		c.evicted++
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *LRUCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evicted,
+		UsedMB:    c.usedMB,
+		Entries:   len(c.items),
+	}
+}
+
+// ChunkSizeMB returns a chunk's payload size in megabytes.
+func ChunkSizeMB(c video.Chunk) float64 {
+	return float64(c.BitrateKbps) * 1000 * c.DurationSec / 8 / 1e6
+}
+
+// Prefetcher pulls upcoming chunk windows from the CDN into the edge
+// cache under a per-slot backhaul budget shared by all the streams the
+// site serves. It models the "content delivery strategy between the edge
+// servers and the CDN servers" that LPVS builds on but does not control.
+type Prefetcher struct {
+	cache *LRUCache
+	// budgetMBPerSlot bounds CDN-to-edge transfer per scheduling slot.
+	budgetMBPerSlot float64
+	// remainingMB is what is left of the current slot's budget.
+	remainingMB float64
+}
+
+// NewPrefetcher builds a prefetcher over the cache. The slot budget is
+// armed immediately; call StartSlot at each subsequent slot boundary.
+func NewPrefetcher(cache *LRUCache, budgetMBPerSlot float64) (*Prefetcher, error) {
+	if cache == nil {
+		return nil, fmt.Errorf("edge: nil cache")
+	}
+	if budgetMBPerSlot <= 0 {
+		return nil, fmt.Errorf("edge: prefetch budget %v MB/slot", budgetMBPerSlot)
+	}
+	return &Prefetcher{cache: cache, budgetMBPerSlot: budgetMBPerSlot, remainingMB: budgetMBPerSlot}, nil
+}
+
+// StartSlot resets the backhaul budget at a slot boundary.
+func (p *Prefetcher) StartSlot() { p.remainingMB = p.budgetMBPerSlot }
+
+// RemainingMB reports the unspent budget of the current slot.
+func (p *Prefetcher) RemainingMB() float64 { return p.remainingMB }
+
+// PrefetchWindow pulls the window's chunks in order until the shared
+// slot budget runs out, returning the megabytes fetched. Chunks already
+// cached cost nothing.
+func (p *Prefetcher) PrefetchWindow(videoID string, window []video.Chunk) float64 {
+	fetched := 0.0
+	for _, c := range window {
+		key := ChunkKey{VideoID: videoID, Index: c.Index}
+		if p.cache.Contains(key) {
+			continue
+		}
+		size := ChunkSizeMB(c)
+		if size > p.remainingMB {
+			break // in-order prefetch: stop at the first chunk that no longer fits
+		}
+		if err := p.cache.Put(key, size); err != nil {
+			break
+		}
+		p.remainingMB -= size
+		fetched += size
+	}
+	return fetched
+}
+
+// AvailablePrefix returns how many leading chunks of the window are
+// cached — the K_m the scheduler sees at its scheduling point.
+func (p *Prefetcher) AvailablePrefix(videoID string, window []video.Chunk) int {
+	n := 0
+	for _, c := range window {
+		if !p.cache.Get(ChunkKey{VideoID: videoID, Index: c.Index}) {
+			break
+		}
+		n++
+	}
+	return n
+}

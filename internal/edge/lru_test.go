@@ -1,0 +1,255 @@
+package edge
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"lpvs/internal/stats"
+	"lpvs/internal/video"
+)
+
+func key(i int) ChunkKey { return ChunkKey{VideoID: "v", Index: i} }
+
+func TestNewLRUCacheValidation(t *testing.T) {
+	if _, err := NewLRUCache(0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := NewLRUCache(-5); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+func TestLRUPutGet(t *testing.T) {
+	c, err := NewLRUCache(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Get(key(1)) {
+		t.Fatal("hit on empty cache")
+	}
+	if err := c.Put(key(1), 4); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Get(key(1)) {
+		t.Fatal("miss after put")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.UsedMB != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c, _ := NewLRUCache(10)
+	for i := 0; i < 3; i++ { // 3 x 4 MB > 10 MB
+		if err := c.Put(key(i), 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Contains(key(0)) {
+		t.Fatal("oldest entry survived")
+	}
+	if !c.Contains(key(1)) || !c.Contains(key(2)) {
+		t.Fatal("recent entries evicted")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestLRUGetPromotes(t *testing.T) {
+	c, _ := NewLRUCache(10)
+	c.Put(key(0), 4)
+	c.Put(key(1), 4)
+	// Touch 0 so 1 becomes the eviction victim.
+	if !c.Get(key(0)) {
+		t.Fatal("miss")
+	}
+	c.Put(key(2), 4)
+	if !c.Contains(key(0)) {
+		t.Fatal("promoted entry evicted")
+	}
+	if c.Contains(key(1)) {
+		t.Fatal("stale entry survived")
+	}
+}
+
+func TestLRURejectsOversized(t *testing.T) {
+	c, _ := NewLRUCache(10)
+	if err := c.Put(key(0), 11); err == nil {
+		t.Fatal("oversized chunk accepted")
+	}
+	if err := c.Put(key(0), 0); err == nil {
+		t.Fatal("zero-size chunk accepted")
+	}
+}
+
+func TestLRUResize(t *testing.T) {
+	c, _ := NewLRUCache(10)
+	c.Put(key(0), 4)
+	if err := c.Put(key(0), 6); err != nil { // same key, bigger payload
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.UsedMB != 6 || st.Entries != 1 {
+		t.Fatalf("stats after resize %+v", st)
+	}
+}
+
+func TestLRUConcurrentAccess(t *testing.T) {
+	c, _ := NewLRUCache(50)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := ChunkKey{VideoID: fmt.Sprintf("v%d", g%3), Index: i % 20}
+				if i%2 == 0 {
+					_ = c.Put(k, 1)
+				} else {
+					c.Get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.UsedMB > 50+1e-9 {
+		t.Fatalf("capacity exceeded: %v", st.UsedMB)
+	}
+}
+
+func TestLRUNeverExceedsCapacityProperty(t *testing.T) {
+	f := func(seed int64, ops uint8) bool {
+		c, err := NewLRUCache(20)
+		if err != nil {
+			return false
+		}
+		rng := stats.NewRNG(seed)
+		for i := 0; i < int(ops); i++ {
+			k := key(rng.Intn(30))
+			if rng.Bool(0.6) {
+				_ = c.Put(k, rng.Uniform(0.5, 8))
+			} else {
+				c.Get(k)
+			}
+			if c.Stats().UsedMB > 20+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func makeWindow(t *testing.T, n int) []video.Chunk {
+	t.Helper()
+	v, err := video.Generate(stats.NewRNG(1), video.DefaultGenConfig("v", video.Gaming, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.Chunks
+}
+
+func TestChunkSizeMB(t *testing.T) {
+	w := makeWindow(t, 1)
+	// 2500 kbps x 10 s / 8 = 3.125 MB
+	if got := ChunkSizeMB(w[0]); math.Abs(got-3.125) > 1e-9 {
+		t.Fatalf("size = %v, want 3.125", got)
+	}
+}
+
+func TestPrefetcherValidation(t *testing.T) {
+	c, _ := NewLRUCache(10)
+	if _, err := NewPrefetcher(nil, 5); err == nil {
+		t.Fatal("nil cache accepted")
+	}
+	if _, err := NewPrefetcher(c, 0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestPrefetchWindowRespectsBudget(t *testing.T) {
+	c, _ := NewLRUCache(1000)
+	p, err := NewPrefetcher(c, 10) // 10 MB per slot = 3 chunks of 3.125 MB
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := makeWindow(t, 30)
+	fetched := p.PrefetchWindow("v", w)
+	if fetched > 10 {
+		t.Fatalf("fetched %v MB over the 10 MB budget", fetched)
+	}
+	if got := p.AvailablePrefix("v", w); got != 3 {
+		t.Fatalf("available prefix %d, want 3", got)
+	}
+	// Within the same slot the budget is spent: nothing more arrives.
+	if extra := p.PrefetchWindow("v", w); extra != 0 {
+		t.Fatalf("overspent the slot budget by %v MB", extra)
+	}
+	// The next slot continues where the previous one stopped.
+	p.StartSlot()
+	p.PrefetchWindow("v", w)
+	if got := p.AvailablePrefix("v", w); got != 6 {
+		t.Fatalf("available prefix after second slot %d, want 6", got)
+	}
+}
+
+func TestPrefetcherBudgetSharedAcrossStreams(t *testing.T) {
+	c, _ := NewLRUCache(1000)
+	p, err := NewPrefetcher(c, 10) // 3 chunks of 3.125 MB per slot, total
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := makeWindow(t, 10)
+	w2 := makeWindow(t, 10)
+	got1 := p.PrefetchWindow("a", w1)
+	got2 := p.PrefetchWindow("b", w2)
+	if got1+got2 > 10 {
+		t.Fatalf("two streams consumed %v MB of a 10 MB slot", got1+got2)
+	}
+	if p.RemainingMB() < 0 {
+		t.Fatalf("negative remaining budget %v", p.RemainingMB())
+	}
+	// Stream b got only what a left over.
+	if n := p.AvailablePrefix("b", w2); n > 1 {
+		t.Fatalf("stream b prefetched %d chunks from a drained budget", n)
+	}
+}
+
+func TestPrefetchWindowSkipsCached(t *testing.T) {
+	c, _ := NewLRUCache(1000)
+	p, _ := NewPrefetcher(c, 100)
+	w := makeWindow(t, 10)
+	first := p.PrefetchWindow("v", w)
+	second := p.PrefetchWindow("v", w)
+	if first <= 0 {
+		t.Fatal("nothing fetched")
+	}
+	if second != 0 {
+		t.Fatalf("refetched %v MB of cached content", second)
+	}
+	if got := p.AvailablePrefix("v", w); got != 10 {
+		t.Fatalf("prefix %d, want 10", got)
+	}
+}
+
+func TestAvailablePrefixStopsAtGap(t *testing.T) {
+	c, _ := NewLRUCache(1000)
+	p, _ := NewPrefetcher(c, 100)
+	w := makeWindow(t, 5)
+	// Cache chunks 0, 1, 3 — the prefix ends at the missing 2.
+	for _, i := range []int{0, 1, 3} {
+		if err := c.Put(ChunkKey{VideoID: "v", Index: w[i].Index}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.AvailablePrefix("v", w); got != 2 {
+		t.Fatalf("prefix %d, want 2", got)
+	}
+}

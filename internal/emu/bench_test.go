@@ -1,0 +1,38 @@
+package emu
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkRun measures the end-to-end emulation cost per cluster size.
+func BenchmarkRun(b *testing.B) {
+	for _, n := range []int{50, 100, 200} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cfg := baseConfig()
+			cfg.GroupSize = n
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e, err := New(cfg, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompare measures the paired (treated + baseline) evaluation
+// used by every paper figure.
+func BenchmarkCompare(b *testing.B) {
+	cfg := baseConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compare(cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,728 @@
+// Package emu implements the LPVS emulator (paper section VI, Fig. 6):
+// a time-slotted loop of information gathering, one-slot-ahead request
+// scheduling, video transforming, playback with battery drain, and
+// Bayesian updating of the per-device power-reduction ratio.
+//
+// A virtual cluster is the audience sharing one edge server — by default
+// one Twitch channel's viewers, optionally split across several live
+// streams (Config.Streams). Every device plays its stream on its own
+// display (so with its own power rates) and its own battery. Metrics
+// mirror the paper's evaluation:
+//
+//   - display energy saving ratio (Figs. 7, 8a): the energy actually
+//     drawn by displays vs. what the same played content would have
+//     drawn untransformed;
+//   - anxiety reduction (Figs. 7, 8b): mean anxiety degree across
+//     devices and slots, compared against a paired baseline run without
+//     LPVS (same seed, same workload);
+//   - time per viewer (Fig. 9): watching minutes until give-up, device
+//     death, or stream end;
+//   - scheduler running time (Fig. 10).
+package emu
+
+import (
+	"fmt"
+	"time"
+
+	"lpvs/internal/anxiety"
+	"lpvs/internal/bayes"
+	"lpvs/internal/device"
+	"lpvs/internal/display"
+	"lpvs/internal/edge"
+	"lpvs/internal/scheduler"
+	"lpvs/internal/stats"
+	"lpvs/internal/transform"
+	"lpvs/internal/video"
+)
+
+// Config parameterises one emulation run.
+type Config struct {
+	Seed int64
+	// GroupSize is the virtual-cluster size N.
+	GroupSize int
+	// Slots is the stream length in scheduling slots (5 minutes each).
+	Slots int
+	// Lambda is the scheduler's energy/anxiety balance.
+	Lambda float64
+	// ServerStreams sizes the edge server in concurrently transformable
+	// 720p streams; negative means unbounded capacity.
+	ServerStreams int
+	// Genre of the cluster's live stream(s).
+	Genre video.Genre
+	// Streams is the number of distinct live streams watched within the
+	// virtual cluster (a base-station area serves several channels);
+	// devices are assigned round-robin. Zero means 1. Streams beyond the
+	// first rotate through the other genres.
+	Streams int
+	// SlotSec and ChunkSec shape the timeline; zero means defaults
+	// (300 s slots of 10 s chunks).
+	SlotSec, ChunkSec float64
+	// Tolerance is the distortion budget granted to transforms, in
+	// [0, 1].
+	Tolerance float64
+	// Device generation; zero value means device.DefaultGenConfig.
+	Device device.GenConfig
+	// Anxiety is the phi model; nil means the canonical curve.
+	Anxiety anxiety.Model
+	// CacheHitRatio / CacheMinPrefix override the probabilistic chunk
+	// cache; zero values mean the default cache.
+	CacheHitRatio, CacheMinPrefix float64
+	// LRUCacheMB and PrefetchMBPerSlot, when both positive, replace the
+	// probabilistic availability model with a real LRU cache filled by a
+	// budgeted CDN-to-edge prefetcher (the paper's content delivery
+	// strategy).
+	LRUCacheMB, PrefetchMBPerSlot float64
+	// DisableSwap turns off Phase-2 in the LPVS scheduler (ablation).
+	DisableSwap bool
+	// FixedGamma, when positive, disables Bayesian learning and plans
+	// with this constant reduction ratio (ablation).
+	FixedGamma float64
+	// UseFrames switches the transform engine to the per-pixel keyframe
+	// path: chunks carry synthetic keyframes, and selected streams are
+	// transformed pixel by pixel instead of through the calibrated
+	// aggregate statistics.
+	UseFrames bool
+	// AutoDimBelow, when positive, emulates the OS power saver: devices
+	// whose battery drops under this fraction dim their display to
+	// AutoDimFactor of its brightness — without compensation, so the
+	// full luminance loss is perceived. The practical client-side
+	// alternative LPVS competes against.
+	AutoDimBelow float64
+	// AutoDimFactor is the dimmed brightness multiplier in (0, 1];
+	// zero means 0.6 when auto-dim is enabled.
+	AutoDimFactor float64
+	// PersonalizedAnxiety derives a per-device anxiety curve from each
+	// owner's give-up threshold (users worry before they quit), so the
+	// scheduler optimises personal curves instead of the population
+	// average.
+	PersonalizedAnxiety bool
+	// ExactThreshold forwards to the scheduler; zero means its default.
+	ExactThreshold int
+}
+
+// normalized fills defaults and validates.
+func (c Config) normalized() (Config, error) {
+	if c.GroupSize <= 0 {
+		return c, fmt.Errorf("emu: group size %d", c.GroupSize)
+	}
+	if c.Slots <= 0 {
+		return c, fmt.Errorf("emu: slot count %d", c.Slots)
+	}
+	if c.SlotSec == 0 {
+		c.SlotSec = scheduler.DefaultSlotSeconds
+	}
+	if c.ChunkSec == 0 {
+		c.ChunkSec = video.DefaultChunkSeconds
+	}
+	if c.SlotSec <= 0 || c.ChunkSec <= 0 || c.ChunkSec > c.SlotSec {
+		return c, fmt.Errorf("emu: bad slot/chunk lengths %v/%v", c.SlotSec, c.ChunkSec)
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 0.70
+	}
+	if c.Tolerance < 0 || c.Tolerance > 1 {
+		return c, fmt.Errorf("emu: tolerance %v outside [0, 1]", c.Tolerance)
+	}
+	if c.Device.InitMean == 0 && c.Device.InitStd == 0 {
+		sampler := c.Device.GiveUpSampler
+		c.Device = device.DefaultGenConfig()
+		c.Device.GiveUpSampler = sampler
+	}
+	if c.Anxiety == nil {
+		c.Anxiety = anxiety.NewCanonical()
+	}
+	if c.CacheHitRatio == 0 && c.CacheMinPrefix == 0 {
+		dc := edge.DefaultCache()
+		c.CacheHitRatio, c.CacheMinPrefix = dc.HitRatio, dc.MinPrefix
+	}
+	if c.FixedGamma < 0 || c.FixedGamma >= 1 {
+		return c, fmt.Errorf("emu: fixed gamma %v outside [0, 1)", c.FixedGamma)
+	}
+	if c.Streams == 0 {
+		c.Streams = 1
+	}
+	if c.Streams < 1 || c.Streams > c.GroupSize {
+		return c, fmt.Errorf("emu: %d streams for %d devices", c.Streams, c.GroupSize)
+	}
+	if c.AutoDimBelow < 0 || c.AutoDimBelow > 1 {
+		return c, fmt.Errorf("emu: auto-dim threshold %v outside [0, 1]", c.AutoDimBelow)
+	}
+	if c.AutoDimBelow > 0 && c.AutoDimFactor == 0 {
+		c.AutoDimFactor = 0.6
+	}
+	if c.AutoDimBelow > 0 && (c.AutoDimFactor <= 0 || c.AutoDimFactor > 1) {
+		return c, fmt.Errorf("emu: auto-dim factor %v outside (0, 1]", c.AutoDimFactor)
+	}
+	if (c.LRUCacheMB > 0) != (c.PrefetchMBPerSlot > 0) {
+		return c, fmt.Errorf("emu: LRUCacheMB and PrefetchMBPerSlot must be set together")
+	}
+	if c.LRUCacheMB < 0 || c.PrefetchMBPerSlot < 0 {
+		return c, fmt.Errorf("emu: negative LRU cache parameters")
+	}
+	return c, nil
+}
+
+// RunResult aggregates one emulation run.
+type RunResult struct {
+	Policy   string
+	SlotsRun int
+	// DisplayEnergyJ is the display energy actually drawn.
+	DisplayEnergyJ float64
+	// UntransformedDisplayEnergyJ is what the same played seconds would
+	// have drawn without transforms.
+	UntransformedDisplayEnergyJ float64
+	// AnxietySum accumulates the anxiety degree over device-slots;
+	// AnxietySamples counts them.
+	AnxietySum     float64
+	AnxietySamples int
+	// TPVMin is the watching time per device in minutes.
+	TPVMin []float64
+	// LowBatteryStart flags devices that began in (0, 40%].
+	LowBatteryStart []bool
+	// EverServed flags devices selected for transforming at least once.
+	EverServed []bool
+	// FinalState per device.
+	FinalState []device.State
+	// SchedSeconds is the cumulative scheduler wall time.
+	SchedSeconds float64
+	// QualityLossSum / QualityLossSamples track the perceptual
+	// distortion introduced per played chunk, by transforms and by the
+	// uncompensated auto-dim power saver. The Affected pair restricts
+	// the average to chunks that were actually altered.
+	QualityLossSum         float64
+	QualityLossSamples     int
+	AffectedQualitySum     float64
+	AffectedQualitySamples int
+	// SelectedPerSlot records how many devices each slot transformed.
+	SelectedPerSlot []int
+	// Timeline records per-slot aggregates for post-hoc analysis.
+	Timeline []SlotStat
+	// PredErrSum / PredErrSamples accumulate the absolute error between
+	// the scheduler's compacted energy forecast for a slot and the
+	// realised end-of-slot battery fraction, for devices that played the
+	// slot through. Validates the paper's information-compacted model
+	// (Eqs. (3), (5), (12)) against the emulated ground truth.
+	PredErrSum     float64
+	PredErrSamples int
+}
+
+// SlotStat is one slot's aggregate snapshot, taken after playback.
+type SlotStat struct {
+	Slot           int
+	Watching       int
+	Selected       int
+	MeanEnergyFrac float64
+	MeanAnxiety    float64
+}
+
+// EnergySavingRatio is the paper's Fig. 7/8a metric.
+func (r *RunResult) EnergySavingRatio() float64 {
+	if r.UntransformedDisplayEnergyJ <= 0 {
+		return 0
+	}
+	return (r.UntransformedDisplayEnergyJ - r.DisplayEnergyJ) / r.UntransformedDisplayEnergyJ
+}
+
+// MeanAnxiety is the average anxiety degree over device-slots.
+func (r *RunResult) MeanAnxiety() float64 {
+	if r.AnxietySamples == 0 {
+		return 0
+	}
+	return r.AnxietySum / float64(r.AnxietySamples)
+}
+
+// MeanQualityLoss is the average perceptual distortion per played chunk.
+func (r *RunResult) MeanQualityLoss() float64 {
+	if r.QualityLossSamples == 0 {
+		return 0
+	}
+	return r.QualityLossSum / float64(r.QualityLossSamples)
+}
+
+// MeanAffectedQualityLoss averages distortion over only the chunks that
+// were transformed or dimmed — how hard an intervention hits when it
+// hits.
+func (r *RunResult) MeanAffectedQualityLoss() float64 {
+	if r.AffectedQualitySamples == 0 {
+		return 0
+	}
+	return r.AffectedQualitySum / float64(r.AffectedQualitySamples)
+}
+
+// MeanEnergyPredictionError is the average absolute gap (in battery
+// fraction) between the scheduler's slot forecast and reality.
+func (r *RunResult) MeanEnergyPredictionError() float64 {
+	if r.PredErrSamples == 0 {
+		return 0
+	}
+	return r.PredErrSum / float64(r.PredErrSamples)
+}
+
+// MeanTPVMin averages watching minutes over a device subset (nil filter
+// means all devices).
+func (r *RunResult) MeanTPVMin(filter func(i int) bool) float64 {
+	sum, n := 0.0, 0
+	for i, tpv := range r.TPVMin {
+		if filter != nil && !filter(i) {
+			continue
+		}
+		sum += tpv
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Emulator drives one virtual cluster under one policy.
+type Emulator struct {
+	cfg    Config
+	policy scheduler.Policy
+
+	devices    []*device.Device
+	estimators []*bayes.GammaEstimator
+	// streams are the VC's live channels; deviceStream[i] indexes the
+	// stream device i watches.
+	streams      []*video.Video
+	deviceStream []int
+	cache        *edge.Cache
+	cacheRNG     *stats.RNG
+	prefetcher   *edge.Prefetcher            // non-nil when the LRU model is enabled
+	strategies   map[bool]transform.Strategy // key: isOLED
+	// frameCache memoises per-pixel transform results within one slot:
+	// ApplyFrame depends only on the keyframe, the tolerance, and the
+	// display type — not on the individual device — so one transform per
+	// (stream, chunk, type) serves the whole cluster.
+	frameCache map[frameKey]transform.Result
+}
+
+// frameKey identifies a memoised per-pixel transform.
+type frameKey struct {
+	stream, chunk int
+	oled          bool
+}
+
+// New builds an emulator. If policy is nil, the LPVS scheduler is
+// constructed from the config (the common case); pass an explicit policy
+// to run baselines.
+func New(cfg Config, policy scheduler.Policy) (*Emulator, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		policy, err = BuildLPVSPolicy(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	deviceRNG := rng.Fork()
+	contentRNG := rng.Fork()
+	cacheRNG := rng.Fork()
+
+	devices, err := device.NewFleet(deviceRNG, cfg.GroupSize, cfg.Device)
+	if err != nil {
+		return nil, err
+	}
+
+	chunksPerSlot := int(cfg.SlotSec / cfg.ChunkSec)
+	genres := video.AllGenres()
+	streams := make([]*video.Video, cfg.Streams)
+	for s := range streams {
+		genre := cfg.Genre
+		if s > 0 {
+			genre = genres[(int(cfg.Genre)+s)%len(genres)]
+		}
+		vcfg := video.DefaultGenConfig(fmt.Sprintf("stream-%d", s), genre, cfg.Slots*chunksPerSlot)
+		vcfg.ChunkSec = cfg.ChunkSec
+		vcfg.WithKeyframes = cfg.UseFrames
+		streams[s], err = video.Generate(contentRNG.Fork(), vcfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	deviceStream := make([]int, len(devices))
+	for i := range deviceStream {
+		deviceStream[i] = i % cfg.Streams
+	}
+
+	cache, err := edge.NewCache(cfg.CacheHitRatio, cfg.CacheMinPrefix)
+	if err != nil {
+		return nil, err
+	}
+	var prefetcher *edge.Prefetcher
+	if cfg.LRUCacheMB > 0 {
+		lru, err := edge.NewLRUCache(cfg.LRUCacheMB)
+		if err != nil {
+			return nil, err
+		}
+		prefetcher, err = edge.NewPrefetcher(lru, cfg.PrefetchMBPerSlot)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	estimators := make([]*bayes.GammaEstimator, len(devices))
+	for i := range estimators {
+		estimators[i] = bayes.NewGammaEstimator()
+	}
+
+	return &Emulator{
+		cfg:          cfg,
+		policy:       policy,
+		devices:      devices,
+		estimators:   estimators,
+		streams:      streams,
+		deviceStream: deviceStream,
+		cache:        cache,
+		cacheRNG:     cacheRNG,
+		prefetcher:   prefetcher,
+		strategies: map[bool]transform.Strategy{
+			false: transform.Default(display.LCD),
+			true:  transform.Default(display.OLED),
+		},
+	}, nil
+}
+
+// BuildLPVSPolicy constructs the LPVS scheduler matching an emulator
+// config.
+func BuildLPVSPolicy(cfg Config) (scheduler.Policy, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	var server *edge.Server
+	if cfg.ServerStreams >= 0 {
+		server, err = edge.NewServer(cfg.ServerStreams)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return scheduler.New(scheduler.Config{
+		SlotSec:        cfg.SlotSec,
+		Lambda:         cfg.Lambda,
+		Anxiety:        cfg.Anxiety,
+		Server:         server,
+		DisableSwap:    cfg.DisableSwap,
+		ExactThreshold: cfg.ExactThreshold,
+	})
+}
+
+// SchedulerConfig exposes the scheduler configuration derived from an
+// emulator config, for callers composing baseline policies.
+func SchedulerConfig(cfg Config) (scheduler.Config, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return scheduler.Config{}, err
+	}
+	var server *edge.Server
+	if cfg.ServerStreams >= 0 {
+		server, err = edge.NewServer(cfg.ServerStreams)
+		if err != nil {
+			return scheduler.Config{}, err
+		}
+	}
+	return scheduler.Config{
+		SlotSec:        cfg.SlotSec,
+		Lambda:         cfg.Lambda,
+		Anxiety:        cfg.Anxiety,
+		Server:         server,
+		DisableSwap:    cfg.DisableSwap,
+		ExactThreshold: cfg.ExactThreshold,
+	}, nil
+}
+
+// Run executes the emulation and returns the aggregated result.
+func (e *Emulator) Run() (*RunResult, error) {
+	res := &RunResult{
+		Policy:          e.policy.Name(),
+		TPVMin:          make([]float64, len(e.devices)),
+		LowBatteryStart: make([]bool, len(e.devices)),
+		EverServed:      make([]bool, len(e.devices)),
+		FinalState:      make([]device.State, len(e.devices)),
+	}
+	for i, d := range e.devices {
+		res.LowBatteryStart[i] = d.LowBattery()
+	}
+
+	for slot := 0; slot < e.cfg.Slots; slot++ {
+		windows := e.slotWindows(slot)
+
+		reqs, reqIdx := e.gatherRequests(windows)
+		decision := scheduler.Decision{Transform: map[string]bool{}}
+		if len(reqs) > 0 {
+			start := time.Now()
+			var err error
+			decision, err = e.policy.Schedule(reqs)
+			if err != nil {
+				return nil, fmt.Errorf("emu: slot %d: %w", slot, err)
+			}
+			res.SchedSeconds += time.Since(start).Seconds()
+		}
+		res.SelectedPerSlot = append(res.SelectedPerSlot, decision.Selected)
+
+		predicted := e.predictEnergies(reqs, decision)
+		e.playSlot(windows, decision, reqIdx, res)
+		for k, i := range reqIdx {
+			d := e.devices[i]
+			if d.State != device.Watching {
+				continue // truncated playback invalidates the forecast
+			}
+			err := predicted[k] - d.EnergyFrac()
+			if err < 0 {
+				err = -err
+			}
+			res.PredErrSum += err
+			res.PredErrSamples++
+		}
+
+		// Anxiety census after the slot: every owner, watching or not,
+		// feels their battery level.
+		stat := SlotStat{Slot: slot, Selected: decision.Selected}
+		for _, d := range e.devices {
+			anx := e.cfg.Anxiety.Anxiety(d.EnergyFrac())
+			res.AnxietySum += anx
+			res.AnxietySamples++
+			stat.MeanAnxiety += anx
+			stat.MeanEnergyFrac += d.EnergyFrac()
+			if d.State == device.Watching {
+				stat.Watching++
+			}
+		}
+		if n := float64(len(e.devices)); n > 0 {
+			stat.MeanAnxiety /= n
+			stat.MeanEnergyFrac /= n
+		}
+		res.Timeline = append(res.Timeline, stat)
+		res.SlotsRun++
+	}
+
+	for i, d := range e.devices {
+		d.FinishStream()
+		res.FinalState[i] = d.State
+		res.TPVMin[i] = d.WatchedSec / 60
+	}
+	return res, nil
+}
+
+// predictEnergies evaluates the scheduler's own energy model per
+// request: the compacted forecast of the end-of-slot battery fraction
+// (Eq. (12) applied over the *available* chunk window, with the
+// transformed power rate for selected devices). The gap against reality
+// comes from the gamma estimate, from the unavailable chunk tail, and
+// from content the aggregate statistics miss.
+func (e *Emulator) predictEnergies(reqs []scheduler.Request, dec scheduler.Decision) []float64 {
+	out := make([]float64, len(reqs))
+	for k := range reqs {
+		r := &reqs[k]
+		selected := dec.Transform[r.DeviceID]
+		energy := r.EnergyFrac
+		for _, c := range r.Chunks {
+			watts, err := video.PowerRate(r.Display, c)
+			if err != nil {
+				panic(fmt.Sprintf("emu: predict: %v", err))
+			}
+			if selected {
+				watts *= r.Gamma
+			}
+			energy -= (watts + r.BasePowerW) * c.DurationSec / r.BatteryCapacityJ
+		}
+		if energy < 0 {
+			energy = 0
+		}
+		out[k] = energy
+	}
+	return out
+}
+
+// slotWindows returns every stream's chunk window for the slot.
+func (e *Emulator) slotWindows(slot int) [][]video.Chunk {
+	chunksPerSlot := int(e.cfg.SlotSec / e.cfg.ChunkSec)
+	windows := make([][]video.Chunk, len(e.streams))
+	for s, stream := range e.streams {
+		lo := slot * chunksPerSlot
+		hi := lo + chunksPerSlot
+		if hi > len(stream.Chunks) {
+			hi = len(stream.Chunks)
+		}
+		if lo > hi {
+			lo = hi
+		}
+		windows[s] = stream.Chunks[lo:hi]
+	}
+	return windows
+}
+
+// SnapshotRequests returns the information-gathering output for the
+// first slot without running the emulation — used by scheduler-only
+// experiments such as the Fig. 10 runtime scaling.
+func (e *Emulator) SnapshotRequests() ([]scheduler.Request, error) {
+	reqs, _ := e.gatherRequests(e.slotWindows(0))
+	return reqs, nil
+}
+
+// gatherRequests performs the information-gathering step for one slot:
+// every still-watching device reports its display, energy status and the
+// chunk window of its stream available at the edge.
+func (e *Emulator) gatherRequests(windows [][]video.Chunk) ([]scheduler.Request, []int) {
+	var reqs []scheduler.Request
+	var idx []int
+	// Availability: with the LRU model the prefetcher fills the cache
+	// (the transfer happened during the previous slot) and the cached
+	// prefix is what every viewer of a stream sees; otherwise each
+	// device draws from the probabilistic cache.
+	lruAvail := make([]int, len(windows))
+	if e.prefetcher != nil {
+		e.prefetcher.StartSlot()
+	}
+	for s, window := range windows {
+		lruAvail[s] = -1
+		if e.prefetcher != nil {
+			e.prefetcher.PrefetchWindow(e.streams[s].ID, window)
+			lruAvail[s] = e.prefetcher.AvailablePrefix(e.streams[s].ID, window)
+		}
+	}
+	for i, d := range e.devices {
+		if d.State != device.Watching {
+			continue
+		}
+		window := windows[e.deviceStream[i]]
+		if len(window) == 0 {
+			continue
+		}
+		avail := lruAvail[e.deviceStream[i]]
+		if avail < 0 {
+			avail = e.cache.AvailableChunks(e.cacheRNG, len(window))
+		}
+		if avail == 0 {
+			// Nothing prefetched yet: the device still streams (from the
+			// CDN through the edge) but cannot be power-estimated, so it
+			// is not schedulable this slot.
+			continue
+		}
+		gamma := e.cfg.FixedGamma
+		if gamma == 0 {
+			gamma = e.estimators[i].Gamma()
+		}
+		req := scheduler.Request{
+			DeviceID:         d.ID,
+			Display:          d.Display,
+			EnergyFrac:       d.EnergyFrac(),
+			BatteryCapacityJ: d.Battery.CapacityJ,
+			BasePowerW:       d.BasePowerW,
+			Chunks:           window[:avail],
+			Gamma:            gamma,
+		}
+		if e.cfg.PersonalizedAnxiety {
+			// The owner starts worrying roughly twice as early as they
+			// quit; clamp into the model's valid range.
+			warning := stats.Clamp(2*d.GiveUpFrac, 0.08, 0.6)
+			personal, err := anxiety.NewRescaled(e.cfg.Anxiety, warning)
+			if err == nil {
+				req.Anxiety = personal
+			}
+		}
+		reqs = append(reqs, req)
+		idx = append(idx, i)
+	}
+	return reqs, idx
+}
+
+// playSlot plays the slot's full chunk window on every watching device,
+// applying the transform to selected ones, draining batteries, and
+// feeding realised savings back into the Bayesian estimators.
+// frameTransform returns the memoised per-pixel transform of a chunk for
+// a display type.
+func (e *Emulator) frameTransform(streamIdx int, chunk video.Chunk, strat transform.Strategy, spec display.Spec) (transform.Result, error) {
+	key := frameKey{stream: streamIdx, chunk: chunk.Index, oled: spec.Type == display.OLED}
+	if cached, ok := e.frameCache[key]; ok {
+		return cached, nil
+	}
+	fres, err := strat.ApplyFrame(spec, chunk.Keyframe, e.cfg.Tolerance)
+	if err != nil {
+		return transform.Result{}, err
+	}
+	if e.frameCache == nil {
+		e.frameCache = make(map[frameKey]transform.Result)
+	}
+	e.frameCache[key] = fres.Result
+	return fres.Result, nil
+}
+
+func (e *Emulator) playSlot(windows [][]video.Chunk, dec scheduler.Decision, reqIdx []int, res *RunResult) {
+	// The memo is per slot: chunk indexes repeat across slots only for
+	// different content windows.
+	e.frameCache = nil
+	selected := make(map[int]bool, len(reqIdx))
+	for _, i := range reqIdx {
+		if dec.Transform[e.devices[i].ID] {
+			selected[i] = true
+			res.EverServed[i] = true
+		}
+	}
+	for _, i := range reqIdx {
+		d := e.devices[i]
+		window := windows[e.deviceStream[i]]
+		savings := make([]float64, 0, len(window))
+		for _, chunk := range window {
+			if d.State != device.Watching {
+				break
+			}
+			plainW, err := video.PowerRate(d.Display, chunk)
+			if err != nil {
+				// Generated content is always valid; a failure here is a
+				// programming error.
+				panic(fmt.Sprintf("emu: power rate: %v", err))
+			}
+			actualW := plainW
+			quality := 0.0
+			if selected[i] {
+				strat := e.strategies[d.Display.Type == display.OLED]
+				var tres transform.Result
+				var err error
+				if e.cfg.UseFrames && chunk.Keyframe != nil {
+					tres, err = e.frameTransform(e.deviceStream[i], chunk, strat, d.Display)
+				} else {
+					tres, err = strat.Apply(d.Display, chunk.Stats, e.cfg.Tolerance)
+				}
+				if err != nil {
+					panic(fmt.Sprintf("emu: transform: %v", err))
+				}
+				saving, err := transform.RealizedSaving(d.Display, chunk.Stats, tres)
+				if err != nil {
+					panic(fmt.Sprintf("emu: realized saving: %v", err))
+				}
+				actualW = plainW * (1 - saving)
+				quality = tres.QualityLoss
+				savings = append(savings, saving)
+			}
+			if e.cfg.AutoDimBelow > 0 && d.EnergyFrac() < e.cfg.AutoDimBelow {
+				// OS power saver: uncompensated dimming scales the display
+				// power roughly linearly and costs the full luminance drop
+				// in perceived quality.
+				actualW *= e.cfg.AutoDimFactor
+				quality = stats.Clamp(quality+(1-e.cfg.AutoDimFactor), 0, 1)
+			}
+			watched := d.Watch(chunk.DurationSec, actualW)
+			res.DisplayEnergyJ += actualW * watched
+			res.UntransformedDisplayEnergyJ += plainW * watched
+			if watched > 0 {
+				res.QualityLossSum += quality
+				res.QualityLossSamples++
+				if quality > 0 {
+					res.AffectedQualitySum += quality
+					res.AffectedQualitySamples++
+				}
+			}
+		}
+		if len(savings) > 0 && e.cfg.FixedGamma == 0 {
+			// Observation Delta_n: the slot's mean realised reduction. A
+			// degenerate observation (0 or 1) carries no information and
+			// is deliberately skipped — the conjugate update assumes a
+			// valid ratio.
+			_ = e.estimators[i].Observe(stats.Mean(savings))
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package emu
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJSON persists a run result, so long emulations can be archived
+// and re-analysed without re-running.
+func (r *RunResult) WriteJSON(w io.Writer) error {
+	if err := json.NewEncoder(w).Encode(r); err != nil {
+		return fmt.Errorf("emu: encode result: %w", err)
+	}
+	return nil
+}
+
+// ReadRunResult loads a persisted run result and checks its internal
+// consistency.
+func ReadRunResult(r io.Reader) (*RunResult, error) {
+	var res RunResult
+	if err := json.NewDecoder(r).Decode(&res); err != nil {
+		return nil, fmt.Errorf("emu: decode result: %w", err)
+	}
+	if err := res.validate(); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+func (r *RunResult) validate() error {
+	if r.Policy == "" {
+		return fmt.Errorf("emu: result without policy name")
+	}
+	n := len(r.TPVMin)
+	if len(r.LowBatteryStart) != n || len(r.EverServed) != n || len(r.FinalState) != n {
+		return fmt.Errorf("emu: per-device vectors disagree: %d/%d/%d/%d",
+			n, len(r.LowBatteryStart), len(r.EverServed), len(r.FinalState))
+	}
+	if r.SlotsRun < 0 || len(r.SelectedPerSlot) != r.SlotsRun {
+		return fmt.Errorf("emu: %d slot records for %d slots", len(r.SelectedPerSlot), r.SlotsRun)
+	}
+	if r.DisplayEnergyJ < 0 || r.UntransformedDisplayEnergyJ < r.DisplayEnergyJ {
+		return fmt.Errorf("emu: inconsistent energy accounting")
+	}
+	return nil
+}
+
+// WriteTimelineCSV exports the run's per-slot aggregates as plot-ready
+// CSV.
+func (r *RunResult) WriteTimelineCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"slot", "watching", "selected", "mean_energy_frac", "mean_anxiety"}); err != nil {
+		return fmt.Errorf("emu: timeline header: %w", err)
+	}
+	for _, st := range r.Timeline {
+		row := []string{
+			strconv.Itoa(st.Slot),
+			strconv.Itoa(st.Watching),
+			strconv.Itoa(st.Selected),
+			strconv.FormatFloat(st.MeanEnergyFrac, 'f', 6, 64),
+			strconv.FormatFloat(st.MeanAnxiety, 'f', 6, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("emu: timeline row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON persists a paired comparison.
+func (c *Comparison) WriteJSON(w io.Writer) error {
+	if err := json.NewEncoder(w).Encode(c); err != nil {
+		return fmt.Errorf("emu: encode comparison: %w", err)
+	}
+	return nil
+}
+
+// ReadComparison loads a persisted comparison.
+func ReadComparison(r io.Reader) (*Comparison, error) {
+	var c Comparison
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("emu: decode comparison: %w", err)
+	}
+	if c.Treated == nil || c.Baseline == nil {
+		return nil, fmt.Errorf("emu: comparison missing a run")
+	}
+	if err := c.Treated.validate(); err != nil {
+		return nil, err
+	}
+	if err := c.Baseline.validate(); err != nil {
+		return nil, err
+	}
+	if len(c.Treated.TPVMin) != len(c.Baseline.TPVMin) {
+		return nil, fmt.Errorf("emu: paired runs have different fleets")
+	}
+	return &c, nil
+}

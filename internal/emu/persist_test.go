@@ -1,0 +1,101 @@
+package emu
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunResultJSONRoundTrip(t *testing.T) {
+	e, err := New(baseConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRunResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.EnergySavingRatio() != res.EnergySavingRatio() {
+		t.Fatal("saving changed in round trip")
+	}
+	if back.MeanAnxiety() != res.MeanAnxiety() {
+		t.Fatal("anxiety changed in round trip")
+	}
+	if len(back.TPVMin) != len(res.TPVMin) {
+		t.Fatal("fleet size changed")
+	}
+}
+
+func TestComparisonJSONRoundTrip(t *testing.T) {
+	c := mustCompare(t, baseConfig(), nil)
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadComparison(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.AnxietyReduction() != c.AnxietyReduction() {
+		t.Fatal("anxiety reduction changed")
+	}
+	b1, t1, _ := c.TPVGain()
+	b2, t2, _ := back.TPVGain()
+	if b1 != b2 || t1 != t2 {
+		t.Fatal("TPV changed")
+	}
+}
+
+func TestWriteTimelineCSV(t *testing.T) {
+	e, err := New(baseConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTimelineCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != res.SlotsRun+1 {
+		t.Fatalf("lines = %d, want %d", len(lines), res.SlotsRun+1)
+	}
+	if !strings.HasPrefix(lines[0], "slot,watching,selected") {
+		t.Fatalf("header %q", lines[0])
+	}
+}
+
+func TestReadRunResultRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		`{broken`,
+		`{"Policy":"","SlotsRun":0}`,
+		`{"Policy":"lpvs","SlotsRun":2,"SelectedPerSlot":[1],"TPVMin":[],"LowBatteryStart":[],"EverServed":[],"FinalState":[]}`,
+		`{"Policy":"lpvs","SlotsRun":0,"SelectedPerSlot":[],"TPVMin":[1],"LowBatteryStart":[],"EverServed":[],"FinalState":[]}`,
+		`{"Policy":"lpvs","SlotsRun":0,"SelectedPerSlot":[],"TPVMin":[],"LowBatteryStart":[],"EverServed":[],"FinalState":[],"DisplayEnergyJ":5,"UntransformedDisplayEnergyJ":1}`,
+	}
+	for i, data := range cases {
+		if _, err := ReadRunResult(strings.NewReader(data)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadComparisonRejectsCorrupt(t *testing.T) {
+	if _, err := ReadComparison(strings.NewReader(`{"Treated":null,"Baseline":null}`)); err == nil {
+		t.Fatal("nil runs accepted")
+	}
+	if _, err := ReadComparison(strings.NewReader(`{broken`)); err == nil {
+		t.Fatal("broken JSON accepted")
+	}
+}

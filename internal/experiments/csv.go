@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Each experiment result knows how to export its plot-ready data series
+// as CSV, so the paper's figures can be regenerated in any plotting
+// tool. The lpvs-bench binary writes these with the -out flag.
+
+func writeRows(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+func d(v int) string     { return strconv.Itoa(v) }
+
+// WriteCSV exports the per-component power of both display types.
+func (r Fig1Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, c := range r.LCD {
+		rows = append(rows, []string{"LCD", c.Name, f(c.PowerW)})
+	}
+	for _, c := range r.OLED {
+		rows = append(rows, []string{"OLED", c.Name, f(c.PowerW)})
+	}
+	return writeRows(w, []string{"display_type", "component", "power_w"}, rows)
+}
+
+// WriteCSV exports the anxiety curve points.
+func (r Fig2Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, pt := range r.Curve.Points() {
+		rows = append(rows, []string{d(int(pt[0])), f(pt[1])})
+	}
+	return writeRows(w, []string{"battery_level", "anxiety_degree"}, rows)
+}
+
+// WriteCSV exports the measured strategy saving ranges.
+func (r Table1Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Strategy.Target.String(),
+			row.Strategy.Name,
+			f(row.Strategy.SavingLo), f(row.Strategy.SavingHi),
+			f(row.MeasuredLo), f(row.MeasuredHi), f(row.MeasuredAvg),
+		})
+	}
+	return writeRows(w, []string{
+		"display_type", "strategy",
+		"published_lo", "published_hi",
+		"measured_lo", "measured_hi", "measured_avg",
+	}, rows)
+}
+
+// WriteCSV exports the session-duration histogram bins.
+func (r Fig5Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for i, c := range r.Histogram.Counts {
+		rows = append(rows, []string{f(r.Histogram.BinCenter(i)), d(c)})
+	}
+	return writeRows(w, []string{"duration_min", "sessions"}, rows)
+}
+
+// WriteCSV exports the sufficient-capacity series.
+func (r Fig7Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{d(row.GroupSize), f(row.EnergySaving), f(row.AnxietyReduction)})
+	}
+	return writeRows(w, []string{"group_size", "energy_saving", "anxiety_reduction"}, rows)
+}
+
+// WriteCSV exports the limited-capacity sweep.
+func (r Fig8Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, c := range r.Cells {
+		rows = append(rows, []string{d(c.GroupSize), f(c.Lambda), f(c.EnergySaving), f(c.AnxietyReduction)})
+	}
+	return writeRows(w, []string{"group_size", "lambda", "energy_saving", "anxiety_reduction"}, rows)
+}
+
+// WriteCSV exports the TPV comparison.
+func (r Fig9Result) WriteCSV(w io.Writer) error {
+	rows := [][]string{
+		{"without_lpvs", f(r.BaselineMin)},
+		{"with_lpvs", f(r.TreatedMin)},
+		{"gain", f(r.Gain)},
+		{"cohort", d(r.CohortSize)},
+	}
+	return writeRows(w, []string{"metric", "value"}, rows)
+}
+
+// WriteCSV exports the runtime-scaling points.
+func (r Fig10Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{d(row.GroupSize), f(row.Seconds)})
+	}
+	rows = append(rows, []string{"slope", f(r.Fit.Slope)})
+	rows = append(rows, []string{"intercept", f(r.Fit.Intercept)})
+	rows = append(rows, []string{"r2", f(r.Fit.R2)})
+	return writeRows(w, []string{"group_size", "seconds"}, rows)
+}
+
+// WriteCSV exports an ablation table.
+func (r AblationResult) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Variant, f(row.EnergySaving), f(row.AnxietyReduction), f(row.SchedSeconds)})
+	}
+	return writeRows(w, []string{"variant", "energy_saving", "anxiety_reduction", "sched_seconds"}, rows)
+}
+
+// WriteCSV exports the per-cluster trace-wide results.
+func (r TraceWideResult) WriteCSV(w io.Writer) error {
+	rows := [][]string{
+		{"clusters", d(r.Channels)},
+		{"devices", d(r.Devices)},
+		{"energy_saving", f(r.EnergySaving)},
+		{"anxiety_reduction", f(r.AnxietyReduction)},
+		{"tpv_baseline_min", f(r.TPVBaselineMin)},
+		{"tpv_treated_min", f(r.TPVTreatedMin)},
+		{"tpv_gain", f(r.TPVGain)},
+	}
+	return writeRows(w, []string{"metric", "value"}, rows)
+}

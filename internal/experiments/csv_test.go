@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func firstLine(t *testing.T, buf *bytes.Buffer) string {
+	t.Helper()
+	line, err := buf.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(line)
+}
+
+func TestFig1CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig1().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := firstLine(t, &buf); got != "display_type,component,power_w" {
+		t.Fatalf("header %q", got)
+	}
+}
+
+func TestFig2CSV(t *testing.T) {
+	r, err := Fig2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 101 { // header + 100 levels
+		t.Fatalf("lines = %d", len(lines))
+	}
+}
+
+func TestTable1CSV(t *testing.T) {
+	r, err := Table1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "backlight") {
+		t.Fatal("missing strategy rows")
+	}
+}
+
+func TestFig5CSV(t *testing.T) {
+	r, err := Fig5(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := firstLine(t, &buf); got != "duration_min,sessions" {
+		t.Fatalf("header %q", got)
+	}
+}
+
+func TestEvaluationCSVs(t *testing.T) {
+	cfg := evalCfg()
+	f7, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f7.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "group_size,") {
+		t.Fatal("fig7 header")
+	}
+
+	f8, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := f8.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(f8.Cells) {
+		t.Fatalf("fig8 lines = %d", len(lines))
+	}
+
+	f10, err := Fig10(cfg, []int{500, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := f10.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "r2,") {
+		t.Fatal("fig10 fit rows missing")
+	}
+}
+
+func TestFig9AndAblationCSV(t *testing.T) {
+	r := Fig9Result{CohortSize: 3, BaselineMin: 40, TreatedMin: 55, Gain: 0.375}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "with_lpvs,55") {
+		t.Fatalf("fig9 csv: %s", buf.String())
+	}
+
+	ab := AblationResult{Name: "x", Rows: []AblationRow{{Variant: "a", EnergySaving: 0.1}}}
+	buf.Reset()
+	if err := ab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "variant,") {
+		t.Fatal("ablation header")
+	}
+
+	tw := TraceWideResult{Channels: 2, Devices: 10, EnergySaving: 0.3}
+	buf.Reset()
+	if err := tw.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "energy_saving,0.3") {
+		t.Fatal("trace-wide csv")
+	}
+}
+
+func TestRendersNonEmpty(t *testing.T) {
+	// Smoke the render paths not exercised elsewhere.
+	r9 := Fig9Result{CohortSize: 1, BaselineMin: 40, TreatedMin: 50, Gain: 0.25}
+	if !strings.Contains(r9.Render(), "42.3") {
+		t.Fatal("fig9 render must cite the paper value")
+	}
+	r10 := Fig10Result{Rows: []Fig10Row{{GroupSize: 100, Seconds: 0.01}}}
+	if !strings.Contains(r10.Render(), "linear fit") {
+		t.Fatal("fig10 render")
+	}
+}

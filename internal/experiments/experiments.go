@@ -1,0 +1,152 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (section VII plus the motivating figures), mapping each to
+// the substrate packages that implement it. Each experiment returns a
+// typed result with a Render method producing the text report the
+// lpvs-bench binary prints; the repository-level benchmarks reuse the
+// same entry points.
+//
+// Index (see DESIGN.md for the full mapping):
+//
+//	Fig1    component power breakdown            internal/display
+//	Fig2    LBA anxiety curve                    internal/survey + anxiety
+//	Table1  transform saving ranges              internal/transform
+//	Table2  survey demographics                  internal/survey
+//	Fig5    session duration histogram           internal/trace
+//	Fig7    sufficient-capacity energy/anxiety   internal/emu
+//	Fig8    limited-capacity sweep over lambda   internal/emu
+//	Fig9    low-battery time per viewer          internal/emu
+//	Fig10   scheduler runtime scaling            internal/scheduler
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lpvs/internal/anxiety"
+	"lpvs/internal/display"
+	"lpvs/internal/stats"
+	"lpvs/internal/survey"
+	"lpvs/internal/trace"
+)
+
+// Fig1Result is the per-component playback power of both display types.
+type Fig1Result struct {
+	LCD, OLED []display.Component
+}
+
+// Fig1 reproduces the motivating breakdown: the display dominates
+// smartphone power during video playback.
+func Fig1() Fig1Result {
+	return Fig1Result{
+		LCD:  display.ComponentBreakdown(display.LCD),
+		OLED: display.ComponentBreakdown(display.OLED),
+	}
+}
+
+// Render implements the text report.
+func (r Fig1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 1 — component power during video playback\n")
+	b.WriteString(display.RenderBreakdown())
+	fmt.Fprintf(&b, "display share: LCD %.1f%%, OLED %.1f%%\n",
+		100*display.DisplayShare(display.LCD), 100*display.DisplayShare(display.OLED))
+	return b.String()
+}
+
+// Fig2Result is the extracted anxiety curve together with survey
+// headline statistics.
+type Fig2Result struct {
+	N           int
+	LBARate     float64
+	GiveUpAt10  float64
+	GiveUpAt20  float64
+	Curve       *anxiety.Curve
+	CurveLevels []int // levels to print
+}
+
+// Fig2 runs the synthetic survey and extracts the LBA curve with the
+// paper's four-step procedure.
+func Fig2(seed int64) (Fig2Result, error) {
+	cfg := survey.DefaultConfig()
+	cfg.Seed = seed
+	ds := survey.Generate(cfg)
+	curve, err := anxiety.Extract(ds.ChargeThresholds())
+	if err != nil {
+		return Fig2Result{}, err
+	}
+	return Fig2Result{
+		N:           ds.N(),
+		LBARate:     ds.LBARate(),
+		GiveUpAt10:  ds.GiveUpRateAt(10),
+		GiveUpAt20:  ds.GiveUpRateAt(20),
+		Curve:       curve,
+		CurveLevels: []int{1, 5, 10, 15, 20, 25, 30, 40, 50, 60, 70, 80, 90, 100},
+	}, nil
+}
+
+// Render implements the text report.
+func (r Fig2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 2 — LBA curve from %d survey answers\n", r.N)
+	fmt.Fprintf(&b, "LBA incidence: %.2f%% (paper: 91.88%%)\n", 100*r.LBARate)
+	fmt.Fprintf(&b, "give-up at 20%%: %.1f%% (paper: >20%%); at 10%%: %.1f%% (paper: ~50%%)\n",
+		100*r.GiveUpAt20, 100*r.GiveUpAt10)
+	b.WriteString("battery level -> anxiety degree\n")
+	for _, lv := range r.CurveLevels {
+		anx := r.Curve.AtLevel(lv)
+		bar := strings.Repeat("#", int(anx*50+0.5))
+		fmt.Fprintf(&b, "  %3d%%  %5.3f %s\n", lv, anx, bar)
+	}
+	return b.String()
+}
+
+// Table2Result wraps the demographics table.
+type Table2Result struct {
+	Demographics survey.Demographics
+}
+
+// Table2 regenerates the survey-population table.
+func Table2(seed int64) Table2Result {
+	cfg := survey.DefaultConfig()
+	cfg.Seed = seed
+	return Table2Result{Demographics: survey.Generate(cfg).Demographics()}
+}
+
+// Render implements the text report.
+func (r Table2Result) Render() string {
+	return "Table II — survey demographics\n" + r.Demographics.Render()
+}
+
+// Fig5Result is the session-duration histogram of the generated trace.
+type Fig5Result struct {
+	Channels  int
+	Sessions  int
+	Histogram *stats.Histogram
+	Median    float64
+}
+
+// Fig5 generates the Twitch-like trace and bins its session durations.
+func Fig5(seed int64) (Fig5Result, error) {
+	cfg := trace.DefaultGenConfig()
+	cfg.Seed = seed
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	return Fig5Result{
+		Channels:  len(tr.Channels),
+		Sessions:  tr.NumSessions(),
+		Histogram: tr.DurationHistogram(30),
+		Median:    stats.Percentile(tr.DurationsMin(), 50),
+	}, nil
+}
+
+// Render implements the text report.
+func (r Fig5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 5 — session durations (%d channels, %d sessions; paper: 1566/4761)\n",
+		r.Channels, r.Sessions)
+	fmt.Fprintf(&b, "median %.0f min; histogram (30-min bins):\n", r.Median)
+	b.WriteString(r.Histogram.Render(50))
+	return b.String()
+}

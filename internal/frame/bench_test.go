@@ -1,0 +1,45 @@
+package frame
+
+import (
+	"testing"
+
+	"lpvs/internal/stats"
+)
+
+// BenchmarkGenerate measures synthetic keyframe rendering.
+func BenchmarkGenerate(b *testing.B) {
+	rng := stats.NewRNG(1)
+	cfg := DefaultGenConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(rng, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaleBacklight measures the per-pixel LCD transform.
+func BenchmarkScaleBacklight(b *testing.B) {
+	f, err := Generate(stats.NewRNG(1), DefaultGenConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ScaleBacklight(f, 0.7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStats measures the frame-to-aggregate reduction.
+func BenchmarkStats(b *testing.B) {
+	f, err := Generate(stats.NewRNG(1), DefaultGenConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Stats()
+	}
+}

@@ -1,0 +1,143 @@
+package frame
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+)
+
+// sRGB transfer functions: frames store linear light (power is linear in
+// emitted light), PNG stores gamma-encoded sRGB.
+
+// srgbEncode converts linear light to the sRGB transfer curve.
+func srgbEncode(v float64) float64 {
+	if v <= 0.0031308 {
+		return 12.92 * v
+	}
+	return 1.055*math.Pow(v, 1/2.4) - 0.055
+}
+
+// srgbDecode converts an sRGB value to linear light.
+func srgbDecode(v float64) float64 {
+	if v <= 0.04045 {
+		return v / 12.92
+	}
+	return math.Pow((v+0.055)/1.055, 2.4)
+}
+
+// ToImage renders the frame as an 8-bit sRGB image.
+func (f *Frame) ToImage() (*image.RGBA, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	img := image.NewRGBA(image.Rect(0, 0, f.W, f.H))
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			i := y*f.W + x
+			img.SetRGBA(x, y, color.RGBA{
+				R: to8(f.R[i]),
+				G: to8(f.G[i]),
+				B: to8(f.B[i]),
+				A: 255,
+			})
+		}
+	}
+	return img, nil
+}
+
+func to8(linear float64) uint8 {
+	return uint8(srgbEncode(linear)*255 + 0.5)
+}
+
+// FromImage decodes an image into a linear-light frame at the image's
+// native resolution.
+func FromImage(img image.Image) (*Frame, error) {
+	if img == nil {
+		return nil, fmt.Errorf("frame: nil image")
+	}
+	b := img.Bounds()
+	f, err := New(b.Dx(), b.Dy())
+	if err != nil {
+		return nil, err
+	}
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			r, g, bl, _ := img.At(b.Min.X+x, b.Min.Y+y).RGBA() // 16-bit
+			i := y*f.W + x
+			f.R[i] = srgbDecode(float64(r) / 65535)
+			f.G[i] = srgbDecode(float64(g) / 65535)
+			f.B[i] = srgbDecode(float64(bl) / 65535)
+		}
+	}
+	return f, nil
+}
+
+// EncodePNG writes the frame as a PNG.
+func (f *Frame) EncodePNG(w io.Writer) error {
+	img, err := f.ToImage()
+	if err != nil {
+		return err
+	}
+	if err := png.Encode(w, img); err != nil {
+		return fmt.Errorf("frame: png encode: %w", err)
+	}
+	return nil
+}
+
+// DecodePNG reads a PNG into a linear-light frame.
+func DecodePNG(r io.Reader) (*Frame, error) {
+	img, err := png.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("frame: png decode: %w", err)
+	}
+	return FromImage(img)
+}
+
+// Downsample box-filters the frame to the given grid — how a real
+// pipeline would turn a decoded keyframe into the thumbnail the
+// transform parameter estimation runs on.
+func (f *Frame) Downsample(w, h int) (*Frame, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if w <= 0 || h <= 0 || w > f.W || h > f.H {
+		return nil, fmt.Errorf("frame: downsample to %dx%d from %dx%d", w, h, f.W, f.H)
+	}
+	out, err := New(w, h)
+	if err != nil {
+		return nil, err
+	}
+	for oy := 0; oy < h; oy++ {
+		y0 := oy * f.H / h
+		y1 := (oy + 1) * f.H / h
+		if y1 <= y0 {
+			y1 = y0 + 1
+		}
+		for ox := 0; ox < w; ox++ {
+			x0 := ox * f.W / w
+			x1 := (ox + 1) * f.W / w
+			if x1 <= x0 {
+				x1 = x0 + 1
+			}
+			var r, g, b float64
+			n := 0
+			for y := y0; y < y1; y++ {
+				for x := x0; x < x1; x++ {
+					i := y*f.W + x
+					r += f.R[i]
+					g += f.G[i]
+					b += f.B[i]
+					n++
+				}
+			}
+			o := oy*w + ox
+			out.R[o] = r / float64(n)
+			out.G[o] = g / float64(n)
+			out.B[o] = b / float64(n)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,52 @@
+package ilp
+
+import (
+	"fmt"
+	"testing"
+
+	"lpvs/internal/stats"
+)
+
+func benchProblem(n int) *Problem {
+	return randomProblem(stats.NewRNG(42), n, 2)
+}
+
+func BenchmarkBranchBound(b *testing.B) {
+	for _, n := range []int{20, 50, 100, 200} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p := benchProblem(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := BranchBound(p, BBConfig{MaxNodes: 50_000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	for _, n := range []int{100, 1000, 5000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p := benchProblem(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Greedy(p)
+			}
+		})
+	}
+}
+
+func BenchmarkSimplexRelaxation(b *testing.B) {
+	for _, n := range []int{10, 30, 60} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p := benchProblem(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Relax01(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,284 @@
+package ilp
+
+import (
+	"math"
+	"sort"
+)
+
+// Solution is the result of a 0/1 solver.
+type Solution struct {
+	X     []bool
+	Value float64
+	// Optimal reports whether the solver proved optimality (branch-and-
+	// bound without hitting its node limit).
+	Optimal bool
+	// Nodes counts branch-and-bound nodes explored (0 for greedy).
+	Nodes int
+}
+
+// BBConfig tunes the branch-and-bound solver.
+type BBConfig struct {
+	// MaxNodes caps the search; when exceeded the best incumbent is
+	// returned with Optimal=false. Zero means the default.
+	MaxNodes int
+}
+
+// DefaultMaxNodes bounds the search effort; random LPVS instances
+// typically close the gap within a few thousand nodes.
+const DefaultMaxNodes = 200_000
+
+// BranchBound solves the 0/1 problem exactly (up to the node limit) by
+// depth-first branch and bound. Items are explored in value-density
+// order; the upper bound at each node is the tightest of the per-
+// constraint fractional (Dantzig) knapsack bounds, each of which is a
+// valid relaxation of the multi-constraint problem. The greedy solution
+// primes the incumbent so pruning is effective immediately.
+func BranchBound(p *Problem, cfg BBConfig) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	maxNodes := cfg.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	n := p.N()
+
+	// Density order: value per unit of normalised weight across
+	// constraints. Items that fit nowhere sort last.
+	order := densityOrder(p)
+	pos := make([]int, n) // pos[item] = its index in the branching order
+	for k, item := range order {
+		pos[item] = k
+	}
+
+	// Per-constraint orders sorted by value/weight once, so each bound
+	// evaluation is a linear scan instead of a sort.
+	consOrder := make([][]int, len(p.Constraints))
+	for j, c := range p.Constraints {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			ia, ib := idx[a], idx[b]
+			wa, wb := c.Weights[ia], c.Weights[ib]
+			// Zero-weight items are free under this constraint: first.
+			if wa == 0 || wb == 0 {
+				return wa == 0 && wb != 0
+			}
+			return p.Values[ia]*wb > p.Values[ib]*wa
+		})
+		consOrder[j] = idx
+	}
+
+	// Incumbent from greedy.
+	incumbent := Greedy(p)
+	best := incumbent.Value
+	bestX := make([]bool, n)
+	copy(bestX, incumbent.X)
+
+	remaining := make([]float64, len(p.Constraints))
+	for j, c := range p.Constraints {
+		remaining[j] = c.Capacity
+	}
+
+	cur := make([]bool, n)
+	nodes := 0
+	hitLimit := false
+	st := &bbState{p: p}
+
+	// suffixValue[k] = total value of items order[k:] — a cheap extra
+	// bound component.
+	suffixValue := make([]float64, n+1)
+	for k := n - 1; k >= 0; k-- {
+		suffixValue[k] = suffixValue[k+1] + p.Values[order[k]]
+	}
+
+	var dfs func(k int, value float64)
+	dfs = func(k int, value float64) {
+		if hitLimit {
+			return
+		}
+		nodes++
+		if nodes > maxNodes {
+			hitLimit = true
+			return
+		}
+		if value > best {
+			best = value
+			copy(bestX, cur)
+		}
+		if k == n {
+			return
+		}
+		// Bound: fractional knapsack on each constraint over the
+		// remaining items; the integer optimum of the subtree cannot
+		// exceed any of them.
+		ub := value + suffixValue[k]
+		for j := range p.Constraints {
+			b := value + st.fractionalBound(consOrder[j], pos, k, j, remaining[j])
+			if b < ub {
+				ub = b
+			}
+		}
+		if ub <= best+1e-9 {
+			return
+		}
+
+		item := order[k]
+		// Branch 1: take the item if it fits.
+		fits := true
+		for j, c := range p.Constraints {
+			if c.Weights[item] > remaining[j]+1e-9 {
+				fits = false
+				break
+			}
+		}
+		if fits {
+			for j, c := range p.Constraints {
+				remaining[j] -= c.Weights[item]
+			}
+			cur[item] = true
+			dfs(k+1, value+p.Values[item])
+			cur[item] = false
+			for j, c := range p.Constraints {
+				remaining[j] += c.Weights[item]
+			}
+		}
+		// Branch 2: skip the item.
+		dfs(k+1, value)
+	}
+	dfs(0, 0)
+
+	return Solution{X: bestX, Value: best, Optimal: !hitLimit, Nodes: nodes}, nil
+}
+
+// fractionalBound computes the Dantzig bound for constraint j over the
+// still-undecided items (branching position >= k): fill greedily in the
+// constraint's pre-sorted density order, taking the last item
+// fractionally. Items with zero weight in the constraint are free under
+// it and contribute fully. The result is the LP optimum of the single-
+// constraint relaxation, hence a valid upper bound for the subtree.
+func (bb *bbState) fractionalBound(consOrder []int, pos []int, k, j int, capacity float64) float64 {
+	c := bb.p.Constraints[j]
+	bound := 0.0
+	remaining := capacity
+	for _, idx := range consOrder {
+		if pos[idx] < k {
+			continue // already decided on this branch
+		}
+		w := c.Weights[idx]
+		if w == 0 {
+			bound += bb.p.Values[idx]
+			continue
+		}
+		if w <= remaining {
+			bound += bb.p.Values[idx]
+			remaining -= w
+		} else {
+			bound += bb.p.Values[idx] * remaining / w
+			break
+		}
+	}
+	return bound
+}
+
+// bbState carries the problem through bound evaluations.
+type bbState struct{ p *Problem }
+
+// densityOrder sorts item indices by decreasing value density, where an
+// item's weight is its maximum capacity-normalised weight across
+// constraints (the binding dimension).
+func densityOrder(p *Problem) []int {
+	n := p.N()
+	density := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w := 0.0
+		for _, c := range p.Constraints {
+			if c.Capacity > 0 {
+				nw := c.Weights[i] / c.Capacity
+				if nw > w {
+					w = nw
+				}
+			} else if c.Weights[i] > 0 {
+				w = math.Inf(1)
+			}
+		}
+		if w <= 0 {
+			density[i] = math.Inf(1) // free item: always first
+		} else {
+			density[i] = p.Values[i] / w
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return density[order[a]] > density[order[b]] })
+	return order
+}
+
+// Greedy builds a feasible solution in O(n log n): scan items in density
+// order, taking each one that fits. It is the paper-agnostic baseline
+// for the ablation study and the warm start for branch and bound.
+func Greedy(p *Problem) Solution {
+	n := p.N()
+	x := make([]bool, n)
+	remaining := make([]float64, len(p.Constraints))
+	for j, c := range p.Constraints {
+		remaining[j] = c.Capacity
+	}
+	value := 0.0
+	for _, i := range densityOrder(p) {
+		fits := true
+		for j, c := range p.Constraints {
+			if c.Weights[i] > remaining[j]+1e-12 {
+				fits = false
+				break
+			}
+		}
+		if !fits {
+			continue
+		}
+		for j, c := range p.Constraints {
+			remaining[j] -= c.Weights[i]
+		}
+		x[i] = true
+		value += p.Values[i]
+	}
+	return Solution{X: x, Value: value, Optimal: false}
+}
+
+// BruteForce enumerates all assignments; usable only for tests with
+// n <= 24.
+func BruteForce(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n := p.N()
+	if n > 24 {
+		return Solution{}, errors24
+	}
+	bestX := make([]bool, n)
+	best := 0.0
+	x := make([]bool, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 0; i < n; i++ {
+			x[i] = mask&(1<<i) != 0
+		}
+		if !p.Feasible(x) {
+			continue
+		}
+		if v := p.Value(x); v > best {
+			best = v
+			copy(bestX, x)
+		}
+	}
+	return Solution{X: bestX, Value: best, Optimal: true}, nil
+}
+
+var errors24 = errBrute{}
+
+type errBrute struct{}
+
+func (errBrute) Error() string { return "ilp: brute force limited to 24 variables" }

@@ -1,0 +1,77 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+)
+
+// DPKnapsack solves a single-constraint 0/1 knapsack exactly in
+// pseudo-polynomial time O(n * buckets) by discretising the weight axis.
+// It is an alternative exact engine for LPVS Phase-1 when the storage
+// constraint is slack (the common case: compute binds first), where it
+// is immune to the branch-and-bound worst case.
+//
+// Weights are scaled onto `buckets` integer units; the solution is exact
+// for the rounded weights, which under-uses capacity by at most
+// n * capacity/buckets. The returned Solution is always feasible for the
+// *original* weights: rounding is upward, so rounded-feasible implies
+// feasible.
+func DPKnapsack(values, weights []float64, capacity float64, buckets int) (Solution, error) {
+	n := len(values)
+	if n == 0 {
+		return Solution{}, fmt.Errorf("ilp: empty problem")
+	}
+	if len(weights) != n {
+		return Solution{}, fmt.Errorf("ilp: %d weights for %d values", len(weights), n)
+	}
+	if capacity < 0 || math.IsNaN(capacity) {
+		return Solution{}, fmt.Errorf("ilp: capacity %v", capacity)
+	}
+	if buckets <= 0 {
+		buckets = 10_000
+	}
+	for i := 0; i < n; i++ {
+		if values[i] < 0 || math.IsNaN(values[i]) || math.IsInf(values[i], 0) {
+			return Solution{}, fmt.Errorf("ilp: value %d is %v", i, values[i])
+		}
+		if weights[i] < 0 || math.IsNaN(weights[i]) || math.IsInf(weights[i], 0) {
+			return Solution{}, fmt.Errorf("ilp: weight %d is %v", i, weights[i])
+		}
+	}
+
+	// Scale weights to integer units, rounding *up* so that any rounded-
+	// feasible selection is feasible for the true weights.
+	scale := float64(buckets) / math.Max(capacity, 1e-12)
+	w := make([]int, n)
+	for i := range w {
+		w[i] = int(math.Ceil(weights[i] * scale))
+	}
+	capUnits := buckets
+
+	// best[c] = max value using capacity c; choice tracking via bitrows.
+	best := make([]float64, capUnits+1)
+	take := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		take[i] = make([]bool, capUnits+1)
+		if w[i] > capUnits {
+			continue // never fits
+		}
+		for c := capUnits; c >= w[i]; c-- {
+			if cand := best[c-w[i]] + values[i]; cand > best[c] {
+				best[c] = cand
+				take[i][c] = true
+			}
+		}
+	}
+
+	// Recover the selection.
+	x := make([]bool, n)
+	c := capUnits
+	for i := n - 1; i >= 0; i-- {
+		if take[i][c] {
+			x[i] = true
+			c -= w[i]
+		}
+	}
+	return Solution{X: x, Value: best[capUnits], Optimal: true}, nil
+}

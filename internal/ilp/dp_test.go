@@ -1,0 +1,112 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+
+	"lpvs/internal/stats"
+)
+
+func TestDPKnapsackTextbook(t *testing.T) {
+	// Classic: values 60/100/120, weights 10/20/30, cap 50 -> 220.
+	sol, err := DPKnapsack(
+		[]float64{60, 100, 120},
+		[]float64{10, 20, 30},
+		50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Value-220) > 1e-9 {
+		t.Fatalf("value = %v, want 220", sol.Value)
+	}
+	if sol.X[0] || !sol.X[1] || !sol.X[2] {
+		t.Fatalf("selection = %v, want items 1 and 2", sol.X)
+	}
+	if !sol.Optimal {
+		t.Fatal("DP must claim optimality")
+	}
+}
+
+func TestDPKnapsackMatchesBruteForce(t *testing.T) {
+	rng := stats.NewRNG(31)
+	for trial := 0; trial < 30; trial++ {
+		p := randomProblem(rng, 5+rng.Intn(10), 1)
+		c := p.Constraints[0]
+		sol, err := DPKnapsack(p.Values, c.Weights, c.Capacity, 50_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Feasible(sol.X) {
+			t.Fatalf("trial %d: DP selection infeasible", trial)
+		}
+		exact, err := BruteForce(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Discretisation can lose a sliver of value, never gain.
+		if sol.Value > exact.Value+1e-9 {
+			t.Fatalf("trial %d: DP %v beats optimum %v", trial, sol.Value, exact.Value)
+		}
+		if sol.Value < exact.Value*0.98-1e-9 {
+			t.Fatalf("trial %d: DP %v more than 2%% below optimum %v", trial, sol.Value, exact.Value)
+		}
+	}
+}
+
+func TestDPKnapsackZeroCapacity(t *testing.T) {
+	sol, err := DPKnapsack([]float64{5}, []float64{1}, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value != 0 || sol.X[0] {
+		t.Fatalf("zero capacity selected something: %+v", sol)
+	}
+}
+
+func TestDPKnapsackZeroWeightItems(t *testing.T) {
+	sol, err := DPKnapsack([]float64{5, 3}, []float64{0, 10}, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.X[0] {
+		t.Fatal("free item not taken")
+	}
+	if sol.X[1] {
+		t.Fatal("oversized item taken")
+	}
+}
+
+func TestDPKnapsackValidation(t *testing.T) {
+	if _, err := DPKnapsack(nil, nil, 1, 10); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := DPKnapsack([]float64{1}, []float64{1, 2}, 1, 10); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := DPKnapsack([]float64{-1}, []float64{1}, 1, 10); err == nil {
+		t.Fatal("negative value accepted")
+	}
+	if _, err := DPKnapsack([]float64{1}, []float64{-1}, 1, 10); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := DPKnapsack([]float64{1}, []float64{1}, -1, 10); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+func TestDPKnapsackLarge(t *testing.T) {
+	rng := stats.NewRNG(77)
+	p := randomProblem(rng, 500, 1)
+	c := p.Constraints[0]
+	sol, err := DPKnapsack(p.Values, c.Weights, c.Capacity, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible(sol.X) {
+		t.Fatal("infeasible")
+	}
+	g := Greedy(p)
+	if sol.Value < g.Value*0.99 {
+		t.Fatalf("DP (%v) clearly below greedy (%v)", sol.Value, g.Value)
+	}
+}

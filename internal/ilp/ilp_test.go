@@ -1,0 +1,288 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lpvs/internal/stats"
+)
+
+func randomProblem(rng *stats.RNG, n, m int) *Problem {
+	p := &Problem{Values: make([]float64, n)}
+	for i := range p.Values {
+		p.Values[i] = rng.Uniform(0.1, 10)
+	}
+	for j := 0; j < m; j++ {
+		c := Constraint{Weights: make([]float64, n)}
+		total := 0.0
+		for i := range c.Weights {
+			c.Weights[i] = rng.Uniform(0.1, 5)
+			total += c.Weights[i]
+		}
+		c.Capacity = total * rng.Uniform(0.2, 0.7)
+		p.Constraints = append(p.Constraints, c)
+	}
+	return p
+}
+
+func TestValidate(t *testing.T) {
+	good := &Problem{
+		Values:      []float64{1, 2},
+		Constraints: []Constraint{{Weights: []float64{1, 1}, Capacity: 1}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Problem{
+		{},
+		{Values: []float64{-1}},
+		{Values: []float64{math.NaN()}},
+		{Values: []float64{1}, Constraints: []Constraint{{Weights: []float64{1, 2}, Capacity: 1}}},
+		{Values: []float64{1}, Constraints: []Constraint{{Weights: []float64{-1}, Capacity: 1}}},
+		{Values: []float64{1}, Constraints: []Constraint{{Weights: []float64{1}, Capacity: -1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad problem %d accepted", i)
+		}
+	}
+}
+
+func TestSimplexTextbook(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4; 2y <= 12; 3x + 2y <= 18 -> (2, 6), 36.
+	res, err := Simplex(
+		[]float64{3, 5},
+		[][]float64{{1, 0}, {0, 2}, {3, 2}},
+		[]float64{4, 12, 18},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-36) > 1e-9 {
+		t.Fatalf("value = %v, want 36", res.Value)
+	}
+	if math.Abs(res.X[0]-2) > 1e-9 || math.Abs(res.X[1]-6) > 1e-9 {
+		t.Fatalf("x = %v, want (2, 6)", res.X)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	// max x with no binding constraint on x.
+	_, err := Simplex([]float64{1, 0}, [][]float64{{0, 1}}, []float64{5})
+	if err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// Degenerate vertex: Bland's rule must still terminate.
+	res, err := Simplex(
+		[]float64{1, 1},
+		[][]float64{{1, 0}, {1, 0}, {0, 1}},
+		[]float64{1, 1, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-2) > 1e-9 {
+		t.Fatalf("value = %v, want 2", res.Value)
+	}
+}
+
+func TestSimplexInputErrors(t *testing.T) {
+	if _, err := Simplex(nil, nil, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Simplex([]float64{1}, [][]float64{{1}}, []float64{-1}); err == nil {
+		t.Fatal("negative rhs accepted")
+	}
+	if _, err := Simplex([]float64{1}, [][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+	if _, err := Simplex([]float64{1}, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("rhs length mismatch accepted")
+	}
+}
+
+func TestRelax01UpperBoundsInteger(t *testing.T) {
+	rng := stats.NewRNG(3)
+	for trial := 0; trial < 25; trial++ {
+		p := randomProblem(rng, 10, 2)
+		lp, err := Relax01(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := BruteForce(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lp.Value < exact.Value-1e-6 {
+			t.Fatalf("trial %d: LP bound %v below integer optimum %v", trial, lp.Value, exact.Value)
+		}
+		for i, x := range lp.X {
+			if x < -1e-9 || x > 1+1e-9 {
+				t.Fatalf("trial %d: relaxed x[%d]=%v outside [0,1]", trial, i, x)
+			}
+		}
+	}
+}
+
+func TestBranchBoundMatchesBruteForce(t *testing.T) {
+	rng := stats.NewRNG(7)
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(12)
+		m := 1 + rng.Intn(3)
+		p := randomProblem(rng, n, m)
+		got, err := BranchBound(p, BBConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := BruteForce(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Optimal {
+			t.Fatalf("trial %d: not proven optimal", trial)
+		}
+		if math.Abs(got.Value-want.Value) > 1e-6 {
+			t.Fatalf("trial %d: BB value %v, brute force %v", trial, got.Value, want.Value)
+		}
+		if !p.Feasible(got.X) {
+			t.Fatalf("trial %d: infeasible BB solution", trial)
+		}
+		if math.Abs(p.Value(got.X)-got.Value) > 1e-9 {
+			t.Fatalf("trial %d: reported value inconsistent with assignment", trial)
+		}
+	}
+}
+
+func TestBranchBoundZeroCapacity(t *testing.T) {
+	p := &Problem{
+		Values:      []float64{5, 3},
+		Constraints: []Constraint{{Weights: []float64{1, 1}, Capacity: 0}},
+	}
+	sol, err := BranchBound(p, BBConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value != 0 || sol.X[0] || sol.X[1] {
+		t.Fatalf("zero capacity must select nothing: %+v", sol)
+	}
+}
+
+func TestBranchBoundFreeItems(t *testing.T) {
+	// Items with zero weight are always selected.
+	p := &Problem{
+		Values:      []float64{5, 3, 2},
+		Constraints: []Constraint{{Weights: []float64{0, 4, 4}, Capacity: 4}},
+	}
+	sol, err := BranchBound(p, BBConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.X[0] {
+		t.Fatal("free item not taken")
+	}
+	if math.Abs(sol.Value-8) > 1e-9 { // 5 free + best of {3, 2}
+		t.Fatalf("value = %v, want 8", sol.Value)
+	}
+}
+
+func TestBranchBoundNodeLimit(t *testing.T) {
+	rng := stats.NewRNG(11)
+	p := randomProblem(rng, 60, 2)
+	sol, err := BranchBound(p, BBConfig{MaxNodes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Optimal {
+		t.Fatal("claimed optimality despite a 10-node limit")
+	}
+	if !p.Feasible(sol.X) {
+		t.Fatal("limited search returned infeasible incumbent")
+	}
+}
+
+func TestGreedyFeasibleAndDecent(t *testing.T) {
+	rng := stats.NewRNG(13)
+	for trial := 0; trial < 30; trial++ {
+		p := randomProblem(rng, 14, 2)
+		g := Greedy(p)
+		if !p.Feasible(g.X) {
+			t.Fatalf("trial %d: greedy infeasible", trial)
+		}
+		exact, err := BruteForce(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Value > exact.Value+1e-9 {
+			t.Fatalf("trial %d: greedy %v beats optimum %v", trial, g.Value, exact.Value)
+		}
+		if exact.Value > 0 && g.Value < 0.5*exact.Value {
+			t.Fatalf("trial %d: greedy %v below half of optimum %v", trial, g.Value, exact.Value)
+		}
+	}
+}
+
+func TestBruteForceRejectsLarge(t *testing.T) {
+	p := randomProblem(stats.NewRNG(1), 30, 1)
+	if _, err := BruteForce(p); err == nil {
+		t.Fatal("30-variable brute force accepted")
+	}
+}
+
+func TestBranchBoundLargeInstanceRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := stats.NewRNG(17)
+	p := randomProblem(rng, 300, 2)
+	sol, err := BranchBound(p, BBConfig{MaxNodes: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible(sol.X) {
+		t.Fatal("infeasible")
+	}
+	g := Greedy(p)
+	if sol.Value < g.Value-1e-9 {
+		t.Fatalf("BB (%v) worse than its own warm start (%v)", sol.Value, g.Value)
+	}
+}
+
+func TestBBNeverWorseThanGreedyProperty(t *testing.T) {
+	f := func(seed int64, n, m uint8) bool {
+		rng := stats.NewRNG(seed)
+		p := randomProblem(rng, int(n%20)+1, int(m%3)+1)
+		bb, err := BranchBound(p, BBConfig{MaxNodes: 5000})
+		if err != nil {
+			return false
+		}
+		g := Greedy(p)
+		return bb.Value >= g.Value-1e-9 && p.Feasible(bb.X) && p.Feasible(g.X)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeasibleAndValueHelpers(t *testing.T) {
+	p := &Problem{
+		Values:      []float64{1, 2, 3},
+		Constraints: []Constraint{{Weights: []float64{1, 1, 1}, Capacity: 2}},
+	}
+	x := []bool{true, false, true}
+	if !p.Feasible(x) {
+		t.Fatal("feasible rejected")
+	}
+	if p.Value(x) != 4 {
+		t.Fatalf("value = %v, want 4", p.Value(x))
+	}
+	if p.Feasible([]bool{true, true, true}) {
+		t.Fatal("overweight accepted")
+	}
+	if p.N() != 3 {
+		t.Fatal("N")
+	}
+}

@@ -1,0 +1,135 @@
+package qoe
+
+import (
+	"fmt"
+	"sort"
+
+	"lpvs/internal/stats"
+	"lpvs/internal/video"
+)
+
+// ABR is a throughput-based adaptive-bitrate controller over a rendition
+// ladder, the standard client-side companion of a chunked streaming
+// service. It keeps an exponentially weighted throughput estimate and
+// picks the highest rendition that fits under a safety margin, with
+// up-switch damping to avoid oscillation.
+type ABR struct {
+	ladder []int // ascending kbps
+	safety float64
+	alpha  float64 // EWMA weight of new samples
+
+	estimateKbps float64
+	current      int // index into ladder
+	switches     int
+}
+
+// NewABR builds a controller over the ladder (any order; deduplicated
+// and sorted ascending). Safety is the fraction of estimated throughput
+// the controller dares to spend, in (0, 1].
+func NewABR(ladder []int, safety float64) (*ABR, error) {
+	if len(ladder) == 0 {
+		return nil, fmt.Errorf("qoe: empty bitrate ladder")
+	}
+	if safety <= 0 || safety > 1 {
+		return nil, fmt.Errorf("qoe: safety %v outside (0, 1]", safety)
+	}
+	uniq := map[int]bool{}
+	var ls []int
+	for _, b := range ladder {
+		if b <= 0 {
+			return nil, fmt.Errorf("qoe: non-positive rendition %d", b)
+		}
+		if !uniq[b] {
+			uniq[b] = true
+			ls = append(ls, b)
+		}
+	}
+	sort.Ints(ls)
+	return &ABR{ladder: ls, safety: safety, alpha: 0.3, current: 0}, nil
+}
+
+// Current returns the active rendition in kbps.
+func (a *ABR) Current() int { return a.ladder[a.current] }
+
+// Switches counts rendition changes so far.
+func (a *ABR) Switches() int { return a.switches }
+
+// Observe feeds one chunk's measured throughput (Mbps) and returns the
+// rendition (kbps) to request next.
+func (a *ABR) Observe(throughputMbps float64) int {
+	if throughputMbps < 0 {
+		throughputMbps = 0
+	}
+	kbps := throughputMbps * 1000
+	if a.estimateKbps == 0 {
+		a.estimateKbps = kbps
+	} else {
+		a.estimateKbps = (1-a.alpha)*a.estimateKbps + a.alpha*kbps
+	}
+	budget := a.safety * a.estimateKbps
+
+	// Highest rendition under budget; the floor rendition is always
+	// allowed (otherwise playback cannot proceed at all).
+	target := 0
+	for i, b := range a.ladder {
+		if float64(b) <= budget {
+			target = i
+		}
+	}
+	switch {
+	case target > a.current:
+		// Damped up-switch: one rung at a time.
+		a.current++
+		a.switches++
+	case target < a.current:
+		// Down-switches jump immediately to the sustainable rung.
+		a.current = target
+		a.switches++
+	}
+	return a.Current()
+}
+
+// ABRResult extends the buffer-simulation result with rendition
+// statistics.
+type ABRResult struct {
+	Result
+	// MeanBitrateKbps is the average rendition played.
+	MeanBitrateKbps float64
+	// Switches counts rendition changes.
+	Switches int
+}
+
+// SimulateABR plays the chunk sequence through the playout buffer with
+// the controller re-selecting the rendition after every chunk. The chunk
+// content is kept; only its bitrate is replaced by the controller's
+// choice.
+func SimulateABR(rng *stats.RNG, cfg BufferConfig, abr *ABR, chunks []video.Chunk) (ABRResult, error) {
+	if abr == nil {
+		return ABRResult{}, fmt.Errorf("qoe: nil ABR controller")
+	}
+	if len(chunks) == 0 {
+		return ABRResult{}, fmt.Errorf("qoe: no chunks")
+	}
+	adapted := make([]video.Chunk, len(chunks))
+	bitrateSum := 0.0
+	// Pre-walk the bandwidth trace so both the controller and the buffer
+	// simulation see the same draws.
+	for i, c := range chunks {
+		bw := cfg.BandwidthMbps * rng.Uniform(1-cfg.BandwidthJitter, 1+cfg.BandwidthJitter)
+		rendition := abr.Observe(bw)
+		adapted[i] = c
+		adapted[i].BitrateKbps = rendition
+		bitrateSum += float64(rendition)
+	}
+	// The playback simulation uses its own jitter stream: the adaptation
+	// already consumed the controller-visible one.
+	res, err := Simulate(rng.Fork(), cfg, adapted)
+	if err != nil {
+		return ABRResult{}, err
+	}
+	return ABRResult{
+		Result:          res,
+		MeanBitrateKbps: bitrateSum / float64(len(chunks)),
+		Switches:        abr.Switches(),
+	}, nil
+}

@@ -1,0 +1,125 @@
+package qoe
+
+import (
+	"testing"
+
+	"lpvs/internal/stats"
+	"lpvs/internal/trace"
+)
+
+func ladder() []int { return trace.BitrateLadder } // 1200 2500 4500 6000
+
+func TestNewABRValidation(t *testing.T) {
+	if _, err := NewABR(nil, 0.8); err == nil {
+		t.Fatal("empty ladder accepted")
+	}
+	if _, err := NewABR(ladder(), 0); err == nil {
+		t.Fatal("zero safety accepted")
+	}
+	if _, err := NewABR(ladder(), 1.5); err == nil {
+		t.Fatal("over-unity safety accepted")
+	}
+	if _, err := NewABR([]int{-5}, 0.8); err == nil {
+		t.Fatal("negative rendition accepted")
+	}
+	// Duplicates and disorder are tolerated.
+	a, err := NewABR([]int{6000, 1200, 6000, 2500}, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Current() != 1200 {
+		t.Fatalf("initial rendition %d, want the floor", a.Current())
+	}
+}
+
+func TestABRClimbsUnderGoodBandwidth(t *testing.T) {
+	a, err := NewABR(ladder(), 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last int
+	for i := 0; i < 20; i++ {
+		last = a.Observe(12) // 12 Mbps: even 6 Mbps fits under safety
+	}
+	if last != 6000 {
+		t.Fatalf("top rendition not reached: %d", last)
+	}
+	// Up-switches were damped: exactly 3 climbs (1200->2500->4500->6000).
+	if a.Switches() != 3 {
+		t.Fatalf("switches = %d, want 3", a.Switches())
+	}
+}
+
+func TestABRDropsFastOnCollapse(t *testing.T) {
+	a, _ := NewABR(ladder(), 0.8)
+	for i := 0; i < 20; i++ {
+		a.Observe(12)
+	}
+	// Bandwidth collapses: the controller must fall to the floor, and
+	// because the EWMA needs a few samples, within a handful of chunks.
+	var got int
+	for i := 0; i < 6; i++ {
+		got = a.Observe(0.5)
+	}
+	if got != 1200 {
+		t.Fatalf("rendition after collapse %d, want 1200", got)
+	}
+}
+
+func TestABRNegativeThroughputClamped(t *testing.T) {
+	a, _ := NewABR(ladder(), 0.8)
+	if got := a.Observe(-3); got != 1200 {
+		t.Fatalf("rendition %d", got)
+	}
+}
+
+func TestSimulateABRPlays(t *testing.T) {
+	cfg := DefaultBufferConfig()
+	cfg.BandwidthMbps = 8
+	a, _ := NewABR(ladder(), 0.8)
+	res, err := SimulateABR(stats.NewRNG(5), cfg, a, chunks(t, 90, 2500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanBitrateKbps < 1200 || res.MeanBitrateKbps > 6000 {
+		t.Fatalf("mean bitrate %v", res.MeanBitrateKbps)
+	}
+	if res.PlayedSec <= 0 {
+		t.Fatal("nothing played")
+	}
+	// 8 Mbps sustains the 4.5 Mbps rung comfortably.
+	if res.RebufferRatio() > 0.02 {
+		t.Fatalf("rebuffer ratio %v with adaptive bitrate", res.RebufferRatio())
+	}
+}
+
+func TestSimulateABRBeatsFixedTopRenditionOnWeakLink(t *testing.T) {
+	// On a 3 Mbps link, fixed 4.5 Mbps stalls badly; ABR holds a lower
+	// rung and stalls less.
+	cfgFixed := DefaultBufferConfig()
+	cfgFixed.BandwidthMbps = 3
+	fixed, err := Simulate(stats.NewRNG(9), cfgFixed, chunks(t, 90, 4500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := NewABR(ladder(), 0.8)
+	adaptive, err := SimulateABR(stats.NewRNG(9), cfgFixed, a, chunks(t, 90, 4500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.RebufferSec >= fixed.RebufferSec {
+		t.Fatalf("ABR (%v s stalled) not better than fixed top rendition (%v s)",
+			adaptive.RebufferSec, fixed.RebufferSec)
+	}
+}
+
+func TestSimulateABRValidation(t *testing.T) {
+	cfg := DefaultBufferConfig()
+	if _, err := SimulateABR(stats.NewRNG(1), cfg, nil, chunks(t, 3, 2500)); err == nil {
+		t.Fatal("nil controller accepted")
+	}
+	a, _ := NewABR(ladder(), 0.8)
+	if _, err := SimulateABR(stats.NewRNG(1), cfg, a, nil); err == nil {
+		t.Fatal("empty chunks accepted")
+	}
+}

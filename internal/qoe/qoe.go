@@ -1,0 +1,215 @@
+// Package qoe models the conventional streaming quality-of-experience
+// metrics the paper argues LPVS must not disturb (section VII-D): video
+// freezing (rebuffering) time and startup delay.
+//
+// The paper's point is architectural: LPVS runs in "one-slot-ahead" mode
+// — during slot t the scheduler decides for slot t+1 — so as long as a
+// decision completes within one slot, scheduling adds zero delay to the
+// chunk path. If instead the decision were computed inline at the slot
+// boundary, every viewer would wait for the scheduler before the slot's
+// first chunk could be served. This package provides a playout-buffer
+// simulator that quantifies exactly that difference.
+package qoe
+
+import (
+	"fmt"
+
+	"lpvs/internal/stats"
+	"lpvs/internal/video"
+)
+
+// SchedulingMode places the scheduler on or off the chunk path.
+type SchedulingMode int
+
+// Scheduling modes of section VII-D.
+const (
+	// OneSlotAhead computes decisions during the previous slot: zero
+	// added latency (the paper's deployment mode).
+	OneSlotAhead SchedulingMode = iota
+	// Inline computes decisions at the slot boundary: the first chunk of
+	// each slot is delayed by the scheduling time.
+	Inline
+)
+
+// String implements fmt.Stringer.
+func (m SchedulingMode) String() string {
+	if m == OneSlotAhead {
+		return "one-slot-ahead"
+	}
+	return "inline"
+}
+
+// BufferConfig parameterises the playout-buffer simulation.
+type BufferConfig struct {
+	// StartupBufferSec is the playout threshold before playback begins.
+	StartupBufferSec float64
+	// MaxBufferSec caps the playout buffer (real players keep tens of
+	// seconds, not the whole stream). Zero means 30 s.
+	MaxBufferSec float64
+	// BandwidthMbps is the mean download bandwidth.
+	BandwidthMbps float64
+	// BandwidthJitter is the relative bandwidth variation per chunk
+	// (0 = constant).
+	BandwidthJitter float64
+	// Mode places the scheduler on or off the chunk path.
+	Mode SchedulingMode
+	// SchedDelaySec is the scheduling time charged at each slot boundary
+	// in Inline mode.
+	SchedDelaySec float64
+	// SlotSec is the scheduling period.
+	SlotSec float64
+}
+
+// DefaultBufferConfig is a comfortable mobile connection playing a
+// 2.5 Mbps stream.
+func DefaultBufferConfig() BufferConfig {
+	return BufferConfig{
+		StartupBufferSec: 10,
+		BandwidthMbps:    6,
+		BandwidthJitter:  0.3,
+		Mode:             OneSlotAhead,
+		SchedDelaySec:    0,
+		SlotSec:          300,
+	}
+}
+
+// Result summarises a playback session's QoE.
+type Result struct {
+	// StartupDelaySec is the time to first frame.
+	StartupDelaySec float64
+	// RebufferSec is the total stall time after startup.
+	RebufferSec float64
+	// RebufferEvents counts distinct stalls.
+	RebufferEvents int
+	// PlayedSec is the content time played.
+	PlayedSec float64
+}
+
+// RebufferRatio is stall time over wall time, the classic QoE headline.
+func (r Result) RebufferRatio() float64 {
+	total := r.PlayedSec + r.RebufferSec
+	if total <= 0 {
+		return 0
+	}
+	return r.RebufferSec / total
+}
+
+// Simulate plays the chunk sequence through a playout buffer fed at the
+// configured bandwidth, charging scheduler delay per slot according to
+// the mode, and returns the stall profile.
+func Simulate(rng *stats.RNG, cfg BufferConfig, chunks []video.Chunk) (Result, error) {
+	if len(chunks) == 0 {
+		return Result{}, fmt.Errorf("qoe: no chunks")
+	}
+	if cfg.BandwidthMbps <= 0 {
+		return Result{}, fmt.Errorf("qoe: bandwidth %v Mbps", cfg.BandwidthMbps)
+	}
+	if cfg.BandwidthJitter < 0 || cfg.BandwidthJitter >= 1 {
+		return Result{}, fmt.Errorf("qoe: jitter %v outside [0, 1)", cfg.BandwidthJitter)
+	}
+	if cfg.SlotSec <= 0 {
+		return Result{}, fmt.Errorf("qoe: slot length %v", cfg.SlotSec)
+	}
+	if cfg.SchedDelaySec < 0 {
+		return Result{}, fmt.Errorf("qoe: negative scheduling delay")
+	}
+	if cfg.MaxBufferSec == 0 {
+		cfg.MaxBufferSec = 30
+	}
+	if cfg.MaxBufferSec < cfg.StartupBufferSec {
+		return Result{}, fmt.Errorf("qoe: buffer cap %v below startup threshold %v",
+			cfg.MaxBufferSec, cfg.StartupBufferSec)
+	}
+
+	var res Result
+	bufferSec := 0.0 // seconds of content buffered
+	started := false
+	chunkOfSlot := 0.0
+
+	for _, c := range chunks {
+		if err := c.Validate(); err != nil {
+			return Result{}, err
+		}
+		// Inline scheduling stalls the fetch pipeline at each slot
+		// boundary; one-slot-ahead charges nothing.
+		if cfg.Mode == Inline && chunkOfSlot == 0 && cfg.SchedDelaySec > 0 {
+			if started {
+				if bufferSec >= cfg.SchedDelaySec {
+					bufferSec -= cfg.SchedDelaySec
+					res.PlayedSec += cfg.SchedDelaySec
+				} else {
+					res.PlayedSec += bufferSec
+					stall := cfg.SchedDelaySec - bufferSec
+					bufferSec = 0
+					res.RebufferSec += stall
+					res.RebufferEvents++
+				}
+			} else {
+				res.StartupDelaySec += cfg.SchedDelaySec
+			}
+		}
+
+		// A full buffer pauses downloading until there is room; the wait
+		// drains the buffer in real time.
+		if started && bufferSec+c.DurationSec > cfg.MaxBufferSec {
+			wait := bufferSec + c.DurationSec - cfg.MaxBufferSec
+			bufferSec -= wait
+			res.PlayedSec += wait
+		}
+
+		// Download the chunk.
+		bw := cfg.BandwidthMbps * rng.Uniform(1-cfg.BandwidthJitter, 1+cfg.BandwidthJitter)
+		downloadSec := float64(c.BitrateKbps) / 1000 * c.DurationSec / bw
+
+		if !started {
+			res.StartupDelaySec += downloadSec
+			bufferSec += c.DurationSec
+			if bufferSec >= cfg.StartupBufferSec {
+				started = true
+			}
+		} else {
+			// While downloading, the buffer drains in real time.
+			if bufferSec >= downloadSec {
+				bufferSec -= downloadSec
+				res.PlayedSec += downloadSec
+			} else {
+				res.PlayedSec += bufferSec
+				stall := downloadSec - bufferSec
+				bufferSec = 0
+				res.RebufferSec += stall
+				res.RebufferEvents++
+			}
+			bufferSec += c.DurationSec
+		}
+
+		chunkOfSlot += c.DurationSec
+		if chunkOfSlot >= cfg.SlotSec {
+			chunkOfSlot = 0
+		}
+	}
+	// Drain what is left in the buffer.
+	res.PlayedSec += bufferSec
+	return res, nil
+}
+
+// CompareModes runs the same session in both scheduling modes and
+// returns the results, quantifying the paper's section VII-D claim that
+// one-slot-ahead scheduling leaves freezing untouched while inline
+// scheduling would stall viewers whenever the decision takes long.
+func CompareModes(seed int64, cfg BufferConfig, chunks []video.Chunk, schedDelaySec float64) (ahead, inline Result, err error) {
+	a := cfg
+	a.Mode = OneSlotAhead
+	a.SchedDelaySec = 0
+	ahead, err = Simulate(stats.NewRNG(seed), a, chunks)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	b := cfg
+	b.Mode = Inline
+	b.SchedDelaySec = schedDelaySec
+	inline, err = Simulate(stats.NewRNG(seed), b, chunks)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	return ahead, inline, nil
+}

@@ -1,0 +1,170 @@
+package qoe
+
+import (
+	"math"
+	"testing"
+
+	"lpvs/internal/stats"
+	"lpvs/internal/video"
+)
+
+func chunks(tb testing.TB, n, bitrate int) []video.Chunk {
+	tb.Helper()
+	cfg := video.DefaultGenConfig("q", video.Gaming, n)
+	cfg.BitrateKbps = bitrate
+	v, err := video.Generate(stats.NewRNG(1), cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return v.Chunks
+}
+
+func TestSimulateValidation(t *testing.T) {
+	rng := stats.NewRNG(1)
+	cs := chunks(t, 5, 2500)
+	bad := []BufferConfig{
+		{BandwidthMbps: 0, SlotSec: 300},
+		{BandwidthMbps: 5, BandwidthJitter: 1, SlotSec: 300},
+		{BandwidthMbps: 5, SlotSec: 0},
+		{BandwidthMbps: 5, SlotSec: 300, SchedDelaySec: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Simulate(rng, cfg, cs); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if _, err := Simulate(rng, DefaultBufferConfig(), nil); err == nil {
+		t.Fatal("empty chunk list accepted")
+	}
+}
+
+func TestFastNetworkNeverStalls(t *testing.T) {
+	cfg := DefaultBufferConfig()
+	cfg.BandwidthMbps = 50 // 20x the stream rate
+	cfg.BandwidthJitter = 0.1
+	res, err := Simulate(stats.NewRNG(2), cfg, chunks(t, 120, 2500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RebufferEvents != 0 || res.RebufferSec != 0 {
+		t.Fatalf("fast network stalled: %+v", res)
+	}
+	if res.StartupDelaySec <= 0 {
+		t.Fatal("no startup delay recorded")
+	}
+	// All content played.
+	want := 120 * video.DefaultChunkSeconds
+	if math.Abs(res.PlayedSec-want) > 1e-6 {
+		t.Fatalf("played %v s, want %v", res.PlayedSec, want)
+	}
+}
+
+func TestSlowNetworkStalls(t *testing.T) {
+	cfg := DefaultBufferConfig()
+	cfg.BandwidthMbps = 2 // below the 2.5 Mbps stream rate
+	cfg.BandwidthJitter = 0.05
+	res, err := Simulate(stats.NewRNG(3), cfg, chunks(t, 60, 2500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RebufferEvents == 0 {
+		t.Fatal("under-provisioned network did not stall")
+	}
+	if res.RebufferRatio() <= 0 || res.RebufferRatio() >= 1 {
+		t.Fatalf("rebuffer ratio %v", res.RebufferRatio())
+	}
+}
+
+func TestOneSlotAheadUnaffectedBySchedulerTime(t *testing.T) {
+	cs := chunks(t, 90, 2500) // 3 slots of 300 s
+	cfg := DefaultBufferConfig()
+	ahead, inline, err := CompareModes(7, cfg, cs, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-slot-ahead: scheduling charges nothing.
+	if ahead.RebufferSec != 0 {
+		t.Fatalf("one-slot-ahead stalled %v s", ahead.RebufferSec)
+	}
+	// Inline with a 15 s decision must hurt: either stalls or extra
+	// startup delay.
+	if inline.RebufferSec == 0 && inline.StartupDelaySec <= ahead.StartupDelaySec {
+		t.Fatalf("inline scheduling cost nothing: %+v vs %+v", inline, ahead)
+	}
+}
+
+func TestInlinePenaltyGrowsWithSchedulerTime(t *testing.T) {
+	cs := chunks(t, 90, 2500)
+	cfg := DefaultBufferConfig()
+	var prev float64
+	for _, delay := range []float64{1, 10, 30} {
+		_, inline, err := CompareModes(7, cfg, cs, delay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := inline.RebufferSec + inline.StartupDelaySec
+		if cost < prev {
+			t.Fatalf("inline cost not monotone at delay %v", delay)
+		}
+		prev = cost
+	}
+}
+
+func TestSmallSchedDelayAbsorbedByBuffer(t *testing.T) {
+	// A sub-second decision (our scheduler at N=5000 takes ~0.06 s) is
+	// fully absorbed by the playout buffer even inline.
+	cs := chunks(t, 90, 2500)
+	cfg := DefaultBufferConfig()
+	_, inline, err := CompareModes(7, cfg, cs, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inline.RebufferSec > 0 {
+		t.Fatalf("0.1 s scheduling stalled playback: %+v", inline)
+	}
+}
+
+func TestBufferCapRespected(t *testing.T) {
+	cfg := DefaultBufferConfig()
+	cfg.MaxBufferSec = 20
+	cfg.BandwidthMbps = 100
+	res, err := Simulate(stats.NewRNG(4), cfg, chunks(t, 60, 2500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RebufferEvents != 0 {
+		t.Fatal("capped buffer on a fast network should not stall")
+	}
+	// Bad cap: below the startup threshold.
+	cfg.MaxBufferSec = 5
+	if _, err := Simulate(stats.NewRNG(4), cfg, chunks(t, 5, 2500)); err == nil {
+		t.Fatal("cap below startup threshold accepted")
+	}
+}
+
+func TestInlineDelayBeyondBufferStalls(t *testing.T) {
+	// A scheduling decision longer than the whole playout buffer must
+	// stall inline playback at slot boundaries.
+	cs := chunks(t, 90, 2500)
+	cfg := DefaultBufferConfig()
+	cfg.MaxBufferSec = 30
+	_, inline, err := CompareModes(7, cfg, cs, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inline.RebufferSec <= 0 {
+		t.Fatalf("45 s inline decisions did not stall a 30 s buffer: %+v", inline)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if OneSlotAhead.String() != "one-slot-ahead" || Inline.String() != "inline" {
+		t.Fatal("mode stringer")
+	}
+}
+
+func TestRebufferRatioZeroSession(t *testing.T) {
+	if (Result{}).RebufferRatio() != 0 {
+		t.Fatal("empty session ratio")
+	}
+}

@@ -1,0 +1,82 @@
+package scheduler
+
+import (
+	"fmt"
+	"testing"
+
+	"lpvs/internal/edge"
+)
+
+func benchCluster(b *testing.B, n int) []Request {
+	b.Helper()
+	return makeCluster(b, n, 42)
+}
+
+// BenchmarkSchedule measures the full two-phase scheduling path at
+// paper-relevant cluster sizes (the per-call cost behind Fig. 10).
+func BenchmarkSchedule(b *testing.B) {
+	server, err := edge.NewServer(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{100, 500, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := mustScheduler(b, Config{Server: server, Lambda: 1})
+			reqs := benchCluster(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Schedule(reqs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleExactVsGreedy contrasts the exact Phase-1 path with
+// the greedy fallback at the threshold size.
+func BenchmarkScheduleExactVsGreedy(b *testing.B) {
+	server, err := edge.NewServer(30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := benchCluster(b, 150)
+	for _, mode := range []struct {
+		name      string
+		threshold int
+	}{
+		{"exact", 200},
+		{"greedy", 1},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			s := mustScheduler(b, Config{Server: server, Lambda: 1, ExactThreshold: mode.threshold})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Schedule(reqs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPhase2Swap isolates the Phase-2 cost by comparing lambda=0
+// (no swaps) with a heavily swapped configuration.
+func BenchmarkPhase2Swap(b *testing.B) {
+	server, err := edge.NewServer(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := benchCluster(b, 200)
+	for _, lambda := range []float64{0, 10} {
+		b.Run(fmt.Sprintf("lambda=%v", lambda), func(b *testing.B) {
+			s := mustScheduler(b, Config{Server: server, Lambda: lambda})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Schedule(reqs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,449 @@
+// Package scheduler implements the LPVS core: the per-slot decision of
+// which devices in a virtual cluster receive server-side video
+// transforming (paper sections IV-V).
+//
+// The joint optimisation problem (8) minimises, over the binary vector
+// x, the sum over devices and chunks of the display energy plus
+// lambda times the anxiety degree, under the edge server's compute (6)
+// and storage (7) capacities and the per-device energy-feasibility
+// constraint (4)-(5). Following the paper, the problem is first
+// *information-compacted*: the chunk-by-chunk energy recursion (5) is
+// eliminated, turning (4) into the closed-form constraint (11) and the
+// objective into the closed form (13). The compacted problem is solved
+// with the paper's two-phase heuristic:
+//
+//   - Phase-1 ignores the nonlinear anxiety term and maximises energy
+//     saving — a 2-constraint 0/1 knapsack solved exactly by branch and
+//     bound (the paper uses CPLEX) or greedily for very large clusters;
+//   - Phase-2 ranks users by anxiety degree and swaps selected devices
+//     for anxious unselected ones whenever the full objective (13)
+//     improves and capacity still holds.
+//
+// Energies inside the scheduler are normalised to battery fractions so
+// that the energy and anxiety terms of the objective are commensurate
+// and lambda stays an O(1) policy knob.
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"lpvs/internal/anxiety"
+	"lpvs/internal/display"
+	"lpvs/internal/edge"
+	"lpvs/internal/ilp"
+	"lpvs/internal/video"
+)
+
+// DefaultSlotSeconds is the paper's scheduling period: 5 minutes.
+const DefaultSlotSeconds = 300.0
+
+// Request is one device's slot request, carrying everything the LPVS
+// information-gathering step collects at the scheduling point (Fig. 6):
+// display specification, energy status, the available chunk window, and
+// the current Bayesian estimate of the device's power-reduction ratio.
+type Request struct {
+	DeviceID string
+	Display  display.Spec
+	// EnergyFrac is e_{n,m}(1), the battery fraction at the slot start.
+	EnergyFrac float64
+	// BatteryCapacityJ converts absolute chunk energies to fractions.
+	BatteryCapacityJ float64
+	// BasePowerW is the device's non-display playback draw, included in
+	// the energy forecast (it drains the battery even though the
+	// transform cannot reduce it).
+	BasePowerW float64
+	// Chunks is the available chunk window d_n(t).
+	Chunks []video.Chunk
+	// Gamma is the current estimate of the power-reduction ratio.
+	Gamma float64
+	// Anxiety optionally personalises the phi model for this user (nil
+	// means the scheduler's population model). Devices that report their
+	// own worry threshold get scheduled against their own curve.
+	Anxiety anxiety.Model
+}
+
+// Validate reports whether the request is usable.
+func (r *Request) Validate() error {
+	if r.DeviceID == "" {
+		return fmt.Errorf("scheduler: request with empty device ID")
+	}
+	if err := r.Display.Validate(); err != nil {
+		return fmt.Errorf("scheduler: request %s: %w", r.DeviceID, err)
+	}
+	if r.EnergyFrac < 0 || r.EnergyFrac > 1 {
+		return fmt.Errorf("scheduler: request %s: energy %v outside [0, 1]", r.DeviceID, r.EnergyFrac)
+	}
+	if r.BatteryCapacityJ <= 0 {
+		return fmt.Errorf("scheduler: request %s: non-positive battery capacity", r.DeviceID)
+	}
+	if r.BasePowerW < 0 {
+		return fmt.Errorf("scheduler: request %s: negative base power", r.DeviceID)
+	}
+	if len(r.Chunks) == 0 {
+		return fmt.Errorf("scheduler: request %s: no available chunks", r.DeviceID)
+	}
+	if r.Gamma <= 0 || r.Gamma >= 1 {
+		return fmt.Errorf("scheduler: request %s: gamma %v outside (0, 1)", r.DeviceID, r.Gamma)
+	}
+	return nil
+}
+
+// Decision is the scheduling outcome for one slot.
+type Decision struct {
+	// Transform maps device ID to x_n.
+	Transform map[string]bool
+	// Selected is the number of devices receiving transforming.
+	Selected int
+	// Eligible counts devices passing the energy-feasibility check (11).
+	Eligible int
+	// Phase1Value is the energy-saving objective value after Phase-1
+	// (battery fractions).
+	Phase1Value float64
+	// Objective is the compacted joint objective (13) of the final
+	// decision.
+	Objective float64
+	// Swaps counts accepted Phase-2 swaps.
+	Swaps int
+	// OptimalPhase1 reports whether Phase-1 was solved to proven
+	// optimality.
+	OptimalPhase1 bool
+}
+
+// Config parameterises the scheduler.
+type Config struct {
+	// SlotSec is the scheduling period.
+	SlotSec float64
+	// Lambda is the regularisation weight between energy saving and
+	// anxiety reduction (Remark 3 of the paper).
+	Lambda float64
+	// Anxiety is the phi(.) model; nil means the canonical curve.
+	Anxiety anxiety.Model
+	// Server provides the capacity constraints; nil means an unbounded
+	// server.
+	Server *edge.Server
+	// ExactThreshold is the largest cluster solved with exact branch and
+	// bound; larger clusters fall back to the greedy knapsack (keeping
+	// runtime linear as in Fig. 10). Zero means the default.
+	ExactThreshold int
+	// MaxNodes caps the branch-and-bound search. Zero means the default.
+	MaxNodes int
+	// DisableSwap turns off Phase-2 (ablation).
+	DisableSwap bool
+	// MaxSwapPasses bounds Phase-2 sweeps. Zero means the default (2).
+	MaxSwapPasses int
+}
+
+// DefaultExactThreshold keeps exact Phase-1 for clusters up to this many
+// devices.
+const DefaultExactThreshold = 220
+
+// Scheduler is the LPVS request scheduler. It is stateless across slots
+// (gamma learning lives with the caller) and safe for concurrent use.
+type Scheduler struct {
+	cfg Config
+}
+
+// New validates the configuration and builds a scheduler.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.SlotSec == 0 {
+		cfg.SlotSec = DefaultSlotSeconds
+	}
+	if cfg.SlotSec < 0 {
+		return nil, fmt.Errorf("scheduler: negative slot length")
+	}
+	if cfg.Lambda < 0 {
+		return nil, fmt.Errorf("scheduler: negative lambda")
+	}
+	if cfg.Anxiety == nil {
+		cfg.Anxiety = anxiety.NewCanonical()
+	}
+	if cfg.ExactThreshold == 0 {
+		cfg.ExactThreshold = DefaultExactThreshold
+	}
+	if cfg.ExactThreshold < 0 {
+		return nil, fmt.Errorf("scheduler: negative exact threshold")
+	}
+	if cfg.MaxSwapPasses == 0 {
+		cfg.MaxSwapPasses = 2
+	}
+	if cfg.MaxSwapPasses < 0 {
+		return nil, fmt.Errorf("scheduler: negative swap passes")
+	}
+	return &Scheduler{cfg: cfg}, nil
+}
+
+// plan is the per-device precomputation derived from a request: chunk
+// energies in battery fractions, resource costs, the objective value
+// under both decisions, and the eligibility flag from constraint (11).
+type plan struct {
+	req      *Request
+	dispFrac []float64 // per-chunk display energy as battery fraction
+	baseFrac []float64 // per-chunk base (non-display) energy fraction
+	g, h     float64   // compute and storage costs
+	eligible bool
+	anxModel anxiety.Model // per-user phi (population model by default)
+	obj0     float64       // objective contribution with x_n = 0
+	obj1     float64       // objective contribution with x_n = 1
+	saving   float64       // display energy saved by transforming (fractions)
+	anx      float64       // anxiety degree at slot start (for Phase-2 rank)
+}
+
+// buildPlans runs information gathering + compacting for all requests.
+func (s *Scheduler) buildPlans(reqs []Request) ([]*plan, error) {
+	plans := make([]*plan, len(reqs))
+	for i := range reqs {
+		r := &reqs[i]
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		p := &plan{req: r}
+		p.dispFrac = make([]float64, len(r.Chunks))
+		p.baseFrac = make([]float64, len(r.Chunks))
+		for k, c := range r.Chunks {
+			watts, err := video.PowerRate(r.Display, c)
+			if err != nil {
+				return nil, fmt.Errorf("scheduler: request %s chunk %d: %w", r.DeviceID, k, err)
+			}
+			p.dispFrac[k] = watts * c.DurationSec / r.BatteryCapacityJ
+			p.baseFrac[k] = r.BasePowerW * c.DurationSec / r.BatteryCapacityJ
+		}
+		p.g = edge.ComputeCost(r.Display.Resolution, r.Chunks, s.cfg.SlotSec)
+		p.h = edge.StorageCost(r.Chunks)
+		p.eligible = s.eligible(p)
+		p.anxModel = s.cfg.Anxiety
+		if r.Anxiety != nil {
+			p.anxModel = r.Anxiety
+		}
+		p.obj0 = s.deviceObjective(p, false)
+		p.obj1 = s.deviceObjective(p, true)
+		for _, e := range p.dispFrac {
+			p.saving += (1 - r.Gamma) * e
+		}
+		p.anx = p.anxModel.Anxiety(r.EnergyFrac)
+		plans[i] = p
+	}
+	return plans, nil
+}
+
+// eligible evaluates the compacted energy-feasibility constraint (11)
+// for x_n = 1:
+//
+//	K*e(1) - sum_k (K-k)*psi(k) >= gamma * sum_k p(k)
+//
+// with psi the transformed per-chunk energy (display scaled by gamma,
+// base unchanged), everything in battery fractions.
+func (s *Scheduler) eligible(p *plan) bool {
+	k := len(p.dispFrac)
+	e1 := p.req.EnergyFrac
+	lhs := float64(k) * e1
+	rhs := 0.0
+	for i := 0; i < k; i++ {
+		psi := p.req.Gamma*p.dispFrac[i] + p.baseFrac[i]
+		lhs -= float64(k-i-1) * psi
+		rhs += p.req.Gamma * p.dispFrac[i]
+	}
+	return lhs >= rhs
+}
+
+// deviceObjective evaluates the compacted objective (13) restricted to
+// one device under a given decision: the per-chunk energy psi plus
+// lambda times the anxiety at the predicted pre-chunk energy.
+func (s *Scheduler) deviceObjective(p *plan, transformed bool) float64 {
+	e := p.req.EnergyFrac
+	sum := 0.0
+	for i := range p.dispFrac {
+		psi := p.dispFrac[i] + p.baseFrac[i]
+		if transformed {
+			psi = p.req.Gamma*p.dispFrac[i] + p.baseFrac[i]
+		}
+		sum += psi + s.cfg.Lambda*p.anxModel.Anxiety(e)
+		e -= psi
+		if e < 0 {
+			e = 0
+		}
+	}
+	return sum
+}
+
+// Schedule makes the slot decision for one virtual cluster.
+func (s *Scheduler) Schedule(reqs []Request) (Decision, error) {
+	if len(reqs) == 0 {
+		return Decision{Transform: map[string]bool{}}, nil
+	}
+	plans, err := s.buildPlans(reqs)
+	if err != nil {
+		return Decision{}, err
+	}
+
+	dec := Decision{Transform: make(map[string]bool, len(reqs))}
+	var eligible []*plan
+	for _, p := range plans {
+		dec.Transform[p.req.DeviceID] = false
+		if p.eligible {
+			eligible = append(eligible, p)
+		}
+	}
+	dec.Eligible = len(eligible)
+	if len(eligible) == 0 {
+		dec.Objective = s.totalObjective(plans, dec.Transform)
+		return dec, nil
+	}
+
+	selected, phase1Val, optimal := s.phase1(eligible)
+	dec.Phase1Value = phase1Val
+	dec.OptimalPhase1 = optimal
+	for _, p := range selected {
+		dec.Transform[p.req.DeviceID] = true
+	}
+
+	if !s.cfg.DisableSwap && s.cfg.Lambda > 0 {
+		dec.Swaps = s.phase2(eligible, dec.Transform)
+	}
+
+	for _, on := range dec.Transform {
+		if on {
+			dec.Selected++
+		}
+	}
+	dec.Objective = s.totalObjective(plans, dec.Transform)
+	return dec, nil
+}
+
+// phase1 solves the energy-only selection (14) as a 0/1 knapsack over
+// the eligible devices.
+func (s *Scheduler) phase1(eligible []*plan) (chosen []*plan, value float64, optimal bool) {
+	values := make([]float64, len(eligible))
+	for i, p := range eligible {
+		values[i] = p.saving
+	}
+	prob := problemWithCapacity(s, eligible, values)
+
+	var sol ilp.Solution
+	if len(eligible) <= s.cfg.ExactThreshold {
+		var err error
+		sol, err = ilp.BranchBound(prob, ilp.BBConfig{MaxNodes: s.cfg.MaxNodes})
+		if err != nil {
+			// The problem was validated during plan building; a solver
+			// error here indicates a programming bug.
+			panic(fmt.Sprintf("scheduler: phase-1 solver: %v", err))
+		}
+	} else {
+		sol = ilp.Greedy(prob)
+	}
+	for i, on := range sol.X {
+		if on {
+			chosen = append(chosen, eligible[i])
+		}
+	}
+	return chosen, sol.Value, sol.Optimal
+}
+
+// phase2 implements the anxiety-driven swapping: unselected devices
+// ranked by anxiety degree are swapped in for selected ones whenever the
+// joint objective (13) decreases and the capacities still hold. Returns
+// the number of accepted swaps.
+func (s *Scheduler) phase2(eligible []*plan, x map[string]bool) int {
+	var in, out []*plan
+	usedG, usedH := 0.0, 0.0
+	for _, p := range eligible {
+		if x[p.req.DeviceID] {
+			in = append(in, p)
+			usedG += p.g
+			usedH += p.h
+		} else {
+			out = append(out, p)
+		}
+	}
+	// Most anxious outsiders first; least anxious insiders first.
+	sort.SliceStable(out, func(a, b int) bool { return out[a].anx > out[b].anx })
+	sort.SliceStable(in, func(a, b int) bool { return in[a].anx < in[b].anx })
+
+	swaps := 0
+	for pass := 0; pass < s.cfg.MaxSwapPasses; pass++ {
+		improved := false
+		for _, cand := range out {
+			if x[cand.req.DeviceID] {
+				continue // swapped in on an earlier pass
+			}
+			for _, cur := range in {
+				if !x[cur.req.DeviceID] {
+					continue // swapped out already
+				}
+				// Objective delta of swapping cand in, cur out.
+				delta := (cand.obj1 - cand.obj0) + (cur.obj0 - cur.obj1)
+				if delta >= -1e-12 {
+					continue
+				}
+				if s.cfg.Server != nil {
+					ng := usedG - cur.g + cand.g
+					nh := usedH - cur.h + cand.h
+					if !s.cfg.Server.Fits(ng, nh) {
+						continue
+					}
+					usedG, usedH = usedG-cur.g+cand.g, usedH-cur.h+cand.h
+				}
+				x[cand.req.DeviceID] = true
+				x[cur.req.DeviceID] = false
+				swaps++
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return swaps
+}
+
+// totalObjective sums the compacted objective (13) over all devices
+// under the decision x.
+func (s *Scheduler) totalObjective(plans []*plan, x map[string]bool) float64 {
+	sum := 0.0
+	for _, p := range plans {
+		if x[p.req.DeviceID] {
+			sum += p.obj1
+		} else {
+			sum += p.obj0
+		}
+	}
+	return sum
+}
+
+// CompactedVsSimulated exposes, for testing and documentation, the two
+// ways of computing a device's slot objective: the closed form (13) used
+// by the scheduler, and a chunk-by-chunk simulation of recursion (5).
+// Information compacting is exact, so both must agree.
+func CompactedVsSimulated(s *Scheduler, r Request, transformed bool) (compacted, simulated float64, err error) {
+	plans, err := s.buildPlans([]Request{r})
+	if err != nil {
+		return 0, 0, err
+	}
+	p := plans[0]
+	compacted = s.deviceObjective(p, transformed)
+
+	// Chunk-by-chunk simulation of (3)+(5).
+	e := r.EnergyFrac
+	for k, c := range r.Chunks {
+		watts, werr := video.PowerRate(r.Display, c)
+		if werr != nil {
+			return 0, 0, werr
+		}
+		psi := (watts*c.DurationSec + r.BasePowerW*c.DurationSec) / r.BatteryCapacityJ
+		if transformed {
+			psi = (r.Gamma*watts*c.DurationSec + r.BasePowerW*c.DurationSec) / r.BatteryCapacityJ
+		}
+		model := s.cfg.Anxiety
+		if r.Anxiety != nil {
+			model = r.Anxiety
+		}
+		simulated += psi + s.cfg.Lambda*model.Anxiety(e)
+		e -= psi
+		if e < 0 {
+			e = 0
+		}
+		_ = k
+	}
+	return compacted, simulated, nil
+}

@@ -1,0 +1,146 @@
+// Package server implements the LPVS edge daemon: an HTTP service that
+// collects device status reports, runs the LPVS scheduler at each slot
+// tick, and serves per-device transform decisions and chunk metadata —
+// the deployable counterpart of the paper's Fig. 6 pipeline.
+//
+// API (all JSON):
+//
+//	POST /v1/report    device status + stream request for the next slot
+//	POST /v1/tick      advance the slot: run the scheduler on reports
+//	GET  /v1/decision  ?device=ID -> this slot's transform decision
+//	GET  /v1/chunk     ?device=ID&index=K -> chunk metadata (transformed
+//	                   for selected devices)
+//	POST /v1/observe   device feeds back the realised power reduction
+//	GET  /v1/status    cluster-wide counters
+//	GET  /healthz      liveness
+package server
+
+import (
+	"lpvs/internal/display"
+)
+
+// ReportRequest is a device's slot report (information gathering).
+type ReportRequest struct {
+	DeviceID string `json:"device_id"`
+	// ChannelID selects which of the site's streams the device watches;
+	// empty means the default stream.
+	ChannelID        string  `json:"channel_id,omitempty"`
+	DisplayType      string  `json:"display_type"` // "LCD" or "OLED"
+	Width            int     `json:"width"`
+	Height           int     `json:"height"`
+	DiagonalInch     float64 `json:"diagonal_inch"`
+	Brightness       float64 `json:"brightness"`
+	EnergyFrac       float64 `json:"energy_frac"`
+	BatteryCapacityJ float64 `json:"battery_capacity_j"`
+	BasePowerW       float64 `json:"base_power_w"`
+}
+
+// Spec converts the wire form to a display spec.
+func (r ReportRequest) Spec() (display.Spec, error) {
+	ty := display.LCD
+	switch r.DisplayType {
+	case "LCD":
+	case "OLED":
+		ty = display.OLED
+	default:
+		return display.Spec{}, errBadDisplayType(r.DisplayType)
+	}
+	s := display.Spec{
+		Type:         ty,
+		Resolution:   display.Resolution{Width: r.Width, Height: r.Height},
+		DiagonalInch: r.DiagonalInch,
+		Brightness:   r.Brightness,
+	}
+	return s, s.Validate()
+}
+
+type errBadDisplayType string
+
+func (e errBadDisplayType) Error() string {
+	return "server: unknown display type " + string(e)
+}
+
+// ReportResponse acknowledges a report.
+type ReportResponse struct {
+	Slot     int  `json:"slot"`
+	Accepted bool `json:"accepted"`
+}
+
+// TickResponse summarises a scheduling round.
+type TickResponse struct {
+	Slot     int `json:"slot"`
+	Reports  int `json:"reports"`
+	Eligible int `json:"eligible"`
+	Selected int `json:"selected"`
+	Swaps    int `json:"swaps"`
+}
+
+// DecisionResponse is one device's current decision.
+type DecisionResponse struct {
+	DeviceID  string  `json:"device_id"`
+	Slot      int     `json:"slot"`
+	Transform bool    `json:"transform"`
+	Gamma     float64 `json:"gamma"`
+}
+
+// ChunkResponse carries chunk metadata for playback; the content
+// statistics are post-transform when the device was selected.
+type ChunkResponse struct {
+	Index       int     `json:"index"`
+	DurationSec float64 `json:"duration_sec"`
+	BitrateKbps int     `json:"bitrate_kbps"`
+	Transformed bool    `json:"transformed"`
+	// Content statistics driving the client-side power model.
+	MeanLuma float64 `json:"mean_luma"`
+	PeakLuma float64 `json:"peak_luma"`
+	MeanR    float64 `json:"mean_r"`
+	MeanG    float64 `json:"mean_g"`
+	MeanB    float64 `json:"mean_b"`
+	// BrightnessScale asks LCD clients to dim the backlight (1 = no
+	// change).
+	BrightnessScale float64 `json:"brightness_scale"`
+	// PlainPowerW is the edge's estimate of the chunk's untransformed
+	// display power on this device (the paper's p_{n,m}(kappa)); clients
+	// use it to measure the realised reduction they report back.
+	PlainPowerW float64 `json:"plain_power_w"`
+}
+
+// PlaylistResponse lists the chunks of the device's current slot — the
+// manifest a player fetches before requesting chunk metadata.
+type PlaylistResponse struct {
+	DeviceID    string    `json:"device_id"`
+	Slot        int       `json:"slot"`
+	Transformed bool      `json:"transformed"`
+	Chunks      int       `json:"chunks"`
+	Durations   []float64 `json:"durations_sec"`
+}
+
+// ObserveRequest feeds the realised mean power reduction of a played
+// slot back into the device's Bayesian estimator.
+type ObserveRequest struct {
+	DeviceID  string  `json:"device_id"`
+	Reduction float64 `json:"reduction"`
+}
+
+// ObserveResponse returns the updated gamma estimate.
+type ObserveResponse struct {
+	Gamma        float64 `json:"gamma"`
+	Observations int     `json:"observations"`
+}
+
+// StatusResponse is the cluster dashboard.
+type StatusResponse struct {
+	Slot            int     `json:"slot"`
+	Devices         int     `json:"devices"`
+	PendingReports  int     `json:"pending_reports"`
+	LastSelected    int     `json:"last_selected"`
+	ComputeCapacity float64 `json:"compute_capacity"`
+	StorageMB       float64 `json:"storage_mb"`
+	Lambda          float64 `json:"lambda"`
+	StreamChunks    int     `json:"stream_chunks"`
+}
+
+// ErrorResponse is the uniform error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,41 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzReportHandler throws arbitrary JSON bodies at the report endpoint:
+// the daemon must answer 200 or 4xx, never panic, and must only ever
+// register devices whose reports validated.
+func FuzzReportHandler(f *testing.F) {
+	good, err := json.Marshal(validReport("dev-1"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"device_id":"x","display_type":"LCD"}`))
+	f.Add([]byte(`{"device_id":"x","display_type":"OLED","width":-5}`))
+	f.Add([]byte(`{broken`))
+	f.Add([]byte(``))
+
+	srv, err := New(Config{Stream: testStream(f), ServerStreams: -1, Lambda: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	handler := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/report", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		code := rec.Code
+		if code != 200 && (code < 400 || code >= 500) {
+			t.Fatalf("unexpected status %d for body %q", code, body)
+		}
+	})
+}

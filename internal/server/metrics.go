@@ -1,0 +1,64 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// counters tracks the daemon's operational metrics. Callers hold the
+// server mutex when mutating them.
+type counters struct {
+	reportsTotal      int64
+	ticksTotal        int64
+	chunksServedTotal int64
+	transformedTotal  int64
+	observationsTotal int64
+}
+
+// handleMetrics serves the counters in the Prometheus text exposition
+// format, so a standard scraper can monitor an LPVS edge site.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	gammaSum := 0.0
+	for _, st := range s.devices {
+		gammaSum += st.estimator.Gamma()
+	}
+	nDev := len(s.devices)
+	lines := map[string]string{
+		"lpvs_slot":                     fmt.Sprintf("%d", s.slot),
+		"lpvs_devices":                  fmt.Sprintf("%d", nDev),
+		"lpvs_pending_reports":          fmt.Sprintf("%d", len(s.pending)),
+		"lpvs_last_selected":            fmt.Sprintf("%d", s.lastSel),
+		"lpvs_reports_total":            fmt.Sprintf("%d", s.metrics.reportsTotal),
+		"lpvs_ticks_total":              fmt.Sprintf("%d", s.metrics.ticksTotal),
+		"lpvs_chunks_served_total":      fmt.Sprintf("%d", s.metrics.chunksServedTotal),
+		"lpvs_chunks_transformed_total": fmt.Sprintf("%d", s.metrics.transformedTotal),
+		"lpvs_observations_total":       fmt.Sprintf("%d", s.metrics.observationsTotal),
+	}
+	if nDev > 0 {
+		lines["lpvs_gamma_mean"] = fmt.Sprintf("%g", gammaSum/float64(nDev))
+	}
+	s.mu.Unlock()
+
+	names := make([]string, 0, len(lines))
+	for name := range lines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "# TYPE %s %s\n%s %s\n", name, metricType(name), name, lines[name])
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+func metricType(name string) string {
+	if strings.HasSuffix(name, "_total") {
+		return "counter"
+	}
+	return "gauge"
+}

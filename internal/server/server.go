@@ -1,0 +1,389 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"lpvs/internal/bayes"
+	"lpvs/internal/display"
+	"lpvs/internal/edge"
+	"lpvs/internal/scheduler"
+	"lpvs/internal/transform"
+	"lpvs/internal/video"
+)
+
+// Config parameterises the edge daemon.
+type Config struct {
+	// Stream is the default live stream this edge site serves. Required.
+	Stream *video.Video
+	// ExtraStreams are additional channels the site serves; devices pick
+	// one with ReportRequest.ChannelID (empty = the default stream).
+	ExtraStreams []*video.Video
+	// ServerStreams sizes the transform capacity; negative = unbounded.
+	ServerStreams int
+	// Lambda is the scheduler's energy/anxiety balance.
+	Lambda float64
+	// SlotSec and ChunkSec shape the timeline; zero means defaults.
+	SlotSec, ChunkSec float64
+	// Tolerance is the transform distortion budget; zero means 0.7.
+	Tolerance float64
+}
+
+// deviceState is the daemon's per-device bookkeeping.
+type deviceState struct {
+	estimator *bayes.GammaEstimator
+	spec      display.Spec
+	transform bool
+	slot      int
+	channel   string // stream the device watches
+}
+
+// Server is the LPVS edge daemon. It is safe for concurrent use.
+type Server struct {
+	cfg       Config
+	policy    scheduler.Policy
+	edgeSrv   *edge.Server // nil = unbounded
+	chunksPer int
+
+	streams map[string]*video.Video
+
+	mu      sync.Mutex
+	slot    int
+	pending map[string]scheduler.Request
+	devices map[string]*deviceState
+	lastSel int
+	metrics counters
+}
+
+// New validates the configuration and builds the daemon.
+func New(cfg Config) (*Server, error) {
+	if cfg.Stream == nil {
+		return nil, fmt.Errorf("server: nil stream")
+	}
+	if err := cfg.Stream.Validate(); err != nil {
+		return nil, err
+	}
+	streams := map[string]*video.Video{cfg.Stream.ID: cfg.Stream}
+	for _, v := range cfg.ExtraStreams {
+		if v == nil {
+			return nil, fmt.Errorf("server: nil extra stream")
+		}
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := streams[v.ID]; dup {
+			return nil, fmt.Errorf("server: duplicate stream ID %q", v.ID)
+		}
+		streams[v.ID] = v
+	}
+	if cfg.SlotSec == 0 {
+		cfg.SlotSec = scheduler.DefaultSlotSeconds
+	}
+	if cfg.ChunkSec == 0 {
+		cfg.ChunkSec = video.DefaultChunkSeconds
+	}
+	if cfg.Tolerance == 0 {
+		cfg.Tolerance = 0.7
+	}
+	if cfg.Tolerance < 0 || cfg.Tolerance > 1 {
+		return nil, fmt.Errorf("server: tolerance %v outside [0, 1]", cfg.Tolerance)
+	}
+	var edgeSrv *edge.Server
+	var err error
+	if cfg.ServerStreams >= 0 {
+		edgeSrv, err = edge.NewServer(cfg.ServerStreams)
+		if err != nil {
+			return nil, err
+		}
+	}
+	policy, err := scheduler.New(scheduler.Config{
+		SlotSec: cfg.SlotSec,
+		Lambda:  cfg.Lambda,
+		Server:  edgeSrv,
+	})
+	if err != nil {
+		return nil, err
+	}
+	chunksPer := int(cfg.SlotSec / cfg.ChunkSec)
+	if chunksPer < 1 {
+		return nil, fmt.Errorf("server: slot shorter than a chunk")
+	}
+	return &Server{
+		cfg:       cfg,
+		policy:    policy,
+		edgeSrv:   edgeSrv,
+		chunksPer: chunksPer,
+		streams:   streams,
+		pending:   make(map[string]scheduler.Request),
+		devices:   make(map[string]*deviceState),
+	}, nil
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/report", s.handleReport)
+	mux.HandleFunc("POST /v1/tick", s.handleTick)
+	mux.HandleFunc("GET /v1/decision", s.handleDecision)
+	mux.HandleFunc("GET /v1/chunk", s.handleChunk)
+	mux.HandleFunc("GET /v1/playlist", s.handlePlaylist)
+	mux.HandleFunc("POST /v1/observe", s.handleObserve)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+// slotWindow returns a stream's chunk window of the given slot, wrapping
+// around the stream for long-running clusters. An unknown or empty
+// channel falls back to the default stream.
+func (s *Server) slotWindow(channel string, slot int) []video.Chunk {
+	stream, ok := s.streams[channel]
+	if !ok {
+		stream = s.cfg.Stream
+	}
+	total := len(stream.Chunks) / s.chunksPer
+	if total == 0 {
+		return stream.Chunks
+	}
+	start := (slot % total) * s.chunksPer
+	return stream.Chunks[start : start+s.chunksPer]
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	var req ReportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	spec, err := req.Spec()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.devices[req.DeviceID]
+	if !ok {
+		st = &deviceState{estimator: bayes.NewGammaEstimator()}
+		s.devices[req.DeviceID] = st
+	}
+	st.spec = spec
+	if req.ChannelID != "" {
+		if _, ok := s.streams[req.ChannelID]; !ok {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown channel %q", req.ChannelID))
+			return
+		}
+		st.channel = req.ChannelID
+	} else {
+		st.channel = s.cfg.Stream.ID
+	}
+	sreq := scheduler.Request{
+		DeviceID:         req.DeviceID,
+		Display:          spec,
+		EnergyFrac:       req.EnergyFrac,
+		BatteryCapacityJ: req.BatteryCapacityJ,
+		BasePowerW:       req.BasePowerW,
+		Chunks:           s.slotWindow(st.channel, s.slot),
+		Gamma:            st.estimator.Gamma(),
+	}
+	if err := sreq.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.pending[req.DeviceID] = sreq
+	s.metrics.reportsTotal++
+	writeJSON(w, http.StatusOK, ReportResponse{Slot: s.slot, Accepted: true})
+}
+
+func (s *Server) handleTick(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	reqs := make([]scheduler.Request, 0, len(s.pending))
+	for _, r := range s.pending {
+		reqs = append(reqs, r)
+	}
+	dec, err := s.policy.Schedule(reqs)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	for id, on := range dec.Transform {
+		if st, ok := s.devices[id]; ok {
+			st.transform = on
+			st.slot = s.slot
+		}
+	}
+	s.lastSel = dec.Selected
+	s.metrics.ticksTotal++
+	resp := TickResponse{
+		Slot:     s.slot,
+		Reports:  len(reqs),
+		Eligible: dec.Eligible,
+		Selected: dec.Selected,
+		Swaps:    dec.Swaps,
+	}
+	s.pending = make(map[string]scheduler.Request)
+	s.slot++
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("device")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.devices[id]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown device %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, DecisionResponse{
+		DeviceID:  id,
+		Slot:      st.slot,
+		Transform: st.transform,
+		Gamma:     st.estimator.Gamma(),
+	})
+}
+
+func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("device")
+	idxStr := r.URL.Query().Get("index")
+	idx, err := strconv.Atoi(idxStr)
+	if err != nil || idx < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad chunk index %q", idxStr))
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.devices[id]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown device %q", id))
+		return
+	}
+	window := s.slotWindow(st.channel, st.slot)
+	if idx >= len(window) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("chunk %d beyond slot window (%d)", idx, len(window)))
+		return
+	}
+	chunk := window[idx]
+	s.metrics.chunksServedTotal++
+	plainW, err := video.PowerRate(st.spec, chunk)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := ChunkResponse{
+		Index:           chunk.Index,
+		DurationSec:     chunk.DurationSec,
+		BitrateKbps:     chunk.BitrateKbps,
+		BrightnessScale: 1,
+		MeanLuma:        chunk.Stats.MeanLuma,
+		PeakLuma:        chunk.Stats.PeakLuma,
+		MeanR:           chunk.Stats.MeanR,
+		MeanG:           chunk.Stats.MeanG,
+		MeanB:           chunk.Stats.MeanB,
+		PlainPowerW:     plainW,
+	}
+	if st.transform {
+		strat := transform.Default(st.spec.Type)
+		res, err := strat.Apply(st.spec, chunk.Stats, s.cfg.Tolerance)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Transformed = true
+		s.metrics.transformedTotal++
+		resp.BrightnessScale = res.BrightnessScale
+		resp.MeanLuma = res.Stats.MeanLuma
+		resp.PeakLuma = res.Stats.PeakLuma
+		resp.MeanR = res.Stats.MeanR
+		resp.MeanG = res.Stats.MeanG
+		resp.MeanB = res.Stats.MeanB
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePlaylist(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("device")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.devices[id]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown device %q", id))
+		return
+	}
+	window := s.slotWindow(st.channel, st.slot)
+	resp := PlaylistResponse{
+		DeviceID:    id,
+		Slot:        st.slot,
+		Transformed: st.transform,
+		Chunks:      len(window),
+		Durations:   make([]float64, len(window)),
+	}
+	for i, c := range window {
+		resp.Durations[i] = c.DurationSec
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req ObserveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.devices[req.DeviceID]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown device %q", req.DeviceID))
+		return
+	}
+	if err := st.estimator.Observe(req.Reduction); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.observationsTotal++
+	writeJSON(w, http.StatusOK, ObserveResponse{
+		Gamma:        st.estimator.Gamma(),
+		Observations: st.estimator.Observations(),
+	})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := StatusResponse{
+		Slot:           s.slot,
+		Devices:        len(s.devices),
+		PendingReports: len(s.pending),
+		LastSelected:   s.lastSel,
+		Lambda:         s.cfg.Lambda,
+		StreamChunks:   len(s.cfg.Stream.Chunks),
+	}
+	if s.edgeSrv != nil {
+		resp.ComputeCapacity = s.edgeSrv.ComputeCapacity
+		resp.StorageMB = s.edgeSrv.StorageCapacityMB
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// Encoding failures after the header is written can only be logged;
+	// with in-memory values they cannot happen.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,424 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lpvs/internal/stats"
+	"lpvs/internal/video"
+)
+
+func testStream(tb testing.TB) *video.Video {
+	tb.Helper()
+	v, err := video.Generate(stats.NewRNG(1), video.DefaultGenConfig("ch", video.Gaming, 90))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return v
+}
+
+func testServer(tb testing.TB, streams int) (*Server, *httptest.Server) {
+	tb.Helper()
+	s, err := New(Config{Stream: testStream(tb), ServerStreams: streams, Lambda: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	tb.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(tb testing.TB, url string, body any, out any) *http.Response {
+	tb.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { resp.Body.Close() })
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func getJSON(tb testing.TB, url string, out any) *http.Response {
+	tb.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { resp.Body.Close() })
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func validReport(id string) ReportRequest {
+	return ReportRequest{
+		DeviceID:         id,
+		DisplayType:      "OLED",
+		Width:            1920,
+		Height:           1080,
+		DiagonalInch:     6,
+		Brightness:       0.6,
+		EnergyFrac:       0.5,
+		BatteryCapacityJ: 50_000,
+		BasePowerW:       0.4,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil stream accepted")
+	}
+	if _, err := New(Config{Stream: testStream(t), Tolerance: 2}); err == nil {
+		t.Fatal("bad tolerance accepted")
+	}
+	if _, err := New(Config{Stream: testStream(t), SlotSec: 5, ChunkSec: 10}); err == nil {
+		t.Fatal("slot shorter than chunk accepted")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t, -1)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestReportTickDecisionFlow(t *testing.T) {
+	_, ts := testServer(t, -1)
+
+	var rep ReportResponse
+	if resp := postJSON(t, ts.URL+"/v1/report", validReport("dev-1"), &rep); resp.StatusCode != 200 {
+		t.Fatalf("report status %d", resp.StatusCode)
+	}
+	if !rep.Accepted || rep.Slot != 0 {
+		t.Fatalf("report response %+v", rep)
+	}
+
+	var tick TickResponse
+	postJSON(t, ts.URL+"/v1/tick", struct{}{}, &tick)
+	if tick.Reports != 1 || tick.Selected != 1 {
+		t.Fatalf("tick %+v, want 1 report selected (unbounded capacity)", tick)
+	}
+
+	var dec DecisionResponse
+	getJSON(t, ts.URL+"/v1/decision?device=dev-1", &dec)
+	if !dec.Transform {
+		t.Fatalf("decision %+v, want transform", dec)
+	}
+	if dec.Gamma <= 0 || dec.Gamma >= 1 {
+		t.Fatalf("gamma %v", dec.Gamma)
+	}
+}
+
+func TestReportValidation(t *testing.T) {
+	_, ts := testServer(t, -1)
+	bad := validReport("d")
+	bad.DisplayType = "PLASMA"
+	if resp := postJSON(t, ts.URL+"/v1/report", bad, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad display type -> %d", resp.StatusCode)
+	}
+	bad = validReport("d")
+	bad.EnergyFrac = 2
+	if resp := postJSON(t, ts.URL+"/v1/report", bad, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad energy -> %d", resp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/v1/report", "application/json", strings.NewReader("{broken"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("broken JSON -> %d", resp.StatusCode)
+	}
+}
+
+func TestDecisionUnknownDevice(t *testing.T) {
+	_, ts := testServer(t, -1)
+	if resp := getJSON(t, ts.URL+"/v1/decision?device=ghost", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown device -> %d", resp.StatusCode)
+	}
+}
+
+func TestChunkServesTransformedStats(t *testing.T) {
+	_, ts := testServer(t, -1)
+	postJSON(t, ts.URL+"/v1/report", validReport("dev-1"), nil)
+	postJSON(t, ts.URL+"/v1/tick", struct{}{}, nil)
+
+	var chunk ChunkResponse
+	getJSON(t, ts.URL+"/v1/chunk?device=dev-1&index=0", &chunk)
+	if !chunk.Transformed {
+		t.Fatal("selected device got untransformed chunk")
+	}
+	if chunk.PlainPowerW <= 0 {
+		t.Fatal("no plain power estimate")
+	}
+	if chunk.DurationSec <= 0 || chunk.BitrateKbps <= 0 {
+		t.Fatalf("bad chunk metadata %+v", chunk)
+	}
+}
+
+func TestChunkUntransformedForUnselected(t *testing.T) {
+	_, ts := testServer(t, 0) // zero-capacity server: nobody is selected
+	postJSON(t, ts.URL+"/v1/report", validReport("dev-1"), nil)
+	var tick TickResponse
+	postJSON(t, ts.URL+"/v1/tick", struct{}{}, &tick)
+	if tick.Selected != 0 {
+		t.Fatalf("zero capacity selected %d", tick.Selected)
+	}
+	var chunk ChunkResponse
+	getJSON(t, ts.URL+"/v1/chunk?device=dev-1&index=0", &chunk)
+	if chunk.Transformed {
+		t.Fatal("unselected device got transformed chunk")
+	}
+	if chunk.BrightnessScale != 1 {
+		t.Fatal("unselected chunk carries backlight instruction")
+	}
+}
+
+func TestChunkErrors(t *testing.T) {
+	_, ts := testServer(t, -1)
+	postJSON(t, ts.URL+"/v1/report", validReport("dev-1"), nil)
+	postJSON(t, ts.URL+"/v1/tick", struct{}{}, nil)
+	if resp := getJSON(t, ts.URL+"/v1/chunk?device=dev-1&index=notanumber", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad index -> %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/chunk?device=dev-1&index=9999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("out-of-window index -> %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/chunk?device=ghost&index=0", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown device -> %d", resp.StatusCode)
+	}
+}
+
+func TestPlaylist(t *testing.T) {
+	_, ts := testServer(t, -1)
+	postJSON(t, ts.URL+"/v1/report", validReport("dev-1"), nil)
+	postJSON(t, ts.URL+"/v1/tick", struct{}{}, nil)
+
+	var pl PlaylistResponse
+	getJSON(t, ts.URL+"/v1/playlist?device=dev-1", &pl)
+	if pl.Chunks != 30 || len(pl.Durations) != 30 {
+		t.Fatalf("playlist %+v", pl)
+	}
+	if !pl.Transformed {
+		t.Fatal("selected device's playlist not marked transformed")
+	}
+	if resp := getJSON(t, ts.URL+"/v1/playlist?device=ghost", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown device -> %d", resp.StatusCode)
+	}
+}
+
+func TestObserveUpdatesGamma(t *testing.T) {
+	_, ts := testServer(t, -1)
+	postJSON(t, ts.URL+"/v1/report", validReport("dev-1"), nil)
+	postJSON(t, ts.URL+"/v1/tick", struct{}{}, nil)
+
+	var before DecisionResponse
+	getJSON(t, ts.URL+"/v1/decision?device=dev-1", &before)
+
+	var obs ObserveResponse
+	postJSON(t, ts.URL+"/v1/observe", ObserveRequest{DeviceID: "dev-1", Reduction: 0.45}, &obs)
+	if obs.Observations != 1 {
+		t.Fatalf("observations = %d", obs.Observations)
+	}
+	if obs.Gamma <= before.Gamma {
+		t.Fatalf("gamma did not move toward the observation: %v -> %v", before.Gamma, obs.Gamma)
+	}
+
+	// Invalid observations are rejected.
+	if resp := postJSON(t, ts.URL+"/v1/observe", ObserveRequest{DeviceID: "dev-1", Reduction: 1.5}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid reduction -> %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/v1/observe", ObserveRequest{DeviceID: "ghost", Reduction: 0.3}, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown device -> %d", resp.StatusCode)
+	}
+}
+
+func TestStatus(t *testing.T) {
+	_, ts := testServer(t, 100)
+	postJSON(t, ts.URL+"/v1/report", validReport("dev-1"), nil)
+	postJSON(t, ts.URL+"/v1/report", validReport("dev-2"), nil)
+
+	var st StatusResponse
+	getJSON(t, ts.URL+"/v1/status", &st)
+	if st.Devices != 2 || st.PendingReports != 2 {
+		t.Fatalf("status %+v", st)
+	}
+	if st.ComputeCapacity != 100 {
+		t.Fatalf("capacity %v", st.ComputeCapacity)
+	}
+
+	postJSON(t, ts.URL+"/v1/tick", struct{}{}, nil)
+	getJSON(t, ts.URL+"/v1/status", &st)
+	if st.Slot != 1 || st.PendingReports != 0 || st.LastSelected != 2 {
+		t.Fatalf("post-tick status %+v", st)
+	}
+}
+
+func TestCapacityLimitsSelection(t *testing.T) {
+	_, ts := testServer(t, 1) // one 720p transform unit
+	for _, id := range []string{"a", "b", "c", "d"} {
+		r := validReport(id)
+		r.Width, r.Height = 1920, 1080 // each costs ~2.8 units
+		postJSON(t, ts.URL+"/v1/report", r, nil)
+	}
+	var tick TickResponse
+	postJSON(t, ts.URL+"/v1/tick", struct{}{}, &tick)
+	if tick.Selected != 0 {
+		t.Fatalf("selected %d 1080p streams on a 1-unit server", tick.Selected)
+	}
+}
+
+func TestSlotWindowWrapsAround(t *testing.T) {
+	s, ts := testServer(t, -1)
+	// The stream has 90 chunks = 3 slots; tick past the end.
+	for i := 0; i < 5; i++ {
+		postJSON(t, ts.URL+"/v1/report", validReport("dev-1"), nil)
+		postJSON(t, ts.URL+"/v1/tick", struct{}{}, nil)
+	}
+	var chunk ChunkResponse
+	getJSON(t, ts.URL+"/v1/chunk?device=dev-1&index=0", &chunk)
+	if chunk.DurationSec <= 0 {
+		t.Fatal("wrapped window served bad chunk")
+	}
+	if got := len(s.slotWindow("", 4)); got != 30 {
+		t.Fatalf("window size %d", got)
+	}
+}
+
+func TestMultiChannelServer(t *testing.T) {
+	def := testStream(t)
+	extra, err := video.Generate(stats.NewRNG(2), video.DefaultGenConfig("music", video.Music, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Stream: def, ExtraStreams: []*video.Video{extra}, ServerStreams: -1, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// One device on each channel.
+	rDef := validReport("dev-def")
+	rMusic := validReport("dev-music")
+	rMusic.ChannelID = "music"
+	postJSON(t, ts.URL+"/v1/report", rDef, nil)
+	postJSON(t, ts.URL+"/v1/report", rMusic, nil)
+	postJSON(t, ts.URL+"/v1/tick", struct{}{}, nil)
+
+	var cDef, cMusic ChunkResponse
+	getJSON(t, ts.URL+"/v1/chunk?device=dev-def&index=0", &cDef)
+	getJSON(t, ts.URL+"/v1/chunk?device=dev-music&index=0", &cMusic)
+	// The music stream is much darker than the gaming default; on OLED
+	// the plain power estimates must differ.
+	if cDef.PlainPowerW <= cMusic.PlainPowerW {
+		t.Fatalf("channel content not differentiated: %v vs %v", cDef.PlainPowerW, cMusic.PlainPowerW)
+	}
+
+	// Unknown channel rejected.
+	bad := validReport("dev-x")
+	bad.ChannelID = "ghost"
+	if resp := postJSON(t, ts.URL+"/v1/report", bad, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown channel -> %d", resp.StatusCode)
+	}
+}
+
+func TestMultiChannelConfigValidation(t *testing.T) {
+	def := testStream(t)
+	if _, err := New(Config{Stream: def, ExtraStreams: []*video.Video{nil}}); err == nil {
+		t.Fatal("nil extra stream accepted")
+	}
+	dup, err := video.Generate(stats.NewRNG(3), video.DefaultGenConfig(def.ID, video.IRL, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Stream: def, ExtraStreams: []*video.Video{dup}}); err == nil {
+		t.Fatal("duplicate stream ID accepted")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t, -1)
+	postJSON(t, ts.URL+"/v1/report", validReport("dev-1"), nil)
+	postJSON(t, ts.URL+"/v1/tick", struct{}{}, nil)
+	getJSON(t, ts.URL+"/v1/chunk?device=dev-1&index=0", &ChunkResponse{})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := make([]byte, 8192)
+	n, _ := resp.Body.Read(body)
+	text := string(body[:n])
+	for _, want := range []string{
+		"lpvs_reports_total 1",
+		"lpvs_ticks_total 1",
+		"lpvs_chunks_served_total 1",
+		"lpvs_chunks_transformed_total 1",
+		"lpvs_devices 1",
+		"lpvs_gamma_mean",
+		"# TYPE lpvs_reports_total counter",
+		"# TYPE lpvs_devices gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestConcurrentReports(t *testing.T) {
+	_, ts := testServer(t, -1)
+	const n = 32
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			r := validReport(deviceName(i))
+			buf, _ := json.Marshal(r)
+			resp, err := http.Post(ts.URL+"/v1/report", "application/json", bytes.NewReader(buf))
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					err = errBadDisplayType("status")
+				}
+			}
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	var tick TickResponse
+	postJSON(t, ts.URL+"/v1/tick", struct{}{}, &tick)
+	if tick.Reports != n {
+		t.Fatalf("reports = %d, want %d", tick.Reports, n)
+	}
+}
+
+func deviceName(i int) string {
+	return "dev-" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+}

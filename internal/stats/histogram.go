@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi). Values outside
+// the range are clamped into the first / last bin so that no observation
+// is silently dropped — the survey-curve extraction depends on every
+// answer being counted.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins spanning
+// [lo, hi). It panics on a non-positive bin count or an empty range.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: NewHistogram requires bins > 0")
+	}
+	if hi <= lo {
+		panic("stats: NewHistogram requires hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	idx := h.binOf(x)
+	h.Counts[idx]++
+	h.total++
+}
+
+func (h *Histogram) binOf(x float64) int {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	idx := int((x - h.Lo) / w)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	return idx
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 {
+	return (h.Hi - h.Lo) / float64(len(h.Counts))
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.BinWidth()
+}
+
+// Fractions returns the normalised bin frequencies. All zeros when the
+// histogram is empty.
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// Mode returns the center of the most populated bin.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return h.BinCenter(best)
+}
+
+// Render draws a textual bar chart of the histogram, width characters
+// wide, one row per bin — the form used by the figure regenerators to
+// print Fig. 5-style histograms.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if maxC > 0 {
+			bar = c * width / maxC
+		}
+		fmt.Fprintf(&b, "%8.1f | %-*s %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

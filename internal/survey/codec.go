@@ -1,0 +1,108 @@
+package survey
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+var csvHeader = []string{
+	"id", "gender", "age", "occupation", "brand",
+	"suffers_lba", "charge_threshold", "giveup_threshold",
+}
+
+// WriteCSV exports the dataset, one respondent per row, so real survey
+// data can replace the synthetic population.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("survey: csv header: %w", err)
+	}
+	for _, r := range d.Respondents {
+		row := []string{
+			strconv.Itoa(r.ID),
+			strconv.Itoa(int(r.Gender)),
+			strconv.Itoa(int(r.Age)),
+			strconv.Itoa(int(r.Occupation)),
+			strconv.Itoa(int(r.Brand)),
+			strconv.FormatBool(r.SuffersLBA),
+			strconv.Itoa(r.ChargeThreshold),
+			strconv.Itoa(r.GiveUpThreshold),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("survey: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads a dataset, applying the same cleansing the generator
+// applies: malformed rows are counted in Discarded rather than failing
+// the load, mirroring the paper's "effective answers after data
+// cleansing". A structurally broken file (bad header, non-numeric
+// fields) is an error.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("survey: csv header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("survey: header has %d columns, want %d", len(header), len(csvHeader))
+	}
+	for i, h := range header {
+		if h != csvHeader[i] {
+			return nil, fmt.Errorf("survey: column %d is %q, want %q", i, h, csvHeader[i])
+		}
+	}
+	ds := &Dataset{}
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("survey: csv read: %w", err)
+		}
+		resp, err := parseRespondent(row)
+		if err != nil {
+			return nil, err
+		}
+		if !resp.Valid() {
+			ds.Discarded++
+			continue
+		}
+		ds.Respondents = append(ds.Respondents, resp)
+	}
+	if len(ds.Respondents) == 0 {
+		return nil, fmt.Errorf("survey: no effective answers after cleansing")
+	}
+	return ds, nil
+}
+
+func parseRespondent(row []string) (Respondent, error) {
+	ints := make([]int, 0, 7)
+	for _, idx := range []int{0, 1, 2, 3, 4, 6, 7} {
+		v, err := strconv.Atoi(row[idx])
+		if err != nil {
+			return Respondent{}, fmt.Errorf("survey: column %d: %w", idx, err)
+		}
+		ints = append(ints, v)
+	}
+	lba, err := strconv.ParseBool(row[5])
+	if err != nil {
+		return Respondent{}, fmt.Errorf("survey: column 5: %w", err)
+	}
+	return Respondent{
+		ID:              ints[0],
+		Gender:          Gender(ints[1]),
+		Age:             AgeGroup(ints[2]),
+		Occupation:      Occupation(ints[3]),
+		Brand:           Brand(ints[4]),
+		SuffersLBA:      lba,
+		ChargeThreshold: ints[5],
+		GiveUpThreshold: ints[6],
+	}, nil
+}

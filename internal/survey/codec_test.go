@@ -1,0 +1,64 @@
+package survey
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 120
+	ds := Generate(cfg)
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ds.N() {
+		t.Fatalf("round trip size %d, want %d", back.N(), ds.N())
+	}
+	for i := range ds.Respondents {
+		if ds.Respondents[i] != back.Respondents[i] {
+			t.Fatalf("respondent %d corrupted", i)
+		}
+	}
+}
+
+func TestReadCSVCleansesInvalidRows(t *testing.T) {
+	csvData := strings.Join([]string{
+		strings.Join(csvHeader, ","),
+		"1,0,1,0,0,true,20,10",  // valid
+		"2,0,1,0,0,true,120,10", // out-of-range charge threshold
+		"3,0,1,0,0,false,20,30", // give-up above charge
+		"4,1,2,1,1,true,50,5",   // valid
+	}, "\n")
+	ds, err := ReadCSV(strings.NewReader(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 2 {
+		t.Fatalf("effective answers %d, want 2", ds.N())
+	}
+	if ds.Discarded != 2 {
+		t.Fatalf("discarded %d, want 2", ds.Discarded)
+	}
+}
+
+func TestReadCSVStructuralErrors(t *testing.T) {
+	cases := []string{
+		"",                  // no header
+		"wrong,header\n1,2", // bad header
+		strings.Join(csvHeader, ",") + "\nnotanint,0,1,0,0,true,20,10", // bad int
+		strings.Join(csvHeader, ",") + "\n1,0,1,0,0,maybe,20,10",       // bad bool
+		strings.Join(csvHeader, ",") + "\n1,0,1,0,0,true,0,0",          // all rows cleansed away
+	}
+	for i, data := range cases {
+		if _, err := ReadCSV(strings.NewReader(data)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package survey
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Demographics holds the Table II frequency breakdown of a dataset.
+type Demographics struct {
+	N          int
+	Gender     map[Gender]int
+	Age        map[AgeGroup]int
+	Occupation map[Occupation]int
+	Brand      map[Brand]int
+}
+
+// Demographics tabulates the dataset the way Table II of the paper does.
+func (d *Dataset) Demographics() Demographics {
+	dem := Demographics{
+		N:          d.N(),
+		Gender:     make(map[Gender]int),
+		Age:        make(map[AgeGroup]int),
+		Occupation: make(map[Occupation]int),
+		Brand:      make(map[Brand]int),
+	}
+	for _, r := range d.Respondents {
+		dem.Gender[r.Gender]++
+		dem.Age[r.Age]++
+		dem.Occupation[r.Occupation]++
+		dem.Brand[r.Brand]++
+	}
+	return dem
+}
+
+// Render prints the demographics as a Table II-style text table.
+func (dem Demographics) Render() string {
+	var b strings.Builder
+	pct := func(n int) float64 {
+		if dem.N == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(dem.N)
+	}
+	fmt.Fprintf(&b, "Survey subjects and frequencies (N = %d)\n", dem.N)
+	fmt.Fprintf(&b, "%-14s %10s\n", "Subject", "Freq (%)")
+	fmt.Fprintln(&b, "Gender")
+	for _, g := range []Gender{Male, Female} {
+		fmt.Fprintf(&b, "  %-12s %4d (%5.2f)\n", g, dem.Gender[g], pct(dem.Gender[g]))
+	}
+	fmt.Fprintln(&b, "Age")
+	for _, a := range []AgeGroup{AgeUnder18, Age18to25, Age25to35, Age35to45, Age45to65} {
+		fmt.Fprintf(&b, "  %-12s %4d (%5.2f)\n", a, dem.Age[a], pct(dem.Age[a]))
+	}
+	fmt.Fprintln(&b, "Occupation")
+	for _, o := range []Occupation{Student, GovInst, Company, Freelance, OtherOccupation} {
+		fmt.Fprintf(&b, "  %-12s %4d (%5.2f)\n", o, dem.Occupation[o], pct(dem.Occupation[o]))
+	}
+	fmt.Fprintln(&b, "Smartphone Brand")
+	for _, br := range []Brand{IPhone, Huawei, Xiaomi, OtherBrand} {
+		fmt.Fprintf(&b, "  %-12s %4d (%5.2f)\n", br, dem.Brand[br], pct(dem.Brand[br]))
+	}
+	return b.String()
+}

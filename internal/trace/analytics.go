@@ -1,0 +1,76 @@
+package trace
+
+// ConcurrencyCurve returns the total concurrent viewers across all
+// sessions per slot index — the platform-wide load curve an edge
+// operator provisions against.
+func (t *Trace) ConcurrencyCurve() []int {
+	curve := make([]int, t.MaxSlot())
+	for _, s := range t.Sessions() {
+		for k, sm := range s.Samples {
+			curve[s.StartSlot+k] += sm.Viewers
+		}
+	}
+	return curve
+}
+
+// PeakConcurrency returns the busiest slot and its viewer count.
+func (t *Trace) PeakConcurrency() (slot, viewers int) {
+	for i, v := range t.ConcurrencyCurve() {
+		if v > viewers {
+			slot, viewers = i, v
+		}
+	}
+	return slot, viewers
+}
+
+// ViewerHours integrates the audience over time: total watched hours
+// across the dataset (each sample is one SampleIntervalMin of watching
+// per viewer).
+func (t *Trace) ViewerHours() float64 {
+	total := 0.0
+	for _, s := range t.Sessions() {
+		for _, sm := range s.Samples {
+			total += float64(sm.Viewers) * float64(SampleIntervalMin) / 60
+		}
+	}
+	return total
+}
+
+// TopChannels returns the n channel IDs with the most viewer-hours,
+// busiest first.
+func (t *Trace) TopChannels(n int) []string {
+	type chHours struct {
+		id    string
+		hours float64
+	}
+	var all []chHours
+	for _, ch := range t.Channels {
+		hours := 0.0
+		for _, s := range ch.Sessions {
+			for _, sm := range s.Samples {
+				hours += float64(sm.Viewers) * float64(SampleIntervalMin) / 60
+			}
+		}
+		all = append(all, chHours{ch.ID, hours})
+	}
+	// Insertion-sort the small prefix we need.
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, 0, n)
+	used := make(map[int]bool, n)
+	for len(out) < n {
+		best := -1
+		for i, c := range all {
+			if used[i] {
+				continue
+			}
+			if best < 0 || c.hours > all[best].hours {
+				best = i
+			}
+		}
+		used[best] = true
+		out = append(out, all[best].id)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"lpvs/internal/video"
+)
+
+// tinyTrace builds a hand-checkable two-channel trace.
+func tinyTrace() *Trace {
+	return &Trace{
+		SampleIntervalMinutes: 5,
+		Channels: []Channel{
+			{
+				ID:    "a",
+				Genre: video.Gaming,
+				Sessions: []Session{{
+					ID: "s1", ChannelID: "a", StartSlot: 0, BitrateKbps: 2500,
+					Samples: []SlotSample{{Viewers: 10}, {Viewers: 20}},
+				}},
+			},
+			{
+				ID:    "b",
+				Genre: video.Music,
+				Sessions: []Session{{
+					ID: "s2", ChannelID: "b", StartSlot: 1, BitrateKbps: 2500,
+					Samples: []SlotSample{{Viewers: 5}, {Viewers: 50}},
+				}},
+			},
+		},
+	}
+}
+
+func TestConcurrencyCurve(t *testing.T) {
+	tr := tinyTrace()
+	curve := tr.ConcurrencyCurve()
+	want := []int{10, 25, 50} // slot 0: a=10; slot 1: a=20+b=5; slot 2: b=50
+	if len(curve) != len(want) {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	for i := range want {
+		if curve[i] != want[i] {
+			t.Fatalf("slot %d: %d, want %d", i, curve[i], want[i])
+		}
+	}
+}
+
+func TestPeakConcurrency(t *testing.T) {
+	slot, viewers := tinyTrace().PeakConcurrency()
+	if slot != 2 || viewers != 50 {
+		t.Fatalf("peak = slot %d with %d viewers", slot, viewers)
+	}
+}
+
+func TestViewerHours(t *testing.T) {
+	// (10+20+5+50) samples x 5 min = 425 min = ~7.083 h.
+	got := tinyTrace().ViewerHours()
+	if math.Abs(got-425.0/60) > 1e-9 {
+		t.Fatalf("viewer hours %v", got)
+	}
+}
+
+func TestTopChannels(t *testing.T) {
+	tr := tinyTrace()
+	top := tr.TopChannels(2)
+	if len(top) != 2 || top[0] != "b" || top[1] != "a" {
+		t.Fatalf("top channels %v", top)
+	}
+	if got := tr.TopChannels(10); len(got) != 2 {
+		t.Fatalf("over-asked top channels %v", got)
+	}
+}
+
+func TestAnalyticsOnGeneratedTrace(t *testing.T) {
+	tr := defaultTrace(t)
+	if tr.ViewerHours() <= 0 {
+		t.Fatal("no viewer hours")
+	}
+	_, peak := tr.PeakConcurrency()
+	if peak <= 0 {
+		t.Fatal("no peak concurrency")
+	}
+	if len(tr.TopChannels(5)) != 5 {
+		t.Fatal("top channels")
+	}
+}

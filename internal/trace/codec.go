@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJSON serialises the trace.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserialises and validates a trace.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+var csvHeader = []string{"session_id", "channel_id", "genre", "start_slot", "bitrate_kbps", "duration_min", "peak_viewers"}
+
+// WriteSessionsCSV exports one row per session with its headline
+// attributes — the tabular form used for offline analysis of Fig. 5.
+func (t *Trace) WriteSessionsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: csv header: %w", err)
+	}
+	for _, ch := range t.Channels {
+		for i := range ch.Sessions {
+			s := &ch.Sessions[i]
+			peak := 0
+			for _, sm := range s.Samples {
+				if sm.Viewers > peak {
+					peak = sm.Viewers
+				}
+			}
+			row := []string{
+				s.ID,
+				s.ChannelID,
+				ch.Genre.String(),
+				strconv.Itoa(s.StartSlot),
+				strconv.Itoa(s.BitrateKbps),
+				strconv.Itoa(s.DurationMin()),
+				strconv.Itoa(peak),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("trace: csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSON hardens the trace loader against arbitrary input: it must
+// either return a validated trace or an error, never panic, and any
+// trace it accepts must survive a re-encode round trip.
+func FuzzReadJSON(f *testing.F) {
+	cfg := DefaultGenConfig()
+	cfg.NumChannels, cfg.TargetSessions = 3, 6
+	tr, err := Generate(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"sample_interval_minutes":5,"channels":[]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"sample_interval_minutes":-1,"channels":[{"id":"x","genre":0,"sessions":[]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be valid and re-encodable.
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("ReadJSON accepted an invalid trace: %v", verr)
+		}
+		var out bytes.Buffer
+		if werr := got.WriteJSON(&out); werr != nil {
+			t.Fatalf("re-encode failed: %v", werr)
+		}
+		back, rerr := ReadJSON(&out)
+		if rerr != nil {
+			t.Fatalf("round trip failed: %v", rerr)
+		}
+		if back.NumSessions() != got.NumSessions() {
+			t.Fatal("round trip changed session count")
+		}
+	})
+}

@@ -1,0 +1,302 @@
+// Package trace provides the live-streaming workload substrate: a
+// Twitch-like trace generator, its JSON/CSV codecs, and the session-
+// duration statistics behind Fig. 5 of the paper.
+//
+// The paper drives its emulator with a 2014 Twitch dataset: thousands of
+// live channels sampled every 5 minutes with viewer counts, bitrates and
+// channel durations, filtered to channels lasting at most 10 hours —
+// 1,566 live channels and 4,761 live video sessions. That dataset is not
+// redistributable, so this package generates a synthetic trace matching
+// the published population counts, the sampling interval, the duration
+// cap, and the heavy-tailed session-duration and viewer-count shapes of
+// live-streaming platforms.
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"lpvs/internal/stats"
+	"lpvs/internal/video"
+)
+
+// SampleIntervalMin is the dataset's sampling interval (and the LPVS
+// scheduling period): 5 minutes.
+const SampleIntervalMin = 5
+
+// MaxSessionMinutes is the paper's filter: live channels lasting more
+// than 10 hours are discarded.
+const MaxSessionMinutes = 600
+
+// SlotSample is one 5-minute observation of a live session.
+type SlotSample struct {
+	// Viewers is the concurrent audience during the slot.
+	Viewers int `json:"viewers"`
+}
+
+// Session is one continuous live broadcast of a channel.
+type Session struct {
+	ID          string       `json:"id"`
+	ChannelID   string       `json:"channel_id"`
+	StartSlot   int          `json:"start_slot"`
+	BitrateKbps int          `json:"bitrate_kbps"`
+	Samples     []SlotSample `json:"samples"`
+}
+
+// DurationMin returns the session length in minutes.
+func (s *Session) DurationMin() int { return len(s.Samples) * SampleIntervalMin }
+
+// EndSlot returns the first slot index after the session.
+func (s *Session) EndSlot() int { return s.StartSlot + len(s.Samples) }
+
+// Validate reports whether the session is well-formed.
+func (s *Session) Validate() error {
+	if s.ID == "" || s.ChannelID == "" {
+		return fmt.Errorf("trace: session with empty identifiers")
+	}
+	if s.StartSlot < 0 {
+		return fmt.Errorf("trace: session %s has negative start slot", s.ID)
+	}
+	if len(s.Samples) == 0 {
+		return fmt.Errorf("trace: session %s has no samples", s.ID)
+	}
+	if s.DurationMin() > MaxSessionMinutes {
+		return fmt.Errorf("trace: session %s lasts %d min, over the %d min cap", s.ID, s.DurationMin(), MaxSessionMinutes)
+	}
+	if s.BitrateKbps <= 0 {
+		return fmt.Errorf("trace: session %s has non-positive bitrate", s.ID)
+	}
+	for i, sm := range s.Samples {
+		if sm.Viewers < 0 {
+			return fmt.Errorf("trace: session %s slot %d has negative viewers", s.ID, i)
+		}
+	}
+	return nil
+}
+
+// Channel is one broadcaster with its live sessions.
+type Channel struct {
+	ID       string      `json:"id"`
+	Genre    video.Genre `json:"genre"`
+	Sessions []Session   `json:"sessions"`
+}
+
+// Trace is a complete workload dataset.
+type Trace struct {
+	SampleIntervalMinutes int       `json:"sample_interval_minutes"`
+	Channels              []Channel `json:"channels"`
+}
+
+// Validate checks the entire trace.
+func (t *Trace) Validate() error {
+	if t.SampleIntervalMinutes <= 0 {
+		return fmt.Errorf("trace: non-positive sample interval")
+	}
+	if len(t.Channels) == 0 {
+		return fmt.Errorf("trace: no channels")
+	}
+	seen := make(map[string]bool, len(t.Channels))
+	for _, ch := range t.Channels {
+		if ch.ID == "" {
+			return fmt.Errorf("trace: channel with empty ID")
+		}
+		if seen[ch.ID] {
+			return fmt.Errorf("trace: duplicate channel ID %s", ch.ID)
+		}
+		seen[ch.ID] = true
+		if len(ch.Sessions) == 0 {
+			return fmt.Errorf("trace: channel %s has no sessions", ch.ID)
+		}
+		for i := range ch.Sessions {
+			s := &ch.Sessions[i]
+			if s.ChannelID != ch.ID {
+				return fmt.Errorf("trace: session %s claims channel %s inside channel %s", s.ID, s.ChannelID, ch.ID)
+			}
+			if err := s.Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// NumSessions counts sessions across all channels.
+func (t *Trace) NumSessions() int {
+	n := 0
+	for _, ch := range t.Channels {
+		n += len(ch.Sessions)
+	}
+	return n
+}
+
+// Sessions returns pointers to every session, channel order preserved.
+func (t *Trace) Sessions() []*Session {
+	out := make([]*Session, 0, t.NumSessions())
+	for i := range t.Channels {
+		for j := range t.Channels[i].Sessions {
+			out = append(out, &t.Channels[i].Sessions[j])
+		}
+	}
+	return out
+}
+
+// DurationsMin returns every session duration in minutes — the Fig. 5
+// sample.
+func (t *Trace) DurationsMin() []float64 {
+	out := make([]float64, 0, t.NumSessions())
+	for _, s := range t.Sessions() {
+		out = append(out, float64(s.DurationMin()))
+	}
+	return out
+}
+
+// DurationHistogram bins the session durations (minutes) into
+// binMinutes-wide bins over [0, MaxSessionMinutes] — Fig. 5 of the
+// paper.
+func (t *Trace) DurationHistogram(binMinutes int) *stats.Histogram {
+	if binMinutes <= 0 {
+		binMinutes = 30
+	}
+	bins := (MaxSessionMinutes + binMinutes - 1) / binMinutes
+	h := stats.NewHistogram(0, float64(bins*binMinutes), bins)
+	for _, d := range t.DurationsMin() {
+		h.Add(d)
+	}
+	return h
+}
+
+// MaxSlot returns the largest slot index observed plus one, i.e. the
+// length of the emulation timeline.
+func (t *Trace) MaxSlot() int {
+	maxSlot := 0
+	for _, s := range t.Sessions() {
+		if s.EndSlot() > maxSlot {
+			maxSlot = s.EndSlot()
+		}
+	}
+	return maxSlot
+}
+
+// BitrateLadder lists the bitrates (kbps) of the generated streams,
+// matching common live-platform transcode renditions.
+var BitrateLadder = []int{1200, 2500, 4500, 6000}
+
+// GenConfig parameterises trace generation.
+type GenConfig struct {
+	Seed int64
+	// NumChannels and TargetSessions shape the population; defaults
+	// reproduce the paper's filtered dataset.
+	NumChannels    int
+	TargetSessions int
+	// MedianSessionMin is the median session duration in minutes.
+	MedianSessionMin float64
+	// DurationSigma is the log-normal shape parameter for durations.
+	DurationSigma float64
+	// MedianViewers sets the heavy-tailed audience size.
+	MedianViewers float64
+}
+
+// DefaultGenConfig reproduces the paper's dataset population: 1,566
+// channels and 4,761 sessions of at most 10 hours.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Seed:             1,
+		NumChannels:      1566,
+		TargetSessions:   4761,
+		MedianSessionMin: 95,
+		DurationSigma:    0.8,
+		MedianViewers:    25,
+	}
+}
+
+// Generate synthesises a trace. Session counts per channel follow a
+// geometric-like split so that the total matches TargetSessions exactly;
+// durations are log-normal clipped to the 10-hour filter; viewer counts
+// are log-normal with AR(1) within-session evolution.
+func Generate(cfg GenConfig) (*Trace, error) {
+	if cfg.NumChannels <= 0 || cfg.TargetSessions < cfg.NumChannels {
+		return nil, fmt.Errorf("trace: need NumChannels > 0 and TargetSessions >= NumChannels, got %d / %d",
+			cfg.NumChannels, cfg.TargetSessions)
+	}
+	if cfg.MedianSessionMin <= 0 || cfg.DurationSigma <= 0 || cfg.MedianViewers <= 0 {
+		return nil, fmt.Errorf("trace: non-positive distribution parameters")
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	tr := &Trace{SampleIntervalMinutes: SampleIntervalMin, Channels: make([]Channel, cfg.NumChannels)}
+
+	// Distribute sessions: every channel gets one, the surplus goes to
+	// channels by a heavy-ish random allocation.
+	counts := make([]int, cfg.NumChannels)
+	for i := range counts {
+		counts[i] = 1
+	}
+	for extra := cfg.TargetSessions - cfg.NumChannels; extra > 0; extra-- {
+		counts[rng.Intn(cfg.NumChannels)]++
+	}
+
+	genres := video.AllGenres()
+	sessionSeq := 0
+	for i := range tr.Channels {
+		chID := fmt.Sprintf("ch-%04d", i)
+		ch := Channel{ID: chID, Genre: genres[rng.Intn(len(genres))]}
+		// Channel popularity persists across its sessions.
+		baseViewers := rng.LogNormal(logOf(cfg.MedianViewers), 1.1)
+		cursor := rng.Intn(288) // start somewhere within a day of slots
+		for k := 0; k < counts[i]; k++ {
+			sessionSeq++
+			s := genSession(rng, cfg, chID, fmt.Sprintf("s-%05d", sessionSeq), cursor, baseViewers)
+			cursor = s.EndSlot() + 1 + rng.Intn(48) // off-air gap
+			ch.Sessions = append(ch.Sessions, s)
+		}
+		tr.Channels[i] = ch
+	}
+	return tr, nil
+}
+
+func genSession(rng *stats.RNG, cfg GenConfig, chID, id string, startSlot int, baseViewers float64) Session {
+	durMin := rng.LogNormal(logOf(cfg.MedianSessionMin), cfg.DurationSigma)
+	if durMin > MaxSessionMinutes {
+		durMin = MaxSessionMinutes
+	}
+	slots := int(durMin/SampleIntervalMin + 0.5)
+	if slots < 1 {
+		slots = 1
+	}
+	s := Session{
+		ID:          id,
+		ChannelID:   chID,
+		StartSlot:   startSlot,
+		BitrateKbps: BitrateLadder[rng.Categorical([]float64{0.2, 0.4, 0.3, 0.1})],
+		Samples:     make([]SlotSample, slots),
+	}
+	viewers := baseViewers * rng.Uniform(0.5, 1.5)
+	for k := range s.Samples {
+		// Audience ramps up, plateaus, then decays; AR(1) noise on top.
+		phase := rampFactor(k, slots)
+		viewers = 0.8*viewers + 0.2*baseViewers*phase*rng.Uniform(0.6, 1.4)
+		if viewers < 0 {
+			viewers = 0
+		}
+		s.Samples[k] = SlotSample{Viewers: int(viewers + 0.5)}
+	}
+	return s
+}
+
+// rampFactor shapes an audience curve: quick ramp-up over the first
+// fifth, flat middle, decay over the last fifth.
+func rampFactor(k, total int) float64 {
+	if total <= 1 {
+		return 1
+	}
+	pos := float64(k) / float64(total-1)
+	switch {
+	case pos < 0.2:
+		return 0.4 + 3*pos
+	case pos > 0.8:
+		return 1 - 2*(pos-0.8)
+	default:
+		return 1
+	}
+}
+
+func logOf(x float64) float64 { return math.Log(x) }

@@ -1,0 +1,44 @@
+package transform
+
+import (
+	"testing"
+
+	"lpvs/internal/display"
+	"lpvs/internal/video"
+)
+
+// BenchmarkApply measures the per-chunk transform cost for the default
+// strategy of each display type — the work the paper offloads from
+// phones to the edge.
+func BenchmarkApply(b *testing.B) {
+	for _, ty := range []display.Type{display.LCD, display.OLED} {
+		b.Run(ty.String(), func(b *testing.B) {
+			s := Default(ty)
+			sp := spec(ty)
+			c := corpus(b, video.Gaming, 1)[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Apply(sp, c, 0.7); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRealizedSaving measures the post-playback measurement path.
+func BenchmarkRealizedSaving(b *testing.B) {
+	s := Default(display.OLED)
+	sp := spec(display.OLED)
+	c := corpus(b, video.Music, 1)[0]
+	res, err := s.Apply(sp, c, 0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RealizedSaving(sp, c, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package transform
+
+import (
+	"fmt"
+
+	"lpvs/internal/display"
+	"lpvs/internal/frame"
+	"lpvs/internal/stats"
+)
+
+// FrameResult is the outcome of the per-pixel transform path.
+type FrameResult struct {
+	// Frame is the transformed keyframe.
+	Frame *frame.Frame
+	// Result is the aggregate view (stats, backlight scale, quality
+	// loss) equivalent to the statistics path, so downstream code can
+	// treat both paths uniformly.
+	Result
+}
+
+// ApplyFrame transforms a chunk's keyframe per pixel — the operation the
+// paper offloads to the edge because it is too expensive for phones.
+// LCD: quality-adapted backlight scaling with luminance compensation,
+// with the clip budget derived from the tolerance. OLED: per-channel
+// color scaling, blue shaved hardest.
+//
+// Unlike Apply, which plans a saving inside the strategy's published
+// Table I range, the frame path realises whatever the actual pixels
+// allow — it is the ground-truth engine the aggregate path approximates.
+func (s Strategy) ApplyFrame(spec display.Spec, f *frame.Frame, tolerance float64) (FrameResult, error) {
+	if err := spec.Validate(); err != nil {
+		return FrameResult{}, err
+	}
+	if spec.Type != s.Target {
+		return FrameResult{}, fmt.Errorf("transform: strategy %q targets %v, got %v display", s.Name, s.Target, spec.Type)
+	}
+	if tolerance < 0 || tolerance > 1 {
+		return FrameResult{}, fmt.Errorf("transform: tolerance %v outside [0, 1]", tolerance)
+	}
+	switch s.Target {
+	case display.LCD:
+		return s.applyFrameLCD(f, tolerance)
+	default:
+		return s.applyFrameOLED(f, tolerance)
+	}
+}
+
+func (s Strategy) applyFrameLCD(f *frame.Frame, tolerance float64) (FrameResult, error) {
+	// Tolerance buys clipping budget: up to 8% of pixels may clip at
+	// full tolerance, scaled by how aggressive the strategy is.
+	budget := 0.08 * tolerance * (s.qualityCost / 0.45)
+	scale, err := frame.BacklightForClipBudget(f, stats.Clamp(budget, 0, 1))
+	if err != nil {
+		return FrameResult{}, err
+	}
+	res, err := frame.ScaleBacklight(f, scale)
+	if err != nil {
+		return FrameResult{}, err
+	}
+	return FrameResult{
+		Frame: res.Frame,
+		Result: Result{
+			Stats:           res.Frame.Stats(),
+			BrightnessScale: res.BacklightScale,
+			QualityLoss:     stats.Clamp(res.ClippedFrac, 0, 1),
+		},
+	}, nil
+}
+
+func (s Strategy) applyFrameOLED(f *frame.Frame, tolerance float64) (FrameResult, error) {
+	// Channel scales: blue is the costliest emitter, green the cheapest
+	// and the one human vision is most sensitive to. Depth scales with
+	// the strategy's published ceiling and the tolerance.
+	depth := tolerance * s.SavingHi
+	sb := stats.Clamp(1-0.9*depth, 0.05, 1)
+	sr := stats.Clamp(1-0.7*depth, 0.05, 1)
+	sg := stats.Clamp(1-0.5*depth, 0.05, 1)
+	res, err := frame.TransformColors(f, sr, sg, sb)
+	if err != nil {
+		return FrameResult{}, err
+	}
+	return FrameResult{
+		Frame: res.Frame,
+		Result: Result{
+			Stats:           res.Frame.Stats(),
+			BrightnessScale: 1,
+			QualityLoss:     stats.Clamp(res.MeanShift*3, 0, 1),
+		},
+	}, nil
+}

@@ -1,0 +1,149 @@
+package transform
+
+import (
+	"testing"
+
+	"lpvs/internal/display"
+	"lpvs/internal/frame"
+	"lpvs/internal/stats"
+	"lpvs/internal/video"
+)
+
+func keyframeChunks(tb testing.TB, g video.Genre, n int) []video.Chunk {
+	tb.Helper()
+	cfg := video.DefaultGenConfig("kf", g, n)
+	cfg.WithKeyframes = true
+	v, err := video.Generate(stats.NewRNG(5), cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return v.Chunks
+}
+
+func TestApplyFrameLCDSavesPower(t *testing.T) {
+	s := Default(display.LCD)
+	sp := spec(display.LCD)
+	for _, c := range keyframeChunks(t, video.IRL, 20) {
+		res, err := s.ApplyFrame(sp, c.Keyframe, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BrightnessScale >= 1 {
+			t.Fatalf("no backlight scaling (scale %v)", res.BrightnessScale)
+		}
+		saving, err := RealizedSaving(sp, c.Stats, res.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if saving <= 0 {
+			t.Fatalf("no power saved: %v", saving)
+		}
+	}
+}
+
+func TestApplyFrameOLEDSavesPower(t *testing.T) {
+	s := Default(display.OLED)
+	sp := spec(display.OLED)
+	for _, c := range keyframeChunks(t, video.Gaming, 20) {
+		res, err := s.ApplyFrame(sp, c.Keyframe, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saving, err := RealizedSaving(sp, c.Stats, res.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if saving <= 0.05 {
+			t.Fatalf("OLED frame path saved only %v", saving)
+		}
+		if res.QualityLoss <= 0 || res.QualityLoss > 1 {
+			t.Fatalf("quality loss %v", res.QualityLoss)
+		}
+	}
+}
+
+func TestApplyFrameToleranceMonotone(t *testing.T) {
+	sp := spec(display.OLED)
+	s := Default(display.OLED)
+	c := keyframeChunks(t, video.Esports, 1)[0]
+	var prev float64
+	for _, tol := range []float64{0.2, 0.5, 0.9} {
+		res, err := s.ApplyFrame(sp, c.Keyframe, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saving, err := RealizedSaving(sp, c.Stats, res.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if saving < prev-1e-9 {
+			t.Fatalf("saving not monotone in tolerance at %v", tol)
+		}
+		prev = saving
+	}
+}
+
+func TestApplyFrameAgreesWithStatsPath(t *testing.T) {
+	// The per-pixel engine and the calibrated aggregate path must agree
+	// on the order of magnitude of achievable savings — the aggregate
+	// path exists precisely to approximate this engine cheaply.
+	sp := spec(display.OLED)
+	s := Default(display.OLED)
+	var framePath, statsPath []float64
+	for _, c := range keyframeChunks(t, video.Gaming, 40) {
+		fres, err := s.ApplyFrame(sp, c.Keyframe, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := RealizedSaving(sp, c.Stats, fres.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		framePath = append(framePath, fs)
+
+		ares, err := s.Apply(sp, c.Stats, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		as, err := RealizedSaving(sp, c.Stats, ares)
+		if err != nil {
+			t.Fatal(err)
+		}
+		statsPath = append(statsPath, as)
+	}
+	fm, sm := stats.Mean(framePath), stats.Mean(statsPath)
+	if fm < 0.5*sm || fm > 2*sm {
+		t.Fatalf("frame path mean %v too far from stats path mean %v", fm, sm)
+	}
+}
+
+func TestApplyFrameErrors(t *testing.T) {
+	c := keyframeChunks(t, video.IRL, 1)[0]
+	s := Default(display.LCD)
+	if _, err := s.ApplyFrame(spec(display.OLED), c.Keyframe, 0.5); err == nil {
+		t.Fatal("wrong display type accepted")
+	}
+	if _, err := s.ApplyFrame(spec(display.LCD), c.Keyframe, 2); err == nil {
+		t.Fatal("bad tolerance accepted")
+	}
+	bad := spec(display.LCD)
+	bad.Brightness = 5
+	if _, err := s.ApplyFrame(bad, c.Keyframe, 0.5); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	empty := &frame.Frame{}
+	if _, err := s.ApplyFrame(spec(display.LCD), empty, 0.5); err == nil {
+		t.Fatal("invalid frame accepted")
+	}
+}
+
+func TestKeyframeStatsConsistent(t *testing.T) {
+	for _, c := range keyframeChunks(t, video.Music, 10) {
+		if c.Keyframe == nil {
+			t.Fatal("missing keyframe")
+		}
+		if c.Stats != c.Keyframe.Stats() {
+			t.Fatal("chunk stats diverge from keyframe stats")
+		}
+	}
+}

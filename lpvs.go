@@ -1,0 +1,270 @@
+package lpvs
+
+import (
+	"io"
+
+	"net/http"
+
+	"lpvs/internal/anxiety"
+	"lpvs/internal/behavior"
+	"lpvs/internal/client"
+	"lpvs/internal/device"
+	"lpvs/internal/edge"
+	"lpvs/internal/emu"
+	"lpvs/internal/fleet"
+	"lpvs/internal/scheduler"
+	"lpvs/internal/server"
+	"lpvs/internal/stats"
+	"lpvs/internal/survey"
+	"lpvs/internal/trace"
+	"lpvs/internal/video"
+)
+
+// UnboundedCapacity, used as EmulationConfig.ServerStreams, removes the
+// edge capacity constraint ("sufficient edge resource" in the paper).
+const UnboundedCapacity = -1
+
+// DefaultSlotSeconds is the paper's 5-minute scheduling period.
+const DefaultSlotSeconds = scheduler.DefaultSlotSeconds
+
+// Core scheduling API.
+type (
+	// SchedulerConfig parameterises the LPVS scheduler.
+	SchedulerConfig = scheduler.Config
+	// Scheduler is the two-phase LPVS scheduler.
+	Scheduler = scheduler.Scheduler
+	// Request is one device's slot request.
+	Request = scheduler.Request
+	// Decision is the per-slot outcome.
+	Decision = scheduler.Decision
+	// Policy is any per-slot selection policy (LPVS or a baseline).
+	Policy = scheduler.Policy
+)
+
+// NewScheduler builds the LPVS scheduler.
+func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) { return scheduler.New(cfg) }
+
+// Emulation API.
+type (
+	// EmulationConfig parameterises a virtual-cluster emulation.
+	EmulationConfig = emu.Config
+	// RunResult aggregates one emulation run.
+	RunResult = emu.RunResult
+	// Comparison pairs a treated run with its no-transform baseline.
+	Comparison = emu.Comparison
+	// Emulator drives one virtual cluster under one policy.
+	Emulator = emu.Emulator
+)
+
+// NewEmulator builds an emulator; a nil policy means the LPVS scheduler.
+func NewEmulator(cfg EmulationConfig, policy Policy) (*Emulator, error) {
+	return emu.New(cfg, policy)
+}
+
+// RunComparison runs LPVS and the no-transform baseline on the identical
+// workload and returns the paired metrics.
+func RunComparison(cfg EmulationConfig) (*Comparison, error) {
+	return emu.Compare(cfg, nil)
+}
+
+// RunPolicyComparison is RunComparison for an explicit policy.
+func RunPolicyComparison(cfg EmulationConfig, policy Policy) (*Comparison, error) {
+	return emu.Compare(cfg, policy)
+}
+
+// Anxiety modelling API.
+type (
+	// AnxietyModel maps a battery fraction to an anxiety degree.
+	AnxietyModel = anxiety.Model
+	// AnxietyCurve is the empirical curve extracted from survey answers.
+	AnxietyCurve = anxiety.Curve
+	// SurveyConfig parameterises the synthetic LBA survey.
+	SurveyConfig = survey.Config
+	// SurveyDataset is a cleansed respondent population.
+	SurveyDataset = survey.Dataset
+)
+
+// DefaultSurveyConfig reproduces the published survey population
+// (N = 2,032).
+func DefaultSurveyConfig() SurveyConfig { return survey.DefaultConfig() }
+
+// GenerateSurvey synthesises a calibrated respondent population.
+func GenerateSurvey(cfg SurveyConfig) *SurveyDataset { return survey.Generate(cfg) }
+
+// ReadSurvey loads a respondent CSV (as written by Dataset.WriteCSV),
+// applying the paper's data cleansing; real survey data can replace the
+// synthetic population this way.
+func ReadSurvey(r io.Reader) (*SurveyDataset, error) { return survey.ReadCSV(r) }
+
+// ExtractAnxietyCurve runs the paper's four-step extraction over
+// charge-threshold answers (battery levels in [1, 100]).
+func ExtractAnxietyCurve(answers []int) (*AnxietyCurve, error) { return anxiety.Extract(answers) }
+
+// CanonicalAnxiety returns the closed-form Fig. 2 calibration.
+func CanonicalAnxiety() AnxietyModel { return anxiety.NewCanonical() }
+
+// PersonalizeAnxiety rescales a population anxiety model to one user's
+// worry threshold (the battery fraction where their anxiety spikes).
+func PersonalizeAnxiety(base AnxietyModel, warning float64) (AnxietyModel, error) {
+	return anxiety.NewRescaled(base, warning)
+}
+
+// FitAnxietyModel converts any anxiety model (e.g. an extracted survey
+// curve) into the closed-form canonical parameterisation.
+func FitAnxietyModel(m AnxietyModel) (AnxietyModel, error) { return anxiety.FitCanonical(m) }
+
+// Baseline policies.
+
+// NewRandomPolicy admits a random capacity-feasible subset.
+func NewRandomPolicy(cfg SchedulerConfig, seed int64) (Policy, error) {
+	return scheduler.NewRandomPolicy(cfg, seed)
+}
+
+// NewGreedyBatteryPolicy admits lowest-battery devices first.
+func NewGreedyBatteryPolicy(cfg SchedulerConfig) (Policy, error) {
+	return scheduler.NewGreedyBatteryPolicy(cfg)
+}
+
+// NewJointKnapsackPolicy solves the compacted joint problem in one
+// knapsack (this reproduction's extension of the two-phase heuristic).
+func NewJointKnapsackPolicy(cfg SchedulerConfig) (Policy, error) {
+	return scheduler.NewJointKnapsackPolicy(cfg)
+}
+
+// NoTransformPolicy returns the conventional-streaming baseline.
+func NoTransformPolicy() Policy { return scheduler.NoTransform{} }
+
+// Workload API.
+type (
+	// TraceConfig parameterises the Twitch-like trace generator.
+	TraceConfig = trace.GenConfig
+	// Trace is a live-streaming workload dataset.
+	Trace = trace.Trace
+	// DeviceConfig parameterises random device fleets.
+	DeviceConfig = device.GenConfig
+	// Device is one emulated mobile device.
+	Device = device.Device
+	// EdgeServer models the transform capacity of one edge site.
+	EdgeServer = edge.Server
+)
+
+// DefaultTraceConfig reproduces the paper's filtered dataset population
+// (1,566 channels, 4,761 sessions).
+func DefaultTraceConfig() TraceConfig { return trace.DefaultGenConfig() }
+
+// GenerateTrace synthesises a workload trace.
+func GenerateTrace(cfg TraceConfig) (*Trace, error) { return trace.Generate(cfg) }
+
+// ReadTrace loads and validates a JSON trace.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.ReadJSON(r) }
+
+// NewEdgeServer sizes an edge server in concurrently transformable 720p
+// streams (the paper's default is 100).
+func NewEdgeServer(streams int) (*EdgeServer, error) { return edge.NewServer(streams) }
+
+// SurveyGiveUpSampler adapts survey give-up answers into the device
+// generator's sampler, wiring the measured abandonment behaviour into
+// emulated viewers.
+func SurveyGiveUpSampler(ds *SurveyDataset) func(*stats.RNG) float64 {
+	return emu.SurveyGiveUpSampler(ds)
+}
+
+// Genres for emulated streams.
+const (
+	GenreGaming  = video.Gaming
+	GenreEsports = video.Esports
+	GenreIRL     = video.IRL
+	GenreMusic   = video.Music
+	GenreSports  = video.Sports
+)
+
+// Video substrate API.
+type (
+	// Video is a chunked stream.
+	Video = video.Video
+	// VideoGenre labels the kind of live content.
+	VideoGenre = video.Genre
+	// VideoGenConfig parameterises synthetic stream generation.
+	VideoGenConfig = video.GenConfig
+	// RNG is the deterministic random stream used across the library.
+	RNG = stats.RNG
+)
+
+// NewRNG returns a deterministic random stream.
+func NewRNG(seed int64) *RNG { return stats.NewRNG(seed) }
+
+// DefaultVideoConfig returns a plausible live-stream generation config.
+func DefaultVideoConfig(id string, g video.Genre, chunks int) VideoGenConfig {
+	return video.DefaultGenConfig(id, g, chunks)
+}
+
+// GenerateVideo synthesises a stream with per-genre content statistics.
+func GenerateVideo(rng *RNG, cfg VideoGenConfig) (*Video, error) { return video.Generate(rng, cfg) }
+
+// Edge service API.
+type (
+	// EdgeDaemonConfig parameterises the HTTP edge daemon.
+	EdgeDaemonConfig = server.Config
+	// EdgeDaemon is the LPVS HTTP service.
+	EdgeDaemon = server.Server
+	// DeviceClient is the device side of the edge protocol.
+	DeviceClient = client.Client
+)
+
+// NewEdgeDaemon builds the HTTP edge daemon.
+func NewEdgeDaemon(cfg EdgeDaemonConfig) (*EdgeDaemon, error) { return server.New(cfg) }
+
+// NewDeviceClient connects a device to an edge daemon. Pass nil for the
+// default HTTP client.
+func NewDeviceClient(baseURL string, dev *Device, httpClient *http.Client) (*DeviceClient, error) {
+	return client.New(baseURL, dev, httpClient)
+}
+
+// NewDeviceFleet generates n random devices, mirroring the paper's
+// random assignment of display specs and Gaussian energy states.
+func NewDeviceFleet(rng *RNG, n int, cfg DeviceConfig) ([]*Device, error) {
+	return device.NewFleet(rng, n, cfg)
+}
+
+// DefaultDeviceConfig mirrors the paper's emulation setup.
+func DefaultDeviceConfig() DeviceConfig { return device.DefaultGenConfig() }
+
+// Trace-driven fleet API.
+type (
+	// FleetConfig parameterises a trace-driven multi-cluster run.
+	FleetConfig = fleet.Config
+	// FleetResult aggregates a trace-driven run.
+	FleetResult = fleet.Result
+)
+
+// RunFleet emulates every (sufficiently popular) channel of a trace as
+// an independent virtual cluster, concurrently, and aggregates the
+// paper's metrics.
+func RunFleet(cfg FleetConfig) (*FleetResult, error) { return fleet.Run(cfg) }
+
+// Behavioural LBA API (the paper's section III-C future work).
+type (
+	// ChargeEvent is one observed plug-in event.
+	ChargeEvent = behavior.ChargeEvent
+	// ChargingLog is a charging-behaviour dataset.
+	ChargingLog = behavior.Log
+	// ChargingLogConfig parameterises the synthetic log generator.
+	ChargingLogConfig = behavior.LogConfig
+	// BehaviorEstimateConfig tunes the behavioural threshold estimator.
+	BehaviorEstimateConfig = behavior.EstimateConfig
+)
+
+// DefaultChargingLogConfig mirrors the survey population with a month of
+// charging behaviour per user.
+func DefaultChargingLogConfig() ChargingLogConfig { return behavior.DefaultLogConfig() }
+
+// GenerateChargingLog synthesises a charging-behaviour dataset.
+func GenerateChargingLog(cfg ChargingLogConfig) (*ChargingLog, error) {
+	return behavior.Generate(cfg)
+}
+
+// EstimateAnxietyFromBehavior recovers the LBA curve from charging
+// behaviour instead of survey answers.
+func EstimateAnxietyFromBehavior(log *ChargingLog, cfg BehaviorEstimateConfig) (*AnxietyCurve, []int, error) {
+	return behavior.Estimate(log, cfg)
+}
