@@ -1,0 +1,32 @@
+# LPVS build & verification targets. `make check` is the pre-merge
+# gate: formatting, vet, build, and the full test suite under the race
+# detector (see ROADMAP.md).
+
+GO ?= go
+
+.PHONY: all build test race vet fmt check bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: fmt vet build race
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -5,6 +5,12 @@
 //
 //	lpvs-emu -n 100 -slots 24 -lambda 1 -capacity -1
 //	lpvs-emu -n 300 -capacity 100 -policy random
+//	lpvs-emu -n 100 -metrics - | grep lpvs_tick_duration
+//
+// The -metrics flag dumps the treated run in the same Prometheus text
+// vocabulary a live lpvsd exposes on /metrics, so emulation campaigns
+// and production scrapes are directly comparable; -progress streams
+// per-slot structured logs while the emulation runs.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"os"
 
 	"lpvs"
+	"lpvs/internal/obs"
 )
 
 func main() {
@@ -30,6 +37,8 @@ func main() {
 		streams  = flag.Int("streams", 1, "distinct live streams in the cluster")
 		frames   = flag.Bool("frames", false, "use the per-pixel keyframe transform engine")
 		personal = flag.Bool("personalized", false, "schedule against per-user anxiety curves")
+		metrics  = flag.String("metrics", "", "write the treated run's Prometheus metrics dump to this file (\"-\" = stdout)")
+		progress = flag.Bool("progress", false, "stream per-slot structured logs to stderr while running")
 	)
 	flag.Parse()
 
@@ -50,6 +59,21 @@ func main() {
 	}
 	ds := lpvs.GenerateSurvey(lpvs.DefaultSurveyConfig())
 	cfg.Device.GiveUpSampler = lpvs.SurveyGiveUpSampler(ds)
+
+	if *progress {
+		logger, lerr := obs.NewLogger(os.Stderr, "info", "text")
+		if lerr != nil {
+			log.Fatal(lerr)
+		}
+		cfg.Progress = func(policy string, st lpvs.SlotStat) {
+			logger.Info("slot",
+				"policy", policy, "slot", st.Slot,
+				"watching", st.Watching, "eligible", st.Eligible,
+				"selected", st.Selected, "swaps", st.Swaps,
+				"mean_energy", st.MeanEnergyFrac, "mean_anxiety", st.MeanAnxiety,
+				"sched_ms", st.SchedSec*1000)
+		}
+	}
 
 	var cmp *lpvs.Comparison
 	switch *policy {
@@ -82,6 +106,24 @@ func main() {
 		for _, st := range cmp.Treated.Timeline {
 			fmt.Printf("%4d  %8d  %8d  %10.1f%%  %12.3f\n",
 				st.Slot, st.Watching, st.Selected, 100*st.MeanEnergyFrac, st.MeanAnxiety)
+		}
+	}
+
+	if *metrics != "" {
+		out := os.Stdout
+		if *metrics != "-" {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := cmp.Treated.WriteMetrics(out); err != nil {
+			log.Fatal(err)
+		}
+		if *metrics != "-" {
+			fmt.Printf("metrics dump written to %s\n", *metrics)
 		}
 	}
 

@@ -5,10 +5,17 @@
 // Usage:
 //
 //	lpvsd -addr :8080 -capacity 100 -lambda 1 -genre Gaming
+//	lpvsd -log-level debug -log-format json
+//	lpvsd -pprof            # mounts net/http/pprof under /debug/pprof/
 //
 // A background ticker advances the scheduling slot every -slot seconds
 // (use -manual-tick to drive slots via POST /v1/tick instead, as the
 // tests and the streaming-service example do).
+//
+// Observability: Prometheus metrics are exposed on /metrics, structured
+// logs (log/slog) go to stderr, and -pprof adds the standard profiling
+// endpoints so `go tool pprof http://host:8080/debug/pprof/profile`
+// works against a live daemon.
 package main
 
 import (
@@ -16,47 +23,87 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"lpvs/internal/obs"
 	"lpvs/internal/server"
 	"lpvs/internal/stats"
 	"lpvs/internal/video"
 )
 
+// version identifies the build; override at link time with
+// `go build -ldflags "-X main.version=v1.2.3" ./cmd/lpvsd`.
+var version = "dev"
+
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		capacity   = flag.Int("capacity", 100, "edge capacity in 720p transform streams (-1 = unbounded)")
-		lambda     = flag.Float64("lambda", 1, "energy/anxiety balance")
-		slotSec    = flag.Float64("slot", 300, "scheduling slot length in seconds")
-		genreName  = flag.String("genre", "Gaming", "stream genre (Gaming, Esports, IRL, Music, Sports)")
-		seed       = flag.Int64("seed", 1, "content generation seed")
-		manualTick = flag.Bool("manual-tick", false, "disable the automatic slot ticker")
+		addr        = flag.String("addr", ":8080", "listen address")
+		capacity    = flag.Int("capacity", 100, "edge capacity in 720p transform streams (-1 = unbounded)")
+		lambda      = flag.Float64("lambda", 1, "energy/anxiety balance")
+		slotSec     = flag.Float64("slot", 300, "scheduling slot length in seconds")
+		genreName   = flag.String("genre", "Gaming", "stream genre (Gaming, Esports, IRL, Music, Sports)")
+		seed        = flag.Int64("seed", 1, "content generation seed")
+		manualTick  = flag.Bool("manual-tick", false, "disable the automatic slot ticker")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat   = flag.String("log-format", "text", "log format: text, json")
+		enablePprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Printf("lpvsd %s\n", version)
+		return
+	}
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fatal := func(err error) {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
+
 	genre, err := parseGenre(*genreName)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	chunks := int(*slotSec/video.DefaultChunkSeconds) * 12 // two hours of content, wrapped
 	stream, err := video.Generate(stats.NewRNG(*seed), video.DefaultGenConfig("live", genre, chunks))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	srv, err := server.New(server.Config{
 		Stream:        stream,
 		ServerStreams: *capacity,
 		Lambda:        *lambda,
 		SlotSec:       *slotSec,
+		Logger:        logger,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
+	}
+	obs.RegisterBuildInfo(srv.Registry(), "lpvsd", version)
+
+	handler := srv.Handler()
+	if *enablePprof {
+		// Mount pprof explicitly instead of importing it for its
+		// DefaultServeMux side effect, so profiling is opt-in.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -75,7 +122,7 @@ func main() {
 				}
 				resp, err := client.Post("http://localhost"+normalizeAddr(*addr)+"/v1/tick", "application/json", nil)
 				if err != nil {
-					log.Printf("tick: %v", err)
+					logger.Warn("tick", "err", err)
 					continue
 				}
 				resp.Body.Close()
@@ -83,20 +130,22 @@ func main() {
 		}()
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		<-ctx.Done()
-		log.Print("lpvsd shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Error("shutdown", "err", err)
 		}
 	}()
 
-	log.Printf("lpvsd listening on %s (capacity=%d, lambda=%.2f, slot=%.0fs)", *addr, *capacity, *lambda, *slotSec)
+	logger.Info("lpvsd listening",
+		"addr", *addr, "version", version, "capacity", *capacity,
+		"lambda", *lambda, "slot_sec", *slotSec, "pprof", *enablePprof)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		fatal(err)
 	}
 }
 

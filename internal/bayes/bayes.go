@@ -142,3 +142,28 @@ func (e *GammaEstimator) Bounds() (lo, hi float64) { return e.lo, e.hi }
 func (e *GammaEstimator) Uncertainty() float64 {
 	return math.Sqrt(stats.TruncNormalVar(e.mean, e.sigma, e.lo, e.hi))
 }
+
+// Snapshot is a telemetry view of one estimator's posterior, cheap to
+// aggregate across a cluster for metrics exposition.
+type Snapshot struct {
+	// Gamma is the scheduler-facing truncated posterior expectation.
+	Gamma float64
+	// Mean and Sigma are the untruncated posterior parameters.
+	Mean  float64
+	Sigma float64
+	// Uncertainty is the truncated posterior standard deviation.
+	Uncertainty float64
+	// Observations counts the conjugate updates folded in so far.
+	Observations int
+}
+
+// Snapshot captures the estimator's current posterior state.
+func (e *GammaEstimator) Snapshot() Snapshot {
+	return Snapshot{
+		Gamma:        e.Gamma(),
+		Mean:         e.mean,
+		Sigma:        e.sigma,
+		Uncertainty:  e.Uncertainty(),
+		Observations: e.nObs,
+	}
+}

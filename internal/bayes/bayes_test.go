@@ -163,3 +163,20 @@ func TestGammaBoundedProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSnapshot(t *testing.T) {
+	e := NewGammaEstimator()
+	if err := e.Observe(0.4); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	if snap.Gamma != e.Gamma() || snap.Mean != e.Mean() || snap.Sigma != e.Sigma() {
+		t.Fatalf("snapshot %+v disagrees with accessors", snap)
+	}
+	if snap.Observations != 1 {
+		t.Fatalf("observations = %d, want 1", snap.Observations)
+	}
+	if snap.Uncertainty != e.Uncertainty() {
+		t.Fatalf("uncertainty %v != %v", snap.Uncertainty, e.Uncertainty())
+	}
+}

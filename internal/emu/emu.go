@@ -98,6 +98,10 @@ type Config struct {
 	PersonalizedAnxiety bool
 	// ExactThreshold forwards to the scheduler; zero means its default.
 	ExactThreshold int
+	// Progress, when non-nil, receives each slot's aggregate snapshot as
+	// soon as the slot finishes — live telemetry for long campaigns. The
+	// policy name distinguishes the treated run from the paired baseline.
+	Progress func(policy string, st SlotStat)
 }
 
 // normalized fills defaults and validates.
@@ -211,8 +215,21 @@ type SlotStat struct {
 	Slot           int
 	Watching       int
 	Selected       int
+	Eligible       int
+	Swaps          int
 	MeanEnergyFrac float64
 	MeanAnxiety    float64
+	// MeanGamma is the cluster mean of the Bayesian gamma estimates
+	// (FixedGamma when learning is disabled).
+	MeanGamma float64
+	// SchedSec is the slot's scheduling wall time, with the compacting /
+	// Phase-1 / Phase-2 breakdown alongside; PlaySec is the playback
+	// (battery-drain) emulation time.
+	SchedSec   float64
+	CompactSec float64
+	Phase1Sec  float64
+	Phase2Sec  float64
+	PlaySec    float64
 }
 
 // EnergySavingRatio is the paper's Fig. 7/8a metric.
@@ -452,6 +469,7 @@ func (e *Emulator) Run() (*RunResult, error) {
 
 		reqs, reqIdx := e.gatherRequests(windows)
 		decision := scheduler.Decision{Transform: map[string]bool{}}
+		schedSec := 0.0
 		if len(reqs) > 0 {
 			start := time.Now()
 			var err error
@@ -459,12 +477,15 @@ func (e *Emulator) Run() (*RunResult, error) {
 			if err != nil {
 				return nil, fmt.Errorf("emu: slot %d: %w", slot, err)
 			}
-			res.SchedSeconds += time.Since(start).Seconds()
+			schedSec = time.Since(start).Seconds()
+			res.SchedSeconds += schedSec
 		}
 		res.SelectedPerSlot = append(res.SelectedPerSlot, decision.Selected)
 
 		predicted := e.predictEnergies(reqs, decision)
+		playStart := time.Now()
 		e.playSlot(windows, decision, reqIdx, res)
+		playSec := time.Since(playStart).Seconds()
 		for k, i := range reqIdx {
 			d := e.devices[i]
 			if d.State != device.Watching {
@@ -480,7 +501,17 @@ func (e *Emulator) Run() (*RunResult, error) {
 
 		// Anxiety census after the slot: every owner, watching or not,
 		// feels their battery level.
-		stat := SlotStat{Slot: slot, Selected: decision.Selected}
+		stat := SlotStat{
+			Slot:       slot,
+			Selected:   decision.Selected,
+			Eligible:   decision.Eligible,
+			Swaps:      decision.Swaps,
+			SchedSec:   schedSec,
+			CompactSec: decision.CompactSeconds,
+			Phase1Sec:  decision.Phase1Seconds,
+			Phase2Sec:  decision.Phase2Seconds,
+			PlaySec:    playSec,
+		}
 		for _, d := range e.devices {
 			anx := e.cfg.Anxiety.Anxiety(d.EnergyFrac())
 			res.AnxietySum += anx
@@ -491,12 +522,22 @@ func (e *Emulator) Run() (*RunResult, error) {
 				stat.Watching++
 			}
 		}
+		for _, est := range e.estimators {
+			stat.MeanGamma += est.Gamma()
+		}
 		if n := float64(len(e.devices)); n > 0 {
 			stat.MeanAnxiety /= n
 			stat.MeanEnergyFrac /= n
+			stat.MeanGamma /= n
+		}
+		if e.cfg.FixedGamma > 0 {
+			stat.MeanGamma = e.cfg.FixedGamma
 		}
 		res.Timeline = append(res.Timeline, stat)
 		res.SlotsRun++
+		if e.cfg.Progress != nil {
+			e.cfg.Progress(e.policy.Name(), stat)
+		}
 	}
 
 	for i, d := range e.devices {

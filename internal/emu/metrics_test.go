@@ -1,0 +1,95 @@
+package emu
+
+import (
+	"strings"
+	"testing"
+
+	"lpvs/internal/video"
+)
+
+func TestSlotStatTimingAndProgress(t *testing.T) {
+	var calls []SlotStat
+	var policies []string
+	cfg := Config{
+		Seed: 1, GroupSize: 12, Slots: 3, Lambda: 1, ServerStreams: -1,
+		Genre: video.Gaming,
+		Progress: func(policy string, st SlotStat) {
+			policies = append(policies, policy)
+			calls = append(calls, st)
+		},
+	}
+	e, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != res.SlotsRun {
+		t.Fatalf("progress called %d times for %d slots", len(calls), res.SlotsRun)
+	}
+	for i, st := range calls {
+		if st.Slot != i {
+			t.Fatalf("progress slot %d at call %d", st.Slot, i)
+		}
+		if policies[i] == "" {
+			t.Fatal("progress without policy name")
+		}
+	}
+	sumSched := 0.0
+	for _, st := range res.Timeline {
+		if st.SchedSec < 0 || st.PlaySec < 0 || st.CompactSec < 0 ||
+			st.Phase1Sec < 0 || st.Phase2Sec < 0 {
+			t.Fatalf("negative timing %+v", st)
+		}
+		if st.MeanGamma <= 0 || st.MeanGamma >= 1 {
+			t.Fatalf("mean gamma %v outside (0, 1)", st.MeanGamma)
+		}
+		if st.Eligible < st.Selected {
+			t.Fatalf("selected %d > eligible %d", st.Selected, st.Eligible)
+		}
+		sumSched += st.SchedSec
+	}
+	if diff := sumSched - res.SchedSeconds; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("per-slot sched %v != total %v", sumSched, res.SchedSeconds)
+	}
+}
+
+func TestWriteMetricsSharedVocabulary(t *testing.T) {
+	cfg := Config{Seed: 1, GroupSize: 10, Slots: 2, Lambda: 1, ServerStreams: -1, Genre: video.Gaming}
+	e, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		// Names shared with the daemon's registry.
+		"# TYPE lpvs_ticks_total counter",
+		"lpvs_ticks_total 2",
+		"# TYPE lpvs_tick_duration_seconds histogram",
+		"lpvs_tick_duration_seconds_count 2",
+		"lpvs_sched_phase1_seconds_count 2",
+		"lpvs_gamma_mean",
+		"lpvs_devices 10",
+		// Run-level evaluation summaries.
+		"# HELP lpvs_energy_saving_ratio",
+		"lpvs_anxiety_mean",
+		"lpvs_tpv_minutes_count 10",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics dump missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("dump:\n%s", text)
+	}
+}

@@ -1,0 +1,14 @@
+package obs
+
+import "runtime"
+
+// RegisterBuildInfo publishes the conventional build-info gauge: a
+// constant 1 carrying the binary name, its version, and the Go runtime
+// as labels, so dashboards can correlate behaviour changes with
+// deployments.
+func RegisterBuildInfo(reg *Registry, binary, version string) {
+	reg.GaugeVec("lpvs_build_info",
+		"Build information: constant 1 labelled with binary, version, and Go runtime.",
+		"binary", "version", "go_version").
+		With(binary, version, runtime.Version()).Set(1)
+}

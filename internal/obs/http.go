@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTPMetrics is the per-endpoint traffic instrumentation shared by
+// every route of an HTTP service: request counts by status code, error
+// counts, latency histograms, and an in-flight gauge.
+type HTTPMetrics struct {
+	requests *CounterVec
+	errors   *CounterVec
+	latency  *HistogramVec
+	inFlight *Gauge
+	logger   *slog.Logger
+}
+
+// NewHTTPMetrics registers the HTTP metric families on reg. A nil
+// logger disables request logging.
+func NewHTTPMetrics(reg *Registry, logger *slog.Logger) *HTTPMetrics {
+	if logger == nil {
+		logger = NopLogger()
+	}
+	return &HTTPMetrics{
+		requests: reg.CounterVec("lpvs_http_requests_total",
+			"HTTP requests served, by route and status code.", "route", "code"),
+		errors: reg.CounterVec("lpvs_http_errors_total",
+			"HTTP requests that returned a 4xx or 5xx status, by route.", "route"),
+		latency: reg.HistogramVec("lpvs_http_request_duration_seconds",
+			"HTTP request latency in seconds, by route.", DefBuckets(), "route"),
+		inFlight: reg.Gauge("lpvs_http_in_flight_requests",
+			"HTTP requests currently being served."),
+		logger: logger,
+	}
+}
+
+// statusWriter captures the status code written by a handler.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Instrument wraps a handler so every request is counted, timed, and
+// logged under the given route label (use the mux pattern, e.g.
+// "POST /v1/report", so cardinality stays bounded).
+func (m *HTTPMetrics) Instrument(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.inFlight.Add(1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		m.inFlight.Add(-1)
+
+		elapsed := time.Since(start).Seconds()
+		m.requests.With(route, strconv.Itoa(sw.code)).Inc()
+		m.latency.With(route).Observe(elapsed)
+		if sw.code >= 400 {
+			m.errors.With(route).Inc()
+		}
+
+		level := slog.LevelDebug
+		if sw.code >= 500 {
+			level = slog.LevelWarn
+		}
+		m.logger.Log(r.Context(), level, "http request",
+			"route", route,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"code", sw.code,
+			"duration_ms", elapsed*1000,
+			"remote", r.RemoteAddr,
+		)
+	})
+}

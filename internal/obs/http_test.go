@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestInstrumentRecordsTraffic(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, nil)
+	ok := m.Instrument("GET /ok", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	fail := m.Instrument("GET /fail", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		ok.ServeHTTP(rec, httptest.NewRequest("GET", "/ok", nil))
+	}
+	rec := httptest.NewRecorder()
+	fail.ServeHTTP(rec, httptest.NewRequest("GET", "/fail", nil))
+
+	var b strings.Builder
+	_ = reg.WriteText(&b)
+	text := b.String()
+	for _, want := range []string{
+		`lpvs_http_requests_total{route="GET /ok",code="200"} 3`,
+		`lpvs_http_requests_total{route="GET /fail",code="500"} 1`,
+		`lpvs_http_errors_total{route="GET /fail"} 1`,
+		`lpvs_http_request_duration_seconds_count{route="GET /ok"} 3`,
+		`lpvs_http_in_flight_requests 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, `lpvs_http_errors_total{route="GET /ok"}`) {
+		t.Error("ok route counted as error")
+	}
+}
+
+func TestInstrumentLogsServerErrors(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "warn", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, logger)
+	h := m.Instrument("GET /boom", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusBadGateway)
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/boom", nil))
+
+	var entry map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &entry); err != nil {
+		t.Fatalf("log line not JSON: %v (%q)", err, buf.String())
+	}
+	if entry["route"] != "GET /boom" || entry["code"] != float64(http.StatusBadGateway) {
+		t.Fatalf("log entry %v", entry)
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg, "lpvsd", "1.2.3")
+	var b strings.Builder
+	_ = reg.WriteText(&b)
+	text := b.String()
+	if !strings.Contains(text, `lpvs_build_info{binary="lpvsd",version="1.2.3",go_version="go`) {
+		t.Fatalf("build info missing:\n%s", text)
+	}
+}

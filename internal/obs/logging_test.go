@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"":      slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("hello", "k", "v")
+	if !strings.Contains(buf.String(), `"k":"v"`) {
+		t.Fatalf("json log %q", buf.String())
+	}
+
+	buf.Reset()
+	logger, err = NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("dropped")
+	logger.Warn("kept")
+	if strings.Contains(buf.String(), "dropped") || !strings.Contains(buf.String(), "kept") {
+		t.Fatalf("level filter broken: %q", buf.String())
+	}
+
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	// Must not panic and must be silent.
+	NopLogger().Error("nothing", "k", 1)
+}

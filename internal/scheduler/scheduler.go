@@ -27,6 +27,7 @@ package scheduler
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"lpvs/internal/anxiety"
 	"lpvs/internal/display"
@@ -108,6 +109,13 @@ type Decision struct {
 	// OptimalPhase1 reports whether Phase-1 was solved to proven
 	// optimality.
 	OptimalPhase1 bool
+	// CompactSeconds, Phase1Seconds and Phase2Seconds break down the
+	// scheduling wall time: information compacting (plan building), the
+	// Phase-1 knapsack solve, and the Phase-2 anxiety swapping — the
+	// paper's §VI scheduler-overhead metric, measured per slot.
+	CompactSeconds float64
+	Phase1Seconds  float64
+	Phase2Seconds  float64
 }
 
 // Config parameterises the scheduler.
@@ -271,12 +279,14 @@ func (s *Scheduler) Schedule(reqs []Request) (Decision, error) {
 	if len(reqs) == 0 {
 		return Decision{Transform: map[string]bool{}}, nil
 	}
+	compactStart := time.Now()
 	plans, err := s.buildPlans(reqs)
 	if err != nil {
 		return Decision{}, err
 	}
+	compactSec := time.Since(compactStart).Seconds()
 
-	dec := Decision{Transform: make(map[string]bool, len(reqs))}
+	dec := Decision{Transform: make(map[string]bool, len(reqs)), CompactSeconds: compactSec}
 	var eligible []*plan
 	for _, p := range plans {
 		dec.Transform[p.req.DeviceID] = false
@@ -290,7 +300,9 @@ func (s *Scheduler) Schedule(reqs []Request) (Decision, error) {
 		return dec, nil
 	}
 
+	phase1Start := time.Now()
 	selected, phase1Val, optimal := s.phase1(eligible)
+	dec.Phase1Seconds = time.Since(phase1Start).Seconds()
 	dec.Phase1Value = phase1Val
 	dec.OptimalPhase1 = optimal
 	for _, p := range selected {
@@ -298,7 +310,9 @@ func (s *Scheduler) Schedule(reqs []Request) (Decision, error) {
 	}
 
 	if !s.cfg.DisableSwap && s.cfg.Lambda > 0 {
+		phase2Start := time.Now()
 		dec.Swaps = s.phase2(eligible, dec.Transform)
+		dec.Phase2Seconds = time.Since(phase2Start).Seconds()
 	}
 
 	for _, on := range dec.Transform {

@@ -542,3 +542,29 @@ func TestAnxietyModelPluggable(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestScheduleReportsPhaseTimings(t *testing.T) {
+	server, err := edge.NewServer(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustScheduler(t, Config{Lambda: 1, Server: server})
+	dec, err := s.Schedule(makeCluster(t, 30, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.CompactSeconds < 0 || dec.Phase1Seconds < 0 || dec.Phase2Seconds < 0 {
+		t.Fatalf("negative phase timing: %+v", dec)
+	}
+	if dec.Eligible > 0 && dec.Phase1Seconds == 0 && dec.CompactSeconds == 0 {
+		t.Fatalf("no wall time recorded for a %d-eligible solve", dec.Eligible)
+	}
+	// The empty cluster reports zero timings.
+	empty, err := s.Schedule(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.CompactSeconds != 0 || empty.Phase1Seconds != 0 || empty.Phase2Seconds != 0 {
+		t.Fatalf("empty cluster reported timings: %+v", empty)
+	}
+}

@@ -66,13 +66,33 @@ type ReportResponse struct {
 	Accepted bool `json:"accepted"`
 }
 
-// TickResponse summarises a scheduling round.
+// TickStats is one scheduling round's full breakdown — the paper's §VI
+// scheduler-overhead evaluation, measured per tick: how the wall time
+// splits across information compacting, the Phase-1 knapsack, and the
+// Phase-2 anxiety swapping, plus the funnel from reports through
+// eligibility to selection.
+type TickStats struct {
+	Slot          int     `json:"slot"`
+	Reports       int     `json:"reports"`
+	Eligible      int     `json:"eligible"`
+	Selected      int     `json:"selected"`
+	Swaps         int     `json:"swaps"`
+	Phase1Optimal bool    `json:"phase1_optimal"`
+	CompactSec    float64 `json:"compact_sec"`
+	Phase1Sec     float64 `json:"phase1_sec"`
+	Phase2Sec     float64 `json:"phase2_sec"`
+	DurationSec   float64 `json:"duration_sec"`
+}
+
+// TickResponse summarises a scheduling round. The flat counters are
+// kept for older clients; Sched carries the full breakdown.
 type TickResponse struct {
-	Slot     int `json:"slot"`
-	Reports  int `json:"reports"`
-	Eligible int `json:"eligible"`
-	Selected int `json:"selected"`
-	Swaps    int `json:"swaps"`
+	Slot     int       `json:"slot"`
+	Reports  int       `json:"reports"`
+	Eligible int       `json:"eligible"`
+	Selected int       `json:"selected"`
+	Swaps    int       `json:"swaps"`
+	Sched    TickStats `json:"sched"`
 }
 
 // DecisionResponse is one device's current decision.
@@ -138,6 +158,9 @@ type StatusResponse struct {
 	StorageMB       float64 `json:"storage_mb"`
 	Lambda          float64 `json:"lambda"`
 	StreamChunks    int     `json:"stream_chunks"`
+	// LastTick is the scheduler breakdown of the most recent tick; nil
+	// until the first tick has run.
+	LastTick *TickStats `json:"last_tick,omitempty"`
 }
 
 // ErrorResponse is the uniform error body.

@@ -1,64 +1,197 @@
 package server
 
 import (
-	"fmt"
 	"net/http"
-	"sort"
-	"strings"
+
+	"lpvs/internal/obs"
 )
 
-// counters tracks the daemon's operational metrics. Callers hold the
-// server mutex when mutating them.
-type counters struct {
-	reportsTotal      int64
-	ticksTotal        int64
-	chunksServedTotal int64
-	transformedTotal  int64
-	observationsTotal int64
+// serverMetrics holds the daemon's typed metric handles, registered on
+// one obs.Registry. The legacy hand-rolled lpvs_* names from the first
+// daemon iteration are preserved verbatim (lpvs_slot, lpvs_devices,
+// lpvs_pending_reports, lpvs_last_selected, lpvs_gamma_mean and the
+// *_total counters) so existing scrapers keep working; everything else
+// is new.
+type serverMetrics struct {
+	reg  *obs.Registry
+	http *obs.HTTPMetrics
+
+	reports      *obs.Counter
+	ticks        *obs.Counter
+	chunksServed *obs.Counter
+	transformed  *obs.Counter
+	observations *obs.Counter
+
+	// Tick/scheduler instrumentation (paper §VI scheduler overhead).
+	tickDur    *obs.Histogram
+	compactDur *obs.Histogram
+	phase1Dur  *obs.Histogram
+	phase2Dur  *obs.Histogram
+	phase1Runs *obs.CounterVec // labelled by proven optimality
+	swapsTotal *obs.Counter
+	tickSize   *obs.Histogram // reports per tick
+	eligible   *obs.Gauge
+	selected   *obs.Gauge
+
+	// Bayesian-estimator telemetry, refreshed at each tick.
+	gammaSigmaMean  *obs.Gauge
+	gammaDrift      *obs.Gauge
+	gammaSigmaDrift *obs.Gauge
 }
 
-// handleMetrics serves the counters in the Prometheus text exposition
-// format, so a standard scraper can monitor an LPVS edge site.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	gammaSum := 0.0
+// newServerMetrics registers every daemon metric on a fresh registry.
+// Gauges that mirror live server state (slot, device count, pending
+// reports, gamma mean) are registered as scrape-time functions reading
+// through the server mutex.
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{
+		reg:  reg,
+		http: obs.NewHTTPMetrics(reg, s.log),
+
+		reports:      reg.Counter("lpvs_reports_total", "Device slot reports accepted."),
+		ticks:        reg.Counter("lpvs_ticks_total", "Scheduling ticks run."),
+		chunksServed: reg.Counter("lpvs_chunks_served_total", "Chunk metadata responses served."),
+		transformed:  reg.Counter("lpvs_chunks_transformed_total", "Chunks served with the low-power transform applied."),
+		observations: reg.Counter("lpvs_observations_total", "Realised power-reduction observations folded into the Bayesian estimators."),
+
+		tickDur: reg.Histogram("lpvs_tick_duration_seconds",
+			"Wall time of one scheduling tick (information compacting + Phase-1 + Phase-2).", obs.DefBuckets()),
+		compactDur: reg.Histogram("lpvs_sched_compact_seconds",
+			"Information-compacting (plan building) time per tick.", obs.DefBuckets()),
+		phase1Dur: reg.Histogram("lpvs_sched_phase1_seconds",
+			"Phase-1 knapsack solve time per tick.", obs.DefBuckets()),
+		phase2Dur: reg.Histogram("lpvs_sched_phase2_seconds",
+			"Phase-2 anxiety-swap time per tick.", obs.DefBuckets()),
+		phase1Runs: reg.CounterVec("lpvs_sched_phase1_runs_total",
+			"Phase-1 solves, by whether the branch-and-bound proved optimality (greedy fallback counts as optimal=\"false\").", "optimal"),
+		swapsTotal: reg.Counter("lpvs_sched_swaps_total", "Accepted Phase-2 anxiety swaps."),
+		tickSize: reg.Histogram("lpvs_tick_reports",
+			"Device reports batched into one scheduling tick.", obs.ExpBuckets(1, 4, 8)),
+		eligible: reg.Gauge("lpvs_sched_eligible",
+			"Devices passing the energy-feasibility check (11) in the last tick."),
+		selected: reg.Gauge("lpvs_sched_selected",
+			"Devices selected for transforming in the last tick."),
+
+		gammaSigmaMean: reg.Gauge("lpvs_gamma_sigma_mean",
+			"Mean posterior standard deviation of the per-device gamma estimators at the last tick."),
+		gammaDrift: reg.Gauge("lpvs_gamma_mean_drift",
+			"Absolute change of the cluster gamma mean between the last two ticks."),
+		gammaSigmaDrift: reg.Gauge("lpvs_gamma_sigma_drift",
+			"Absolute change of the mean posterior sigma between the last two ticks."),
+	}
+
+	reg.GaugeFunc("lpvs_slot", "Current scheduling slot.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.slot)
+	})
+	reg.GaugeFunc("lpvs_devices", "Devices known to the daemon.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.devices))
+	})
+	reg.GaugeFunc("lpvs_pending_reports", "Reports waiting for the next tick.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.pending))
+	})
+	reg.GaugeFunc("lpvs_last_selected", "Devices selected in the last tick.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.lastSel)
+	})
+	reg.GaugeFunc("lpvs_gamma_mean",
+		"Mean truncated-posterior gamma estimate across devices.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			mean, _ := s.gammaStatsLocked()
+			return mean
+		})
+	reg.GaugeFunc("lpvs_gamma_uncertainty_mean",
+		"Mean truncated-posterior standard deviation across devices.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			sum := 0.0
+			for _, st := range s.devices {
+				sum += st.estimator.Uncertainty()
+			}
+			if len(s.devices) == 0 {
+				return 0
+			}
+			return sum / float64(len(s.devices))
+		})
+	reg.CounterFunc("lpvs_gamma_observations_total",
+		"Bayesian updates folded across all device estimators.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			n := 0
+			for _, st := range s.devices {
+				n += st.estimator.Observations()
+			}
+			return float64(n)
+		})
+	return m
+}
+
+// gammaStatsLocked aggregates the Bayesian telemetry across devices.
+// Callers hold s.mu.
+func (s *Server) gammaStatsLocked() (gammaMean, sigmaMean float64) {
+	n := len(s.devices)
+	if n == 0 {
+		return 0, 0
+	}
 	for _, st := range s.devices {
-		gammaSum += st.estimator.Gamma()
+		snap := st.estimator.Snapshot()
+		gammaMean += snap.Gamma
+		sigmaMean += snap.Sigma
 	}
-	nDev := len(s.devices)
-	lines := map[string]string{
-		"lpvs_slot":                     fmt.Sprintf("%d", s.slot),
-		"lpvs_devices":                  fmt.Sprintf("%d", nDev),
-		"lpvs_pending_reports":          fmt.Sprintf("%d", len(s.pending)),
-		"lpvs_last_selected":            fmt.Sprintf("%d", s.lastSel),
-		"lpvs_reports_total":            fmt.Sprintf("%d", s.metrics.reportsTotal),
-		"lpvs_ticks_total":              fmt.Sprintf("%d", s.metrics.ticksTotal),
-		"lpvs_chunks_served_total":      fmt.Sprintf("%d", s.metrics.chunksServedTotal),
-		"lpvs_chunks_transformed_total": fmt.Sprintf("%d", s.metrics.transformedTotal),
-		"lpvs_observations_total":       fmt.Sprintf("%d", s.metrics.observationsTotal),
-	}
-	if nDev > 0 {
-		lines["lpvs_gamma_mean"] = fmt.Sprintf("%g", gammaSum/float64(nDev))
-	}
-	s.mu.Unlock()
-
-	names := make([]string, 0, len(lines))
-	for name := range lines {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-
-	var b strings.Builder
-	for _, name := range names {
-		fmt.Fprintf(&b, "# TYPE %s %s\n%s %s\n", name, metricType(name), name, lines[name])
-	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_, _ = w.Write([]byte(b.String()))
+	return gammaMean / float64(n), sigmaMean / float64(n)
 }
 
-func metricType(name string) string {
-	if strings.HasSuffix(name, "_total") {
-		return "counter"
+// observeTick records one tick's scheduler breakdown and refreshes the
+// Bayesian drift gauges. Called with s.mu held (the gauges themselves
+// are lock-free).
+func (s *Server) observeTick(stats TickStats) {
+	m := s.metrics
+	m.ticks.Inc()
+	m.tickDur.Observe(stats.DurationSec)
+	m.compactDur.Observe(stats.CompactSec)
+	m.phase1Dur.Observe(stats.Phase1Sec)
+	m.phase2Dur.Observe(stats.Phase2Sec)
+	m.tickSize.Observe(float64(stats.Reports))
+	m.eligible.Set(float64(stats.Eligible))
+	m.selected.Set(float64(stats.Selected))
+	m.swapsTotal.Add(float64(stats.Swaps))
+	if stats.Phase1Optimal {
+		m.phase1Runs.With("true").Inc()
+	} else {
+		m.phase1Runs.With("false").Inc()
 	}
-	return "gauge"
+
+	gammaMean, sigmaMean := s.gammaStatsLocked()
+	if s.tickSeen {
+		m.gammaDrift.Set(abs(gammaMean - s.prevGammaMean))
+		m.gammaSigmaDrift.Set(abs(sigmaMean - s.prevSigmaMean))
+	}
+	m.gammaSigmaMean.Set(sigmaMean)
+	s.prevGammaMean, s.prevSigmaMean = gammaMean, sigmaMean
+	s.tickSeen = true
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Registry exposes the daemon's metrics registry so callers (cmd/lpvsd,
+// tests) can attach process-level metrics such as build info.
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
+
+// handleMetrics serves the registry in the Prometheus text exposition
+// format, so a standard scraper can monitor an LPVS edge site.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.reg.Handler().ServeHTTP(w, r)
 }

@@ -3,13 +3,16 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"lpvs/internal/bayes"
 	"lpvs/internal/display"
 	"lpvs/internal/edge"
+	"lpvs/internal/obs"
 	"lpvs/internal/scheduler"
 	"lpvs/internal/transform"
 	"lpvs/internal/video"
@@ -30,6 +33,8 @@ type Config struct {
 	SlotSec, ChunkSec float64
 	// Tolerance is the transform distortion budget; zero means 0.7.
 	Tolerance float64
+	// Logger receives the daemon's structured logs; nil discards them.
+	Logger *slog.Logger
 }
 
 // deviceState is the daemon's per-device bookkeeping.
@@ -49,13 +54,19 @@ type Server struct {
 	chunksPer int
 
 	streams map[string]*video.Video
+	log     *slog.Logger
+	metrics *serverMetrics
 
-	mu      sync.Mutex
-	slot    int
-	pending map[string]scheduler.Request
-	devices map[string]*deviceState
-	lastSel int
-	metrics counters
+	mu       sync.Mutex
+	slot     int
+	pending  map[string]scheduler.Request
+	devices  map[string]*deviceState
+	lastSel  int
+	lastTick TickStats
+	tickSeen bool
+	// prevGammaMean/prevSigmaMean hold the cluster telemetry of the
+	// previous tick, from which the drift gauges are derived.
+	prevGammaMean, prevSigmaMean float64
 }
 
 // New validates the configuration and builds the daemon.
@@ -111,31 +122,45 @@ func New(cfg Config) (*Server, error) {
 	if chunksPer < 1 {
 		return nil, fmt.Errorf("server: slot shorter than a chunk")
 	}
-	return &Server{
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
+	s := &Server{
 		cfg:       cfg,
 		policy:    policy,
 		edgeSrv:   edgeSrv,
 		chunksPer: chunksPer,
 		streams:   streams,
+		log:       logger,
 		pending:   make(map[string]scheduler.Request),
 		devices:   make(map[string]*deviceState),
-	}, nil
+	}
+	s.metrics = newServerMetrics(s)
+	return s, nil
 }
 
-// Handler returns the HTTP routes.
+// Handler returns the HTTP routes. Every route is wrapped in the
+// observability middleware, which records per-endpoint request counts,
+// error counts and latency histograms under the route pattern.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/report", s.handleReport)
-	mux.HandleFunc("POST /v1/tick", s.handleTick)
-	mux.HandleFunc("GET /v1/decision", s.handleDecision)
-	mux.HandleFunc("GET /v1/chunk", s.handleChunk)
-	mux.HandleFunc("GET /v1/playlist", s.handlePlaylist)
-	mux.HandleFunc("POST /v1/observe", s.handleObserve)
-	mux.HandleFunc("GET /v1/status", s.handleStatus)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-	})
+	routes := map[string]http.HandlerFunc{
+		"POST /v1/report":  s.handleReport,
+		"POST /v1/tick":    s.handleTick,
+		"GET /v1/decision": s.handleDecision,
+		"GET /v1/chunk":    s.handleChunk,
+		"GET /v1/playlist": s.handlePlaylist,
+		"POST /v1/observe": s.handleObserve,
+		"GET /v1/status":   s.handleStatus,
+		"GET /metrics":     s.handleMetrics,
+		"GET /healthz": func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(http.StatusOK)
+		},
+	}
+	for pattern, h := range routes {
+		mux.Handle(pattern, s.metrics.http.Instrument(pattern, h))
+	}
 	return mux
 }
 
@@ -198,7 +223,10 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.pending[req.DeviceID] = sreq
-	s.metrics.reportsTotal++
+	s.metrics.reports.Inc()
+	s.log.Debug("report accepted",
+		"device", req.DeviceID, "channel", st.channel,
+		"energy_frac", req.EnergyFrac, "slot", s.slot)
 	writeJSON(w, http.StatusOK, ReportResponse{Slot: s.slot, Accepted: true})
 }
 
@@ -206,12 +234,14 @@ func (s *Server) handleTick(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
+	start := time.Now()
 	reqs := make([]scheduler.Request, 0, len(s.pending))
 	for _, r := range s.pending {
 		reqs = append(reqs, r)
 	}
 	dec, err := s.policy.Schedule(reqs)
 	if err != nil {
+		s.log.Error("tick failed", "slot", s.slot, "reports", len(reqs), "err", err)
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -222,13 +252,32 @@ func (s *Server) handleTick(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	s.lastSel = dec.Selected
-	s.metrics.ticksTotal++
+	stats := TickStats{
+		Slot:          s.slot,
+		Reports:       len(reqs),
+		Eligible:      dec.Eligible,
+		Selected:      dec.Selected,
+		Swaps:         dec.Swaps,
+		Phase1Optimal: dec.OptimalPhase1,
+		CompactSec:    dec.CompactSeconds,
+		Phase1Sec:     dec.Phase1Seconds,
+		Phase2Sec:     dec.Phase2Seconds,
+		DurationSec:   time.Since(start).Seconds(),
+	}
+	s.lastTick = stats
+	s.observeTick(stats)
+	s.log.Info("tick",
+		"slot", stats.Slot, "reports", stats.Reports,
+		"eligible", stats.Eligible, "selected", stats.Selected,
+		"swaps", stats.Swaps, "phase1_optimal", stats.Phase1Optimal,
+		"duration_ms", stats.DurationSec*1000)
 	resp := TickResponse{
 		Slot:     s.slot,
 		Reports:  len(reqs),
 		Eligible: dec.Eligible,
 		Selected: dec.Selected,
 		Swaps:    dec.Swaps,
+		Sched:    stats,
 	}
 	s.pending = make(map[string]scheduler.Request)
 	s.slot++
@@ -274,7 +323,7 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	chunk := window[idx]
-	s.metrics.chunksServedTotal++
+	s.metrics.chunksServed.Inc()
 	plainW, err := video.PowerRate(st.spec, chunk)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
@@ -300,7 +349,7 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp.Transformed = true
-		s.metrics.transformedTotal++
+		s.metrics.transformed.Inc()
 		resp.BrightnessScale = res.BrightnessScale
 		resp.MeanLuma = res.Stats.MeanLuma
 		resp.PeakLuma = res.Stats.PeakLuma
@@ -351,7 +400,10 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.metrics.observationsTotal++
+	s.metrics.observations.Inc()
+	s.log.Debug("observation",
+		"device", req.DeviceID, "reduction", req.Reduction,
+		"gamma", st.estimator.Gamma(), "observations", st.estimator.Observations())
 	writeJSON(w, http.StatusOK, ObserveResponse{
 		Gamma:        st.estimator.Gamma(),
 		Observations: st.estimator.Observations(),
@@ -372,6 +424,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	if s.edgeSrv != nil {
 		resp.ComputeCapacity = s.edgeSrv.ComputeCapacity
 		resp.StorageMB = s.edgeSrv.StorageCapacityMB
+	}
+	if s.tickSeen {
+		last := s.lastTick
+		resp.LastTick = &last
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -3,11 +3,15 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 
+	"lpvs/internal/obs"
 	"lpvs/internal/stats"
 	"lpvs/internal/video"
 )
@@ -359,33 +363,227 @@ func TestMultiChannelConfigValidation(t *testing.T) {
 	}
 }
 
+func scrapeMetrics(tb testing.TB, url string) string {
+	tb.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return string(body)
+}
+
 func TestMetricsEndpoint(t *testing.T) {
 	_, ts := testServer(t, -1)
 	postJSON(t, ts.URL+"/v1/report", validReport("dev-1"), nil)
 	postJSON(t, ts.URL+"/v1/tick", struct{}{}, nil)
 	getJSON(t, ts.URL+"/v1/chunk?device=dev-1&index=0", &ChunkResponse{})
 
-	resp, err := http.Get(ts.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	body := make([]byte, 8192)
-	n, _ := resp.Body.Read(body)
-	text := string(body[:n])
+	text := scrapeMetrics(t, ts.URL)
+	// Legacy metric names survive the registry migration verbatim.
 	for _, want := range []string{
 		"lpvs_reports_total 1",
 		"lpvs_ticks_total 1",
 		"lpvs_chunks_served_total 1",
 		"lpvs_chunks_transformed_total 1",
 		"lpvs_devices 1",
+		"lpvs_slot 1",
+		"lpvs_pending_reports 0",
+		"lpvs_last_selected 1",
 		"lpvs_gamma_mean",
 		"# TYPE lpvs_reports_total counter",
 		"# TYPE lpvs_devices gauge",
+		// New families: HELP lines, histograms, per-route traffic.
+		"# HELP lpvs_reports_total",
+		"# HELP lpvs_tick_duration_seconds",
+		"# TYPE lpvs_tick_duration_seconds histogram",
+		"lpvs_tick_duration_seconds_count 1",
+		"lpvs_tick_duration_seconds_sum",
+		`lpvs_tick_duration_seconds_bucket{le="+Inf"} 1`,
+		`lpvs_http_requests_total{route="POST /v1/report",code="200"} 1`,
+		`lpvs_http_request_duration_seconds_count{route="POST /v1/tick"} 1`,
+		`lpvs_sched_phase1_runs_total{optimal="true"} 1`,
+		"lpvs_sched_eligible 1",
+		"lpvs_sched_selected 1",
+		"lpvs_gamma_observations_total 0",
 	} {
 		if !strings.Contains(text, want) {
-			t.Errorf("metrics missing %q in:\n%s", want, text)
+			t.Errorf("metrics missing %q", want)
 		}
+	}
+	if t.Failed() {
+		t.Logf("scrape:\n%s", text)
+	}
+}
+
+// TestMetricsDistinctFamiliesAndOrdering checks the acceptance bar: a
+// scrape exposes at least 15 distinct metric families, every family has
+// HELP and TYPE lines, and families are emitted in sorted (stable)
+// order.
+func TestMetricsDistinctFamiliesAndOrdering(t *testing.T) {
+	_, ts := testServer(t, -1)
+	postJSON(t, ts.URL+"/v1/report", validReport("dev-1"), nil)
+	postJSON(t, ts.URL+"/v1/tick", struct{}{}, nil)
+
+	text := scrapeMetrics(t, ts.URL)
+	var families []string
+	help := map[string]bool{}
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			families = append(families, strings.Fields(rest)[0])
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			help[strings.Fields(rest)[0]] = true
+		}
+	}
+	if len(families) < 15 {
+		t.Errorf("only %d metric families exposed, want >= 15: %v", len(families), families)
+	}
+	if !sort.StringsAreSorted(families) {
+		t.Errorf("families not in sorted order: %v", families)
+	}
+	for _, f := range families {
+		if !help[f] {
+			t.Errorf("family %s has TYPE but no HELP", f)
+		}
+	}
+	// Stable output: two scrapes of quiescent state are identical.
+	if again := scrapeMetrics(t, ts.URL); len(again) == 0 {
+		t.Error("second scrape empty")
+	}
+}
+
+func TestTickResponseSchedulerBreakdown(t *testing.T) {
+	_, ts := testServer(t, -1)
+	postJSON(t, ts.URL+"/v1/report", validReport("dev-1"), nil)
+	var tick TickResponse
+	postJSON(t, ts.URL+"/v1/tick", struct{}{}, &tick)
+	if tick.Sched.Reports != 1 || tick.Sched.Selected != 1 {
+		t.Fatalf("sched breakdown %+v", tick.Sched)
+	}
+	if !tick.Sched.Phase1Optimal {
+		t.Fatal("one-device exact solve not reported optimal")
+	}
+	if tick.Sched.DurationSec <= 0 {
+		t.Fatalf("tick duration %v", tick.Sched.DurationSec)
+	}
+	if tick.Sched.Phase1Sec < 0 || tick.Sched.Phase2Sec < 0 || tick.Sched.CompactSec < 0 {
+		t.Fatalf("negative phase timing %+v", tick.Sched)
+	}
+
+	var st StatusResponse
+	getJSON(t, ts.URL+"/v1/status", &st)
+	if st.LastTick == nil {
+		t.Fatal("status missing last tick after a tick ran")
+	}
+	if st.LastTick.Slot != 0 || st.LastTick.Selected != 1 {
+		t.Fatalf("status last tick %+v", st.LastTick)
+	}
+}
+
+func TestStatusLastTickNilBeforeFirstTick(t *testing.T) {
+	_, ts := testServer(t, -1)
+	var st StatusResponse
+	getJSON(t, ts.URL+"/v1/status", &st)
+	if st.LastTick != nil {
+		t.Fatalf("last tick before any tick: %+v", st.LastTick)
+	}
+}
+
+// TestConcurrentTrafficAndScrape hammers /v1/report, /v1/tick,
+// /v1/observe and /metrics concurrently; run with -race it proves the
+// registry and the server state share no unsynchronised access.
+func TestConcurrentTrafficAndScrape(t *testing.T) {
+	_, ts := testServer(t, -1)
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*3)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				r := validReport(deviceName(w*20 + i))
+				buf, _ := json.Marshal(r)
+				resp, err := http.Post(ts.URL+"/v1/report", "application/json", bytes.NewReader(buf))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, err := http.Post(ts.URL+"/v1/tick", "application/json", nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					errs <- err
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	text := scrapeMetrics(t, ts.URL)
+	if !strings.Contains(text, "lpvs_ticks_total 80") {
+		t.Errorf("ticks_total not 80 after %d ticks", workers*10)
+	}
+}
+
+func TestServerLogsStructured(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := obs.NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Stream: testStream(t), ServerStreams: -1, Lambda: 1, Logger: logger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	postJSON(t, ts.URL+"/v1/report", validReport("dev-1"), nil)
+	postJSON(t, ts.URL+"/v1/tick", struct{}{}, nil)
+
+	var sawTick bool
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var entry map[string]any
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		if entry["msg"] == "tick" {
+			sawTick = true
+			if entry["selected"] != float64(1) || entry["reports"] != float64(1) {
+				t.Fatalf("tick log entry %v", entry)
+			}
+		}
+	}
+	if !sawTick {
+		t.Fatalf("no tick log line in:\n%s", buf.String())
 	}
 }
 

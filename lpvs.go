@@ -50,6 +50,8 @@ type (
 	EmulationConfig = emu.Config
 	// RunResult aggregates one emulation run.
 	RunResult = emu.RunResult
+	// SlotStat is one emulated slot's aggregate snapshot.
+	SlotStat = emu.SlotStat
 	// Comparison pairs a treated run with its no-transform baseline.
 	Comparison = emu.Comparison
 	// Emulator drives one virtual cluster under one policy.
