@@ -4,7 +4,10 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench
+# Per-target budget for `make fuzz-smoke`.
+FUZZTIME ?= 10s
+
+.PHONY: all build test race vet fmt check bench fuzz-smoke
 
 all: build
 
@@ -30,3 +33,15 @@ check: fmt vet build race
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# fuzz-smoke runs every Fuzz* target for FUZZTIME each — a quick
+# coverage-guided shake beyond the checked-in seed corpora. Not part of
+# `make check` (fuzzing is wall-clock-bound); run it before releases or
+# after touching a fuzzed surface.
+fuzz-smoke:
+	@for pkg in $$($(GO) list ./...); do \
+		for f in $$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz' || true); do \
+			echo "== $$pkg $$f"; \
+			$(GO) test $$pkg -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZTIME) || exit 1; \
+		done; \
+	done

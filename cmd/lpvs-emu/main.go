@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"lpvs"
 	"lpvs/internal/obs"
@@ -39,6 +40,7 @@ func main() {
 		personal = flag.Bool("personalized", false, "schedule against per-user anxiety curves")
 		metrics  = flag.String("metrics", "", "write the treated run's Prometheus metrics dump to this file (\"-\" = stdout)")
 		progress = flag.Bool("progress", false, "stream per-slot structured logs to stderr while running")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "scheduling pool fan-out for the lpvs policy (1 = serial)")
 	)
 	flag.Parse()
 
@@ -56,6 +58,7 @@ func main() {
 		Streams:             *streams,
 		UseFrames:           *frames,
 		PersonalizedAnxiety: *personal,
+		Workers:             *workers,
 	}
 	ds := lpvs.GenerateSurvey(lpvs.DefaultSurveyConfig())
 	cfg.Device.GiveUpSampler = lpvs.SurveyGiveUpSampler(ds)

@@ -27,6 +27,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -46,6 +47,7 @@ func main() {
 		capacity    = flag.Int("capacity", 100, "edge capacity in 720p transform streams (-1 = unbounded)")
 		lambda      = flag.Float64("lambda", 1, "energy/anxiety balance")
 		slotSec     = flag.Float64("slot", 300, "scheduling slot length in seconds")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "scheduling pool fan-out (1 = serial)")
 		genreName   = flag.String("genre", "Gaming", "stream genre (Gaming, Esports, IRL, Music, Sports)")
 		seed        = flag.Int64("seed", 1, "content generation seed")
 		manualTick  = flag.Bool("manual-tick", false, "disable the automatic slot ticker")
@@ -85,6 +87,7 @@ func main() {
 		ServerStreams: *capacity,
 		Lambda:        *lambda,
 		SlotSec:       *slotSec,
+		Workers:       *workers,
 		Logger:        logger,
 	})
 	if err != nil {
@@ -143,7 +146,8 @@ func main() {
 
 	logger.Info("lpvsd listening",
 		"addr", *addr, "version", version, "capacity", *capacity,
-		"lambda", *lambda, "slot_sec", *slotSec, "pprof", *enablePprof)
+		"lambda", *lambda, "slot_sec", *slotSec, "workers", *workers,
+		"pprof", *enablePprof)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}

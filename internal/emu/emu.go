@@ -98,6 +98,14 @@ type Config struct {
 	PersonalizedAnxiety bool
 	// ExactThreshold forwards to the scheduler; zero means its default.
 	ExactThreshold int
+	// Workers drives slots through the sharded scheduler.Pool with this
+	// fan-out: the per-device information-compacting step inside the
+	// slot parallelises across that many goroutines, and SlotStat gains
+	// the wall-vs-CPU split. Zero or one keeps the serial policy path.
+	// Only applies to the LPVS scheduler (a nil policy in New); explicit
+	// baseline policies always run serially. Decisions are bit-identical
+	// either way — see the scheduler package's differential tests.
+	Workers int
 	// Progress, when non-nil, receives each slot's aggregate snapshot as
 	// soon as the slot finishes — live telemetry for long campaigns. The
 	// policy name distinguishes the treated run from the paired baseline.
@@ -163,6 +171,9 @@ func (c Config) normalized() (Config, error) {
 	if c.LRUCacheMB < 0 || c.PrefetchMBPerSlot < 0 {
 		return c, fmt.Errorf("emu: negative LRU cache parameters")
 	}
+	if c.Workers < 0 {
+		return c, fmt.Errorf("emu: negative worker count %d", c.Workers)
+	}
 	return c, nil
 }
 
@@ -187,8 +198,12 @@ type RunResult struct {
 	EverServed []bool
 	// FinalState per device.
 	FinalState []device.State
-	// SchedSeconds is the cumulative scheduler wall time.
-	SchedSeconds float64
+	// SchedSeconds is the cumulative scheduler wall time; SchedCPUSeconds
+	// is the matching CPU-sum across pool workers. They coincide on the
+	// serial path; under a multi-worker pool the wall figure is what the
+	// paper's Fig. 10 overhead metric should report.
+	SchedSeconds    float64
+	SchedCPUSeconds float64
 	// QualityLossSum / QualityLossSamples track the perceptual
 	// distortion introduced per played chunk, by transforms and by the
 	// uncompensated auto-dim power saver. The Affected pair restricts
@@ -223,13 +238,15 @@ type SlotStat struct {
 	// (FixedGamma when learning is disabled).
 	MeanGamma float64
 	// SchedSec is the slot's scheduling wall time, with the compacting /
-	// Phase-1 / Phase-2 breakdown alongside; PlaySec is the playback
-	// (battery-drain) emulation time.
-	SchedSec   float64
-	CompactSec float64
-	Phase1Sec  float64
-	Phase2Sec  float64
-	PlaySec    float64
+	// Phase-1 / Phase-2 breakdown alongside; SchedCPUSec is the CPU-sum
+	// across pool workers (equal to SchedSec on the serial path); PlaySec
+	// is the playback (battery-drain) emulation time.
+	SchedSec    float64
+	SchedCPUSec float64
+	CompactSec  float64
+	Phase1Sec   float64
+	Phase2Sec   float64
+	PlaySec     float64
 }
 
 // EnergySavingRatio is the paper's Fig. 7/8a metric.
@@ -296,6 +313,9 @@ func (r *RunResult) MeanTPVMin(filter func(i int) bool) float64 {
 type Emulator struct {
 	cfg    Config
 	policy scheduler.Policy
+	// pool, when non-nil, drives each slot through the sharded engine
+	// instead of calling the policy directly (Config.Workers > 1).
+	pool *scheduler.Pool
 
 	devices    []*device.Device
 	estimators []*bayes.GammaEstimator
@@ -328,10 +348,23 @@ func New(cfg Config, policy scheduler.Policy) (*Emulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	var pool *scheduler.Pool
 	if policy == nil {
-		policy, err = BuildLPVSPolicy(cfg)
-		if err != nil {
-			return nil, err
+		if cfg.Workers > 1 {
+			scfg, err := SchedulerConfig(cfg)
+			if err != nil {
+				return nil, err
+			}
+			pool, err = scheduler.NewPool(scfg, scheduler.PoolConfig{Workers: cfg.Workers})
+			if err != nil {
+				return nil, err
+			}
+			policy = pool.Scheduler()
+		} else {
+			policy, err = BuildLPVSPolicy(cfg)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	rng := stats.NewRNG(cfg.Seed)
@@ -389,6 +422,7 @@ func New(cfg Config, policy scheduler.Policy) (*Emulator, error) {
 	return &Emulator{
 		cfg:          cfg,
 		policy:       policy,
+		pool:         pool,
 		devices:      devices,
 		estimators:   estimators,
 		streams:      streams,
@@ -469,16 +503,27 @@ func (e *Emulator) Run() (*RunResult, error) {
 
 		reqs, reqIdx := e.gatherRequests(windows)
 		decision := scheduler.Decision{Transform: map[string]bool{}}
-		schedSec := 0.0
+		schedSec, schedCPUSec := 0.0, 0.0
 		if len(reqs) > 0 {
-			start := time.Now()
-			var err error
-			decision, err = e.policy.Schedule(reqs)
-			if err != nil {
-				return nil, fmt.Errorf("emu: slot %d: %w", slot, err)
+			if e.pool != nil {
+				pres, err := e.pool.Decide([]scheduler.VC{{ID: "vc", Requests: reqs}})
+				if err != nil {
+					return nil, fmt.Errorf("emu: slot %d: %w", slot, err)
+				}
+				decision = pres.Decision()
+				schedSec, schedCPUSec = pres.WallSeconds, pres.CPUSeconds
+			} else {
+				start := time.Now()
+				var err error
+				decision, err = e.policy.Schedule(reqs)
+				if err != nil {
+					return nil, fmt.Errorf("emu: slot %d: %w", slot, err)
+				}
+				schedSec = time.Since(start).Seconds()
+				schedCPUSec = schedSec
 			}
-			schedSec = time.Since(start).Seconds()
 			res.SchedSeconds += schedSec
+			res.SchedCPUSeconds += schedCPUSec
 		}
 		res.SelectedPerSlot = append(res.SelectedPerSlot, decision.Selected)
 
@@ -502,15 +547,16 @@ func (e *Emulator) Run() (*RunResult, error) {
 		// Anxiety census after the slot: every owner, watching or not,
 		// feels their battery level.
 		stat := SlotStat{
-			Slot:       slot,
-			Selected:   decision.Selected,
-			Eligible:   decision.Eligible,
-			Swaps:      decision.Swaps,
-			SchedSec:   schedSec,
-			CompactSec: decision.CompactSeconds,
-			Phase1Sec:  decision.Phase1Seconds,
-			Phase2Sec:  decision.Phase2Seconds,
-			PlaySec:    playSec,
+			Slot:        slot,
+			Selected:    decision.Selected,
+			Eligible:    decision.Eligible,
+			Swaps:       decision.Swaps,
+			SchedSec:    schedSec,
+			SchedCPUSec: schedCPUSec,
+			CompactSec:  decision.CompactSeconds,
+			Phase1Sec:   decision.Phase1Seconds,
+			Phase2Sec:   decision.Phase2Seconds,
+			PlaySec:     playSec,
 		}
 		for _, d := range e.devices {
 			anx := e.cfg.Anxiety.Anxiety(d.EnergyFrac())

@@ -18,6 +18,8 @@ func (r *RunResult) FillRegistry(reg *obs.Registry) {
 
 	tickDur := reg.Histogram("lpvs_tick_duration_seconds",
 		"Wall time of one scheduling tick (information compacting + Phase-1 + Phase-2).", obs.DefBuckets())
+	tickCPU := reg.Histogram("lpvs_sched_cpu_seconds",
+		"CPU-sum of one scheduling tick across pool workers (equals wall time on the serial path).", obs.DefBuckets())
 	compactDur := reg.Histogram("lpvs_sched_compact_seconds",
 		"Information-compacting (plan building) time per tick.", obs.DefBuckets())
 	phase1Dur := reg.Histogram("lpvs_sched_phase1_seconds",
@@ -31,6 +33,7 @@ func (r *RunResult) FillRegistry(reg *obs.Registry) {
 	swaps := reg.Counter("lpvs_sched_swaps_total", "Accepted Phase-2 anxiety swaps.")
 	for _, st := range r.Timeline {
 		tickDur.Observe(st.SchedSec)
+		tickCPU.Observe(st.SchedCPUSec)
 		compactDur.Observe(st.CompactSec)
 		phase1Dur.Observe(st.Phase1Sec)
 		phase2Dur.Observe(st.Phase2Sec)
@@ -41,6 +44,8 @@ func (r *RunResult) FillRegistry(reg *obs.Registry) {
 
 	reg.Counter("lpvs_sched_seconds_total",
 		"Cumulative scheduler wall time over the run.").Add(r.SchedSeconds)
+	reg.Counter("lpvs_sched_cpu_seconds_total",
+		"Cumulative scheduler CPU-sum across pool workers over the run.").Add(r.SchedCPUSeconds)
 	reg.Counter("lpvs_display_energy_joules_total",
 		"Display energy actually drawn across the cluster.").Add(r.DisplayEnergyJ)
 	reg.Counter("lpvs_display_energy_untransformed_joules_total",

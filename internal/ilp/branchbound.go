@@ -33,6 +33,12 @@ const DefaultMaxNodes = 200_000
 // constraint fractional (Dantzig) knapsack bounds, each of which is a
 // valid relaxation of the multi-constraint problem. The greedy solution
 // primes the incumbent so pruning is effective immediately.
+//
+// BranchBound is reentrant: it only reads the Problem and allocates all
+// search state (orders, bounds, incumbent) per call, so concurrent
+// solves — including of the same Problem value — are safe. The
+// scheduler's worker pool relies on this; reentrancy_test.go pins it
+// under the race detector.
 func BranchBound(p *Problem, cfg BBConfig) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
@@ -221,6 +227,8 @@ func densityOrder(p *Problem) []int {
 // Greedy builds a feasible solution in O(n log n): scan items in density
 // order, taking each one that fits. It is the paper-agnostic baseline
 // for the ablation study and the warm start for branch and bound.
+// Like BranchBound it is reentrant: read-only on the Problem, all state
+// per call.
 func Greedy(p *Problem) Solution {
 	n := p.N()
 	x := make([]bool, n)

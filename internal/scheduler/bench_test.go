@@ -60,6 +60,68 @@ func BenchmarkScheduleExactVsGreedy(b *testing.B) {
 	}
 }
 
+// BenchmarkPoolScaling measures the sharded engine across worker counts
+// at the two ISSUE workloads: 1k devices in 8 VCs and 10k devices in 32
+// VCs. The recorded results live in BENCH_scheduler.json; speedups only
+// materialise where GOMAXPROCS offers real cores.
+func BenchmarkPoolScaling(b *testing.B) {
+	server, err := edge.NewServer(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, wl := range []struct {
+		name       string
+		nVC, perVC int
+	}{
+		{"1k-8vc", 8, 125},
+		{"10k-32vc", 32, 312},
+	} {
+		vcs := makeVCSet(b, wl.nVC, wl.perVC, 7)
+		for _, workers := range []int{1, 2, 4, 8} {
+			pool, err := NewPool(Config{Server: server, Lambda: 1}, PoolConfig{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/workers=%d", wl.name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := pool.Decide(vcs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPoolScalingWorkloadEquivalence pins the benchmark's correctness
+// side: on the 10k-device/32-VC workload the 8-worker pool makes
+// byte-identical decisions to the serial baseline.
+func TestPoolScalingWorkloadEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-device workload")
+	}
+	server, err := edge.NewServer(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcs := makeVCSet(t, 32, 312, 7)
+	pool, err := NewPool(Config{Server: server, Lambda: 1}, PoolConfig{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := pool.Decide(vcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := DecideSerial(mustScheduler(t, Config{Server: server, Lambda: 1}), vcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pr.Canonical()) != string(sr.Canonical()) {
+		t.Fatal("8-worker pool diverged from serial baseline on the benchmark workload")
+	}
+}
+
 // BenchmarkPhase2Swap isolates the Phase-2 cost by comparing lambda=0
 // (no swaps) with a heavily swapped configuration.
 func BenchmarkPhase2Swap(b *testing.B) {

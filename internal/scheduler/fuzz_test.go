@@ -1,0 +1,107 @@
+package scheduler
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"lpvs/internal/edge"
+	"lpvs/internal/stats"
+)
+
+// fuzzBase caches one generated request cluster so each fuzz iteration
+// only mutates cheap scalar fields instead of re-generating videos.
+var (
+	fuzzBaseOnce sync.Once
+	fuzzBase     []Request
+)
+
+func fuzzBaseCluster(tb testing.TB) []Request {
+	fuzzBaseOnce.Do(func() { fuzzBase = makeCluster(tb, 32, 4242) })
+	return fuzzBase
+}
+
+// FuzzPoolDecide drives the pooled engine with fuzz-chosen cluster
+// shapes, capacities, lambdas and worker counts, and checks the
+// invariants that must hold for every input: pool output byte-identical
+// to the serial reference, capacities respected, no ineligible device
+// selected, and no panics.
+func FuzzPoolDecide(f *testing.F) {
+	// Seed corpus mirrors the fixture shapes used across the scheduler
+	// tests: single tiny VC, several mid-size VCs, a capacity-starved
+	// instance, an uncapacitated one, and a many-worker split.
+	f.Add(int64(1), uint8(1), uint8(4), uint8(2), uint8(10), uint8(1))
+	f.Add(int64(42), uint8(3), uint8(12), uint8(4), uint8(30), uint8(4))
+	f.Add(int64(7), uint8(2), uint8(20), uint8(1), uint8(0), uint8(8))
+	f.Add(int64(999), uint8(4), uint8(8), uint8(0), uint8(15), uint8(3))
+	f.Add(int64(-5), uint8(1), uint8(14), uint8(3), uint8(50), uint8(2))
+
+	f.Fuzz(func(t *testing.T, seed int64, nVC, perVC, streams, lambdaTenths, workers uint8) {
+		base := fuzzBaseCluster(t)
+		rng := stats.NewRNG(seed)
+		vcCount := int(nVC%4) + 1
+		devs := int(perVC%24) + 1
+		vcs := make([]VC, vcCount)
+		for v := range vcs {
+			reqs := make([]Request, devs)
+			for i := range reqs {
+				r := base[rng.Intn(len(base))]
+				r.DeviceID = deviceID(v*devs + i)
+				r.EnergyFrac = rng.Uniform(0.01, 1)
+				r.Gamma = rng.Uniform(0.15, 0.6)
+				reqs[i] = r
+			}
+			vcs[v] = VC{ID: deviceID(v) + "-vc", Requests: reqs}
+		}
+		cfg := Config{Lambda: float64(lambdaTenths%51) / 10}
+		if streams%4 != 0 {
+			server, err := edge.NewServer(int(streams%4) * 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Server = server
+		}
+		pool, err := NewPool(cfg, PoolConfig{Workers: int(workers%8) + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := pool.Decide(vcs)
+		if err != nil {
+			t.Fatalf("pool rejected generated input: %v", err)
+		}
+		serial, err := DecideSerial(pool.Scheduler(), vcs)
+		if err != nil {
+			t.Fatalf("serial rejected generated input: %v", err)
+		}
+		if !bytes.Equal(res.Canonical(), serial.Canonical()) {
+			t.Fatalf("pool and serial decisions diverged:\npool:\n%s\nserial:\n%s",
+				res.Canonical(), serial.Canonical())
+		}
+		for _, vcd := range res.VCs {
+			var reqs []Request
+			for _, in := range vcs {
+				if in.ID == vcd.VC {
+					reqs = in.Requests
+				}
+			}
+			plans, err := pool.Scheduler().buildPlans(reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			usedG, usedH := 0.0, 0.0
+			for _, p := range plans {
+				if !vcd.Decision.Transform[p.req.DeviceID] {
+					continue
+				}
+				if !p.eligible {
+					t.Fatalf("vc %s selected ineligible device %s", vcd.VC, p.req.DeviceID)
+				}
+				usedG += p.g
+				usedH += p.h
+			}
+			if cfg.Server != nil && !cfg.Server.Fits(usedG, usedH) {
+				t.Fatalf("vc %s violates capacity: g=%v h=%v", vcd.VC, usedG, usedH)
+			}
+		}
+	})
+}

@@ -133,7 +133,13 @@ func (p *GreedyBatteryPolicy) Schedule(reqs []Request) (Decision, error) {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		return plans[order[a]].req.EnergyFrac < plans[order[b]].req.EnergyFrac
+		ra, rb := plans[order[a]].req, plans[order[b]].req
+		// Equal-battery ties break on DeviceID: admission order must not
+		// depend on how the caller happened to order the requests.
+		if ra.EnergyFrac != rb.EnergyFrac {
+			return ra.EnergyFrac < rb.EnergyFrac
+		}
+		return ra.DeviceID < rb.DeviceID
 	})
 	return p.inner.capacityFilter(plans, order), nil
 }

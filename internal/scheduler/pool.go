@@ -1,0 +1,258 @@
+package scheduler
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the sharded scheduling engine: the paper's edge
+// server solves problem (8) independently per virtual cluster every
+// slot, so a tick over many VCs is embarrassingly parallel at the VC
+// level, and the per-device information-compacting step parallelises
+// inside each VC (Scheduler.buildPlans). The Pool fans VCs out across a
+// fixed worker set and merges the results deterministically: output
+// order is by VC ID, every per-VC decision is a pure function of that
+// VC's requests, and no map iteration feeds scheduling order anywhere
+// on the path. DecideSerial is the reference implementation the
+// differential tests compare against byte for byte.
+
+// VC is one virtual cluster's slot input: the audience of one edge
+// scheduling domain (a Twitch channel's viewers in the paper).
+type VC struct {
+	// ID identifies the cluster; IDs must be unique within one Decide
+	// call and define the deterministic output order.
+	ID string
+	// Requests is the cluster's information-gathering output.
+	Requests []Request
+}
+
+// VCDecision is one cluster's outcome within a pool tick.
+type VCDecision struct {
+	// VC echoes the cluster ID.
+	VC string
+	// Decision is the per-cluster scheduling outcome.
+	Decision Decision
+	// WallSeconds is the wall time this VC's solve took on its worker.
+	WallSeconds float64
+	// Worker is the index of the pool worker that solved this VC
+	// (always 0 on the serial path). Informational only: assignment is
+	// racy by design, the decision itself is not.
+	Worker int
+}
+
+// PoolResult is the merged outcome of one pool tick.
+type PoolResult struct {
+	// VCs holds every cluster's decision, sorted by VC ID.
+	VCs []VCDecision
+	// WallSeconds is the end-to-end wall time of the tick — the
+	// scheduler-overhead metric of the paper's Fig. 10. With more than
+	// one worker this is what a viewer actually waits, not the CPU-sum.
+	WallSeconds float64
+	// CPUSeconds sums the per-VC solve times across workers; the ratio
+	// CPUSeconds/WallSeconds approximates the achieved parallelism.
+	CPUSeconds float64
+	// Workers is the fan-out the tick ran with.
+	Workers int
+}
+
+// Decision reports the single-VC decision of a one-cluster tick —
+// the common case for callers that wrapped an existing serial path.
+func (r *PoolResult) Decision() Decision {
+	if len(r.VCs) != 1 {
+		panic(fmt.Sprintf("scheduler: PoolResult.Decision on %d VCs", len(r.VCs)))
+	}
+	return r.VCs[0].Decision
+}
+
+// PoolConfig parameterises the sharded engine.
+type PoolConfig struct {
+	// Workers is the VC-level fan-out. Zero means runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// Pool schedules many virtual clusters per tick across a bounded worker
+// set. It is stateless across ticks and safe for concurrent use: every
+// Decide call allocates its own job state, and the underlying Scheduler
+// and ILP solvers hold no shared mutable state (see the reentrancy
+// notes in internal/ilp).
+type Pool struct {
+	sched   *Scheduler
+	workers int
+}
+
+// NewPool builds the sharded engine. The scheduler config is validated
+// exactly as in New; if it does not pin CompactWorkers, the intra-VC
+// compacting fan-out defaults to the pool width so a single huge VC
+// still uses every worker.
+func NewPool(cfg Config, pc PoolConfig) (*Pool, error) {
+	workers := pc.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("scheduler: pool workers %d", pc.Workers)
+	}
+	if cfg.CompactWorkers == 0 {
+		cfg.CompactWorkers = workers
+	}
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{sched: s, workers: workers}, nil
+}
+
+// Scheduler exposes the pool's underlying per-VC scheduler (e.g. for
+// policies that need plan-level access with the same configuration).
+func (p *Pool) Scheduler() *Scheduler { return p.sched }
+
+// Workers reports the configured fan-out.
+func (p *Pool) Workers() int { return p.workers }
+
+// Decide schedules every VC for one slot and merges the outcomes.
+// Decisions are byte-identical to DecideSerial on the same input: each
+// VC is solved independently by the same deterministic Schedule, and
+// the merge orders by VC ID regardless of which worker finished first.
+func (p *Pool) Decide(vcs []VC) (*PoolResult, error) {
+	ordered, err := orderVCs(vcs)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &PoolResult{VCs: make([]VCDecision, len(ordered)), Workers: p.workers}
+	if len(ordered) == 0 {
+		return res, nil
+	}
+
+	workers := p.workers
+	if workers > len(ordered) {
+		workers = len(ordered)
+	}
+	errs := make([]error, len(ordered))
+	if workers == 1 {
+		for i := range ordered {
+			res.VCs[i], errs[i] = p.solveVC(ordered[i], 0)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(ordered) {
+						return
+					}
+					res.VCs[i], errs[i] = p.solveVC(ordered[i], w)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	// Deterministic error selection: the first failing VC in ID order,
+	// matching what the serial loop would have reported.
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("scheduler: vc %s: %w", ordered[i].ID, err)
+		}
+	}
+	for i := range res.VCs {
+		res.CPUSeconds += res.VCs[i].WallSeconds
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// DecideSerial is the reference engine: the plain one-goroutine loop
+// over the same ID-ordered VC list the pool uses. Kept as a first-class
+// API (not a test helper) so the differential harness always compares
+// against the exact code path production would fall back to.
+func DecideSerial(s *Scheduler, vcs []VC) (*PoolResult, error) {
+	ordered, err := orderVCs(vcs)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &PoolResult{VCs: make([]VCDecision, len(ordered)), Workers: 1}
+	for i := range ordered {
+		vcStart := time.Now()
+		dec, err := s.Schedule(ordered[i].Requests)
+		if err != nil {
+			return nil, fmt.Errorf("scheduler: vc %s: %w", ordered[i].ID, err)
+		}
+		wall := time.Since(vcStart).Seconds()
+		res.VCs[i] = VCDecision{VC: ordered[i].ID, Decision: dec, WallSeconds: wall}
+		res.CPUSeconds += wall
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+func (p *Pool) solveVC(vc VC, worker int) (VCDecision, error) {
+	start := time.Now()
+	dec, err := p.sched.Schedule(vc.Requests)
+	if err != nil {
+		return VCDecision{}, err
+	}
+	return VCDecision{
+		VC:          vc.ID,
+		Decision:    dec,
+		WallSeconds: time.Since(start).Seconds(),
+		Worker:      worker,
+	}, nil
+}
+
+// orderVCs returns the VCs sorted by ID (a copy; the caller's slice is
+// untouched) and rejects duplicate IDs, which would make the merge
+// ambiguous.
+func orderVCs(vcs []VC) ([]VC, error) {
+	ordered := make([]VC, len(vcs))
+	copy(ordered, vcs)
+	sort.SliceStable(ordered, func(a, b int) bool { return ordered[a].ID < ordered[b].ID })
+	for i := 1; i < len(ordered); i++ {
+		if ordered[i].ID == ordered[i-1].ID {
+			return nil, fmt.Errorf("scheduler: duplicate VC ID %q", ordered[i].ID)
+		}
+	}
+	return ordered, nil
+}
+
+// Canonical returns a deterministic byte encoding of the decision's
+// outcome: the scheduling counters and objective values plus the
+// transform vector sorted by device ID. Wall-clock timing fields are
+// deliberately excluded — they differ run to run — so two decisions
+// from different engines (pool vs serial, different worker counts) can
+// be compared byte for byte.
+func (d Decision) Canonical() []byte {
+	ids := make([]string, 0, len(d.Transform))
+	for id := range d.Transform {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "selected=%d eligible=%d swaps=%d optimal=%t phase1=%.17g objective=%.17g\n",
+		d.Selected, d.Eligible, d.Swaps, d.OptimalPhase1, d.Phase1Value, d.Objective)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%s=%t\n", id, d.Transform[id])
+	}
+	return b.Bytes()
+}
+
+// Canonical concatenates every VC decision's canonical form in VC-ID
+// order — the byte string the differential tests and the benchmark
+// equivalence check compare across engines.
+func (r *PoolResult) Canonical() []byte {
+	var b bytes.Buffer
+	for i := range r.VCs {
+		fmt.Fprintf(&b, "vc %s\n", r.VCs[i].VC)
+		b.Write(r.VCs[i].Decision.Canonical())
+	}
+	return b.Bytes()
+}

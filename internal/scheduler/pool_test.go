@@ -1,0 +1,423 @@
+package scheduler
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lpvs/internal/display"
+	"lpvs/internal/edge"
+	"lpvs/internal/ilp"
+	"lpvs/internal/stats"
+	"lpvs/internal/video"
+)
+
+// makeVCSet builds nVC virtual clusters of perVC devices each. Devices
+// within a VC share one generated stream (the paper's model: a VC is
+// one channel's audience) but differ in display, battery state and
+// gamma, so plan building and the knapsack see realistic spread.
+func makeVCSet(tb testing.TB, nVC, perVC int, seed int64) []VC {
+	tb.Helper()
+	rng := stats.NewRNG(seed)
+	resolutions := []display.Resolution{display.Res720p, display.Res1080p, display.Res1440p}
+	vcs := make([]VC, nVC)
+	for v := range vcs {
+		vid, err := video.Generate(rng.Fork(), video.DefaultGenConfig(fmt.Sprintf("vc%03d-stream", v), video.Gaming, 30))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		reqs := make([]Request, perVC)
+		for i := range reqs {
+			ty := display.LCD
+			if rng.Intn(2) == 0 {
+				ty = display.OLED
+			}
+			reqs[i] = Request{
+				DeviceID: fmt.Sprintf("vc%03d-dev%05d", v, i),
+				Display: display.Spec{
+					Type:         ty,
+					Resolution:   resolutions[rng.Intn(len(resolutions))],
+					DiagonalInch: 5.5 + rng.Uniform(0, 1.5),
+					Brightness:   rng.Uniform(0.4, 0.9),
+				},
+				EnergyFrac:       rng.TruncNormal(0.5, 0.2, 0.05, 1),
+				BatteryCapacityJ: 50_000,
+				BasePowerW:       0.9,
+				Chunks:           vid.Chunks,
+				Gamma:            rng.Uniform(0.2, 0.45),
+			}
+		}
+		vcs[v] = VC{ID: fmt.Sprintf("vc%03d", v), Requests: reqs}
+	}
+	return vcs
+}
+
+// randomInstance derives one randomized multi-VC instance (VC list +
+// scheduler config) from the rng, reusing a pre-generated request base
+// so hundreds of instances stay cheap.
+func randomInstance(rng *stats.RNG, base []Request) ([]VC, Config) {
+	nVC := 1 + rng.Intn(4)
+	vcs := make([]VC, nVC)
+	for v := range vcs {
+		n := 1 + rng.Intn(20)
+		reqs := make([]Request, n)
+		for i := range reqs {
+			r := base[rng.Intn(len(base))]
+			r.DeviceID = fmt.Sprintf("i%02d-d%02d", v, i)
+			r.EnergyFrac = rng.Uniform(0.01, 1)
+			r.Gamma = rng.Uniform(0.15, 0.6)
+			reqs[i] = r
+		}
+		vcs[v] = VC{ID: fmt.Sprintf("vc-%d", v), Requests: reqs}
+	}
+	cfg := Config{Lambda: rng.Uniform(0, 5)}
+	if rng.Intn(5) == 0 {
+		cfg.Lambda = 0
+	}
+	if rng.Intn(4) > 0 {
+		server, err := edge.NewServer(1 + rng.Intn(12))
+		if err != nil {
+			panic(err)
+		}
+		cfg.Server = server
+	}
+	return vcs, cfg
+}
+
+// TestPoolVsSerialDifferential is the core equivalence harness: across
+// 210 randomized instances (sizes, capacities, lambdas), the pooled
+// engine's merged output must be byte-identical to the serial reference
+// loop — same selections, same counters, same objective bits.
+func TestPoolVsSerialDifferential(t *testing.T) {
+	base := makeCluster(t, 64, 999)
+	rng := stats.NewRNG(20260805)
+	const instances = 210
+	for inst := 0; inst < instances; inst++ {
+		vcs, cfg := randomInstance(rng, base)
+		pool, err := NewPool(cfg, PoolConfig{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := mustScheduler(t, cfg)
+		pr, err := pool.Decide(vcs)
+		if err != nil {
+			t.Fatalf("instance %d: pool: %v", inst, err)
+		}
+		sr, err := DecideSerial(serial, vcs)
+		if err != nil {
+			t.Fatalf("instance %d: serial: %v", inst, err)
+		}
+		if !bytes.Equal(pr.Canonical(), sr.Canonical()) {
+			t.Fatalf("instance %d: pool and serial decisions diverged:\npool:\n%s\nserial:\n%s",
+				inst, pr.Canonical(), sr.Canonical())
+		}
+	}
+}
+
+// TestPhase1MatchesBruteForce checks the exact Phase-1 engine against a
+// full 0/1 enumeration on randomized small instances (≤ 14 devices):
+// branch and bound must find the proven optimum of the two-constraint
+// knapsack (14).
+func TestPhase1MatchesBruteForce(t *testing.T) {
+	base := makeCluster(t, 64, 998)
+	rng := stats.NewRNG(17)
+	checked := 0
+	for inst := 0; inst < 80; inst++ {
+		n := 2 + rng.Intn(13) // 2..14 devices
+		reqs := make([]Request, n)
+		for i := range reqs {
+			r := base[rng.Intn(len(base))]
+			r.DeviceID = fmt.Sprintf("bf-%02d", i)
+			r.EnergyFrac = rng.Uniform(0.05, 1)
+			r.Gamma = rng.Uniform(0.15, 0.6)
+			reqs[i] = r
+		}
+		server, err := edge.NewServer(1 + rng.Intn(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := mustScheduler(t, Config{Server: server, Lambda: 1})
+		plans, err := s.buildPlans(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eligible []*plan
+		for _, p := range plans {
+			if p.eligible {
+				eligible = append(eligible, p)
+			}
+		}
+		if len(eligible) == 0 {
+			continue
+		}
+		values := make([]float64, len(eligible))
+		for i, p := range eligible {
+			values[i] = p.saving
+		}
+		prob := problemWithCapacity(s, eligible, values)
+		bb, err := ilp.BranchBound(prob, ilp.BBConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf, err := ilp.BruteForce(prob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bb.Optimal {
+			t.Fatalf("instance %d: branch and bound hit its node limit on %d items", inst, len(eligible))
+		}
+		if math.Abs(bb.Value-bf.Value) > 1e-9 {
+			t.Fatalf("instance %d: branch-and-bound value %v != brute-force optimum %v (%d eligible)",
+				inst, bb.Value, bf.Value, len(eligible))
+		}
+		checked++
+	}
+	if checked < 40 {
+		t.Fatalf("only %d instances had eligible devices", checked)
+	}
+}
+
+// TestPoolCapacityAndEligibilityProperty: every pool decision respects
+// the compute (C) and storage (S) capacities and never selects a device
+// failing the energy-feasibility constraint (11).
+func TestPoolCapacityAndEligibilityProperty(t *testing.T) {
+	base := makeCluster(t, 64, 997)
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		vcs, cfg := randomInstance(rng, base)
+		pool, err := NewPool(cfg, PoolConfig{Workers: 3})
+		if err != nil {
+			return false
+		}
+		res, err := pool.Decide(vcs)
+		if err != nil {
+			return false
+		}
+		checker := mustScheduler(t, cfg)
+		for i, vc := range res.VCs {
+			// res.VCs is ID-ordered; recover the matching input.
+			var reqs []Request
+			for _, in := range vcs {
+				if in.ID == vc.VC {
+					reqs = in.Requests
+				}
+			}
+			plans, err := checker.buildPlans(reqs)
+			if err != nil {
+				return false
+			}
+			usedG, usedH := 0.0, 0.0
+			for _, p := range plans {
+				if !vc.Decision.Transform[p.req.DeviceID] {
+					continue
+				}
+				if !p.eligible {
+					t.Logf("vc %d selected ineligible device %s", i, p.req.DeviceID)
+					return false
+				}
+				usedG += p.g
+				usedH += p.h
+			}
+			if cfg.Server != nil && !cfg.Server.Fits(usedG, usedH) {
+				t.Logf("vc %d violates capacity: g=%v h=%v", i, usedG, usedH)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolSameSeedDeterministicProperty: repeated runs with the same
+// seed — and any worker count — produce byte-identical decisions.
+func TestPoolSameSeedDeterministicProperty(t *testing.T) {
+	base := makeCluster(t, 64, 996)
+	f := func(seed int64) bool {
+		buildOnce := func(workers int) []byte {
+			rng := stats.NewRNG(seed)
+			vcs, cfg := randomInstance(rng, base)
+			pool, err := NewPool(cfg, PoolConfig{Workers: workers})
+			if err != nil {
+				return nil
+			}
+			res, err := pool.Decide(vcs)
+			if err != nil {
+				return nil
+			}
+			return res.Canonical()
+		}
+		first := buildOnce(1)
+		if first == nil {
+			return false
+		}
+		for _, workers := range []int{1, 2, 8} {
+			if !bytes.Equal(first, buildOnce(workers)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelCompactingMatchesSerial pins the intra-VC fan-out: a
+// scheduler with many compacting workers and a tiny chunk size must
+// produce bit-identical plans and decisions to the serial compactor.
+func TestParallelCompactingMatchesSerial(t *testing.T) {
+	server, err := edge.NewServer(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := makeCluster(t, 150, 321)
+	serial := mustScheduler(t, Config{Server: server, Lambda: 2})
+	parallel := mustScheduler(t, Config{Server: server, Lambda: 2, CompactWorkers: 8, CompactChunk: 7})
+	ds, err := serial.Schedule(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := parallel.Schedule(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ds.Canonical(), dp.Canonical()) {
+		t.Fatalf("parallel compacting changed the decision:\nserial:\n%s\nparallel:\n%s",
+			ds.Canonical(), dp.Canonical())
+	}
+	// Error reporting is deterministic too: the lowest-index invalid
+	// request wins regardless of which goroutine saw it first.
+	bad := makeCluster(t, 40, 322)
+	bad[3].Gamma = 0
+	bad[17].Gamma = 0
+	_, errS := serial.Schedule(bad)
+	_, errP := parallel.Schedule(bad)
+	if errS == nil || errP == nil {
+		t.Fatal("invalid cluster accepted")
+	}
+	if errS.Error() != errP.Error() {
+		t.Fatalf("error selection differs: serial %q vs parallel %q", errS, errP)
+	}
+}
+
+// TestScheduleStableUnderCanonicalOrder pins the determinism contract
+// the edge daemon relies on: feeding the same request set in canonical
+// (DeviceID-sorted) order always yields the same decision, no matter
+// how the batch was originally ordered — the map-iteration fix.
+func TestScheduleStableUnderCanonicalOrder(t *testing.T) {
+	server, err := edge.NewServer(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustScheduler(t, Config{Server: server, Lambda: 3})
+	reqs := makeCluster(t, 40, 555)
+	// Three adversarial permutations of the same batch.
+	perms := [][]Request{
+		append([]Request(nil), reqs...),
+		make([]Request, len(reqs)),
+		make([]Request, len(reqs)),
+	}
+	for i := range reqs {
+		perms[1][len(reqs)-1-i] = reqs[i] // reversed
+	}
+	for i, j := range stats.NewRNG(9).Perm(len(reqs)) { // shuffled
+		perms[2][i] = reqs[j]
+	}
+	var want []byte
+	for i, perm := range perms {
+		SortRequests(perm)
+		dec, err := s.Schedule(perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = dec.Canonical()
+			continue
+		}
+		if !bytes.Equal(want, dec.Canonical()) {
+			t.Fatalf("permutation %d changed the canonical-order decision:\n%s\nvs\n%s",
+				i, want, dec.Canonical())
+		}
+	}
+}
+
+// TestPoolValidation covers the constructor and merge error paths.
+func TestPoolValidation(t *testing.T) {
+	if _, err := NewPool(Config{}, PoolConfig{Workers: -1}); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+	if _, err := NewPool(Config{Lambda: -1}, PoolConfig{}); err == nil {
+		t.Fatal("invalid scheduler config accepted")
+	}
+	pool, err := NewPool(Config{}, PoolConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Workers() != 2 || pool.Scheduler() == nil {
+		t.Fatalf("pool accessors wrong: workers=%d", pool.Workers())
+	}
+	if _, err := pool.Decide([]VC{{ID: "a"}, {ID: "a"}}); err == nil {
+		t.Fatal("duplicate VC IDs accepted")
+	}
+	empty, err := pool.Decide(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.VCs) != 0 {
+		t.Fatalf("decisions for no VCs: %+v", empty)
+	}
+	// A failing VC reports its ID, and the first failure in ID order
+	// wins deterministically.
+	bad := makeCluster(t, 3, 7)
+	bad[1].Gamma = 0
+	vcs := []VC{
+		{ID: "z-ok", Requests: makeCluster(t, 2, 8)},
+		{ID: "a-bad", Requests: bad},
+	}
+	_, err = pool.Decide(vcs)
+	if err == nil {
+		t.Fatal("invalid VC accepted")
+	}
+	sr := mustScheduler(t, Config{})
+	_, serr := DecideSerial(sr, vcs)
+	if serr == nil || err.Error() != serr.Error() {
+		t.Fatalf("pool error %q != serial error %q", err, serr)
+	}
+}
+
+// TestPoolTimingFields sanity-checks the wall/CPU split the Fig. 10
+// overhead metric relies on.
+func TestPoolTimingFields(t *testing.T) {
+	vcs := makeVCSet(t, 4, 30, 3)
+	pool, err := NewPool(Config{Lambda: 1}, PoolConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pool.Decide(vcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallSeconds <= 0 || res.CPUSeconds <= 0 {
+		t.Fatalf("missing timings: %+v", res)
+	}
+	if res.Workers != 2 {
+		t.Fatalf("workers = %d", res.Workers)
+	}
+	sum := 0.0
+	for i, vc := range res.VCs {
+		if vc.WallSeconds < 0 {
+			t.Fatalf("vc %d negative wall time", i)
+		}
+		if i > 0 && res.VCs[i-1].VC >= vc.VC {
+			t.Fatalf("VCs not ID-ordered: %q before %q", res.VCs[i-1].VC, vc.VC)
+		}
+		sum += vc.WallSeconds
+	}
+	if math.Abs(sum-res.CPUSeconds) > 1e-9 {
+		t.Fatalf("CPUSeconds %v != per-VC sum %v", res.CPUSeconds, sum)
+	}
+}

@@ -27,6 +27,8 @@ package scheduler
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"lpvs/internal/anxiety"
@@ -90,6 +92,15 @@ func (r *Request) Validate() error {
 	return nil
 }
 
+// SortRequests puts a request batch in canonical (DeviceID) order.
+// Schedule's tie-breaks are deterministic for a given input order, so
+// callers that accumulate requests in an order-free structure (the edge
+// daemon's pending map) must canonicalise before scheduling to get
+// run-to-run reproducible decisions.
+func SortRequests(reqs []Request) {
+	sort.SliceStable(reqs, func(a, b int) bool { return reqs[a].DeviceID < reqs[b].DeviceID })
+}
+
 // Decision is the scheduling outcome for one slot.
 type Decision struct {
 	// Transform maps device ID to x_n.
@@ -140,7 +151,22 @@ type Config struct {
 	DisableSwap bool
 	// MaxSwapPasses bounds Phase-2 sweeps. Zero means the default (2).
 	MaxSwapPasses int
+	// CompactWorkers bounds the goroutines used for the per-device
+	// information-compacting step (constraint (11) / objective (13)
+	// precomputation). Each device's plan depends only on its own
+	// request, so the fan-out is embarrassingly parallel and bit-for-bit
+	// deterministic. Zero or one means serial.
+	CompactWorkers int
+	// CompactChunk is how many devices one compacting goroutine claims
+	// at a time; clusters at or below one chunk are compacted serially.
+	// Zero means DefaultCompactChunk.
+	CompactChunk int
 }
+
+// DefaultCompactChunk balances fan-out overhead against load balance:
+// chunks of this many devices keep goroutine bookkeeping far below the
+// per-device plan cost while still splitting paper-scale clusters.
+const DefaultCompactChunk = 64
 
 // DefaultExactThreshold keeps exact Phase-1 for clusters up to this many
 // devices.
@@ -178,6 +204,15 @@ func New(cfg Config) (*Scheduler, error) {
 	if cfg.MaxSwapPasses < 0 {
 		return nil, fmt.Errorf("scheduler: negative swap passes")
 	}
+	if cfg.CompactWorkers < 0 {
+		return nil, fmt.Errorf("scheduler: negative compact workers")
+	}
+	if cfg.CompactChunk == 0 {
+		cfg.CompactChunk = DefaultCompactChunk
+	}
+	if cfg.CompactChunk < 0 {
+		return nil, fmt.Errorf("scheduler: negative compact chunk")
+	}
 	return &Scheduler{cfg: cfg}, nil
 }
 
@@ -197,39 +232,93 @@ type plan struct {
 	anx      float64       // anxiety degree at slot start (for Phase-2 rank)
 }
 
-// buildPlans runs information gathering + compacting for all requests.
+// buildPlan runs information gathering + compacting for one request.
+// It reads only the request and the (immutable) scheduler config, so
+// plans for different devices can be built concurrently.
+func (s *Scheduler) buildPlan(r *Request) (*plan, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	p := &plan{req: r}
+	p.dispFrac = make([]float64, len(r.Chunks))
+	p.baseFrac = make([]float64, len(r.Chunks))
+	for k, c := range r.Chunks {
+		watts, err := video.PowerRate(r.Display, c)
+		if err != nil {
+			return nil, fmt.Errorf("scheduler: request %s chunk %d: %w", r.DeviceID, k, err)
+		}
+		p.dispFrac[k] = watts * c.DurationSec / r.BatteryCapacityJ
+		p.baseFrac[k] = r.BasePowerW * c.DurationSec / r.BatteryCapacityJ
+	}
+	p.g = edge.ComputeCost(r.Display.Resolution, r.Chunks, s.cfg.SlotSec)
+	p.h = edge.StorageCost(r.Chunks)
+	p.eligible = s.eligible(p)
+	p.anxModel = s.cfg.Anxiety
+	if r.Anxiety != nil {
+		p.anxModel = r.Anxiety
+	}
+	p.obj0 = s.deviceObjective(p, false)
+	p.obj1 = s.deviceObjective(p, true)
+	for _, e := range p.dispFrac {
+		p.saving += (1 - r.Gamma) * e
+	}
+	p.anx = p.anxModel.Anxiety(r.EnergyFrac)
+	return p, nil
+}
+
+// buildPlans runs information gathering + compacting for all requests,
+// fanning large clusters out across CompactWorkers goroutines. The
+// parallel path is bit-identical to the serial one: plans[i] is a pure
+// function of reqs[i], and on error the lowest-index failure is
+// reported, matching the serial scan order.
 func (s *Scheduler) buildPlans(reqs []Request) ([]*plan, error) {
 	plans := make([]*plan, len(reqs))
-	for i := range reqs {
-		r := &reqs[i]
-		if err := r.Validate(); err != nil {
+	chunk := s.cfg.CompactChunk
+	if chunk <= 0 {
+		chunk = DefaultCompactChunk
+	}
+	if s.cfg.CompactWorkers <= 1 || len(reqs) <= chunk {
+		for i := range reqs {
+			p, err := s.buildPlan(&reqs[i])
+			if err != nil {
+				return nil, err
+			}
+			plans[i] = p
+		}
+		return plans, nil
+	}
+
+	errs := make([]error, len(reqs))
+	var next atomic.Int64
+	workers := s.cfg.CompactWorkers
+	if max := (len(reqs) + chunk - 1) / chunk; workers > max {
+		workers = max
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= len(reqs) {
+					return
+				}
+				hi := lo + chunk
+				if hi > len(reqs) {
+					hi = len(reqs)
+				}
+				for i := lo; i < hi; i++ {
+					plans[i], errs[i] = s.buildPlan(&reqs[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return nil, err
 		}
-		p := &plan{req: r}
-		p.dispFrac = make([]float64, len(r.Chunks))
-		p.baseFrac = make([]float64, len(r.Chunks))
-		for k, c := range r.Chunks {
-			watts, err := video.PowerRate(r.Display, c)
-			if err != nil {
-				return nil, fmt.Errorf("scheduler: request %s chunk %d: %w", r.DeviceID, k, err)
-			}
-			p.dispFrac[k] = watts * c.DurationSec / r.BatteryCapacityJ
-			p.baseFrac[k] = r.BasePowerW * c.DurationSec / r.BatteryCapacityJ
-		}
-		p.g = edge.ComputeCost(r.Display.Resolution, r.Chunks, s.cfg.SlotSec)
-		p.h = edge.StorageCost(r.Chunks)
-		p.eligible = s.eligible(p)
-		p.anxModel = s.cfg.Anxiety
-		if r.Anxiety != nil {
-			p.anxModel = r.Anxiety
-		}
-		p.obj0 = s.deviceObjective(p, false)
-		p.obj1 = s.deviceObjective(p, true)
-		for _, e := range p.dispFrac {
-			p.saving += (1 - r.Gamma) * e
-		}
-		p.anx = p.anxModel.Anxiety(r.EnergyFrac)
-		plans[i] = p
 	}
 	return plans, nil
 }
@@ -370,8 +459,20 @@ func (s *Scheduler) phase2(eligible []*plan, x map[string]bool) int {
 		}
 	}
 	// Most anxious outsiders first; least anxious insiders first.
-	sort.SliceStable(out, func(a, b int) bool { return out[a].anx > out[b].anx })
-	sort.SliceStable(in, func(a, b int) bool { return in[a].anx < in[b].anx })
+	// Anxiety ties break on DeviceID so the swap order never depends on
+	// the caller's request ordering (e.g. a map-fed request batch).
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].anx != out[b].anx {
+			return out[a].anx > out[b].anx
+		}
+		return out[a].req.DeviceID < out[b].req.DeviceID
+	})
+	sort.SliceStable(in, func(a, b int) bool {
+		if in[a].anx != in[b].anx {
+			return in[a].anx < in[b].anx
+		}
+		return in[a].req.DeviceID < in[b].req.DeviceID
+	})
 
 	swaps := 0
 	for pass := 0; pass < s.cfg.MaxSwapPasses; pass++ {

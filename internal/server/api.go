@@ -81,7 +81,11 @@ type TickStats struct {
 	CompactSec    float64 `json:"compact_sec"`
 	Phase1Sec     float64 `json:"phase1_sec"`
 	Phase2Sec     float64 `json:"phase2_sec"`
-	DurationSec   float64 `json:"duration_sec"`
+	// CPUSec sums solve time across pool workers; DurationSec is the
+	// tick's wall time (what a viewer actually waits — the Fig. 10
+	// overhead figure under a multi-worker pool).
+	CPUSec      float64 `json:"cpu_sec"`
+	DurationSec float64 `json:"duration_sec"`
 }
 
 // TickResponse summarises a scheduling round. The flat counters are
@@ -158,6 +162,8 @@ type StatusResponse struct {
 	StorageMB       float64 `json:"storage_mb"`
 	Lambda          float64 `json:"lambda"`
 	StreamChunks    int     `json:"stream_chunks"`
+	// Workers is the scheduling pool fan-out the daemon runs with.
+	Workers int `json:"workers"`
 	// LastTick is the scheduler breakdown of the most recent tick; nil
 	// until the first tick has run.
 	LastTick *TickStats `json:"last_tick,omitempty"`

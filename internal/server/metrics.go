@@ -24,6 +24,7 @@ type serverMetrics struct {
 
 	// Tick/scheduler instrumentation (paper §VI scheduler overhead).
 	tickDur    *obs.Histogram
+	tickCPU    *obs.Histogram
 	compactDur *obs.Histogram
 	phase1Dur  *obs.Histogram
 	phase2Dur  *obs.Histogram
@@ -57,6 +58,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 
 		tickDur: reg.Histogram("lpvs_tick_duration_seconds",
 			"Wall time of one scheduling tick (information compacting + Phase-1 + Phase-2).", obs.DefBuckets()),
+		tickCPU: reg.Histogram("lpvs_sched_cpu_seconds",
+			"CPU-sum of one scheduling tick across pool workers (equals wall time on the serial path).", obs.DefBuckets()),
 		compactDur: reg.Histogram("lpvs_sched_compact_seconds",
 			"Information-compacting (plan building) time per tick.", obs.DefBuckets()),
 		phase1Dur: reg.Histogram("lpvs_sched_phase1_seconds",
@@ -81,6 +84,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Absolute change of the mean posterior sigma between the last two ticks."),
 	}
 
+	reg.GaugeFunc("lpvs_pool_workers", "Scheduling pool fan-out the daemon runs with.", func() float64 {
+		return float64(s.pool.Workers())
+	})
 	reg.GaugeFunc("lpvs_slot", "Current scheduling slot.", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -156,6 +162,7 @@ func (s *Server) observeTick(stats TickStats) {
 	m := s.metrics
 	m.ticks.Inc()
 	m.tickDur.Observe(stats.DurationSec)
+	m.tickCPU.Observe(stats.CPUSec)
 	m.compactDur.Observe(stats.CompactSec)
 	m.phase1Dur.Observe(stats.Phase1Sec)
 	m.phase2Dur.Observe(stats.Phase2Sec)

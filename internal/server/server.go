@@ -33,6 +33,11 @@ type Config struct {
 	SlotSec, ChunkSec float64
 	// Tolerance is the transform distortion budget; zero means 0.7.
 	Tolerance float64
+	// Workers is the scheduling pool fan-out (VC sharding plus parallel
+	// information compacting inside the tick). Zero means
+	// runtime.GOMAXPROCS(0); one forces the serial path. Decisions are
+	// bit-identical at any width — see the scheduler differential tests.
+	Workers int
 	// Logger receives the daemon's structured logs; nil discards them.
 	Logger *slog.Logger
 }
@@ -49,7 +54,7 @@ type deviceState struct {
 // Server is the LPVS edge daemon. It is safe for concurrent use.
 type Server struct {
 	cfg       Config
-	policy    scheduler.Policy
+	pool      *scheduler.Pool
 	edgeSrv   *edge.Server // nil = unbounded
 	chunksPer int
 
@@ -110,11 +115,11 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	policy, err := scheduler.New(scheduler.Config{
+	pool, err := scheduler.NewPool(scheduler.Config{
 		SlotSec: cfg.SlotSec,
 		Lambda:  cfg.Lambda,
 		Server:  edgeSrv,
-	})
+	}, scheduler.PoolConfig{Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +133,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:       cfg,
-		policy:    policy,
+		pool:      pool,
 		edgeSrv:   edgeSrv,
 		chunksPer: chunksPer,
 		streams:   streams,
@@ -239,12 +244,19 @@ func (s *Server) handleTick(w http.ResponseWriter, _ *http.Request) {
 	for _, r := range s.pending {
 		reqs = append(reqs, r)
 	}
-	dec, err := s.policy.Schedule(reqs)
+	// Canonicalise the batch: map iteration order is random, and the
+	// scheduler's tie-breaks are only deterministic for a fixed input
+	// order. Sorting by DeviceID makes every tick reproducible.
+	scheduler.SortRequests(reqs)
+	pres, err := s.pool.Decide([]scheduler.VC{
+		{ID: fmt.Sprintf("slot-%d", s.slot), Requests: reqs},
+	})
 	if err != nil {
 		s.log.Error("tick failed", "slot", s.slot, "reports", len(reqs), "err", err)
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	dec := pres.Decision()
 	for id, on := range dec.Transform {
 		if st, ok := s.devices[id]; ok {
 			st.transform = on
@@ -262,6 +274,7 @@ func (s *Server) handleTick(w http.ResponseWriter, _ *http.Request) {
 		CompactSec:    dec.CompactSeconds,
 		Phase1Sec:     dec.Phase1Seconds,
 		Phase2Sec:     dec.Phase2Seconds,
+		CPUSec:        pres.CPUSeconds,
 		DurationSec:   time.Since(start).Seconds(),
 	}
 	s.lastTick = stats
@@ -420,6 +433,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		LastSelected:   s.lastSel,
 		Lambda:         s.cfg.Lambda,
 		StreamChunks:   len(s.cfg.Stream.Chunks),
+		Workers:        s.pool.Workers(),
 	}
 	if s.edgeSrv != nil {
 		resp.ComputeCapacity = s.edgeSrv.ComputeCapacity

@@ -617,6 +617,137 @@ func TestConcurrentReports(t *testing.T) {
 	}
 }
 
+// TestConcurrentTrafficAndScrapePooled is the pooled-path twin of
+// TestConcurrentTrafficAndScrape: a 4-worker scheduling pool under
+// concurrent reports, ticks and metrics scrapes. Run under -race (make
+// check does) this exercises the pool's goroutines against the server
+// mutex and the scrape-time gauge functions.
+func TestConcurrentTrafficAndScrapePooled(t *testing.T) {
+	s, err := New(Config{Stream: testStream(t), ServerStreams: 10, Lambda: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*3)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				r := validReport(deviceName(w*20 + i))
+				buf, _ := json.Marshal(r)
+				resp, err := http.Post(ts.URL+"/v1/report", "application/json", bytes.NewReader(buf))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, err := http.Post(ts.URL+"/v1/tick", "application/json", nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					errs <- err
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	text := scrapeMetrics(t, ts.URL)
+	if !strings.Contains(text, "lpvs_ticks_total 80") {
+		t.Errorf("ticks_total not 80 after %d ticks", workers*10)
+	}
+	if !strings.Contains(text, "lpvs_pool_workers 4") {
+		t.Errorf("lpvs_pool_workers gauge missing or wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "lpvs_sched_cpu_seconds_count") {
+		t.Errorf("lpvs_sched_cpu_seconds histogram missing")
+	}
+	var status StatusResponse
+	getJSON(t, ts.URL+"/v1/status", &status)
+	if status.Workers != 4 {
+		t.Errorf("status workers = %d, want 4", status.Workers)
+	}
+}
+
+// TestTickDeterministicAcrossReportOrder is the regression test for the
+// map-iteration nondeterminism: identical devices reported in different
+// orders, under capacity so tight that tie-breaking decides who wins,
+// must receive identical per-device decisions — the pending map's
+// iteration order must not leak into scheduling.
+func TestTickDeterministicAcrossReportOrder(t *testing.T) {
+	ids := make([]string, 8)
+	for i := range ids {
+		ids[i] = deviceName(i)
+	}
+	decide := func(order []string) map[string]bool {
+		s, err := New(Config{Stream: testStream(t), ServerStreams: 7, Lambda: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		for _, id := range order {
+			postJSON(t, ts.URL+"/v1/report", validReport(id), nil)
+		}
+		var tick TickResponse
+		postJSON(t, ts.URL+"/v1/tick", struct{}{}, &tick)
+		if tick.Selected == 0 || tick.Selected == len(order) {
+			t.Fatalf("selection not capacity-bound (selected %d of %d): ties never exercised",
+				tick.Selected, len(order))
+		}
+		out := make(map[string]bool, len(order))
+		for _, id := range order {
+			var dec DecisionResponse
+			getJSON(t, ts.URL+"/v1/decision?device="+id, &dec)
+			out[id] = dec.Transform
+		}
+		return out
+	}
+
+	forward := decide(ids)
+	reversed := make([]string, len(ids))
+	for i, id := range ids {
+		reversed[len(ids)-1-i] = id
+	}
+	interleaved := []string{ids[3], ids[0], ids[6], ids[1], ids[7], ids[2], ids[5], ids[4]}
+	for name, order := range map[string][]string{"reversed": reversed, "interleaved": interleaved} {
+		got := decide(order)
+		for _, id := range ids {
+			if got[id] != forward[id] {
+				t.Errorf("%s order: device %s decision %t, forward order %t",
+					name, id, got[id], forward[id])
+			}
+		}
+	}
+}
+
 func deviceName(i int) string {
 	return "dev-" + string(rune('a'+i%26)) + string(rune('a'+i/26))
 }

@@ -39,10 +39,25 @@ type (
 	Decision = scheduler.Decision
 	// Policy is any per-slot selection policy (LPVS or a baseline).
 	Policy = scheduler.Policy
+	// SchedulerPool is the sharded multi-VC scheduling engine.
+	SchedulerPool = scheduler.Pool
+	// PoolConfig parameterises the sharded engine's fan-out.
+	PoolConfig = scheduler.PoolConfig
+	// VirtualCluster is one cluster's slot input for a pool tick.
+	VirtualCluster = scheduler.VC
+	// PoolResult is the merged outcome of one pool tick.
+	PoolResult = scheduler.PoolResult
 )
 
 // NewScheduler builds the LPVS scheduler.
 func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) { return scheduler.New(cfg) }
+
+// NewSchedulerPool builds the sharded engine fanning virtual clusters
+// across a bounded worker set; decisions are bit-identical to a serial
+// per-VC loop at any width.
+func NewSchedulerPool(cfg SchedulerConfig, pc PoolConfig) (*SchedulerPool, error) {
+	return scheduler.NewPool(cfg, pc)
+}
 
 // Emulation API.
 type (
