@@ -7,7 +7,7 @@ GO ?= go
 # Per-target budget for `make fuzz-smoke`.
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fmt check bench fuzz-smoke
+.PHONY: all build test race vet fmt check bench fuzz-smoke audit-replay
 
 all: build
 
@@ -29,7 +29,15 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: fmt vet build race
+check: fmt vet build race audit-replay
+
+# audit-replay gates the determinism contract end to end: run a short
+# audited emulator session, then re-run every logged decision through
+# lpvs-audit and fail on any byte-level divergence.
+audit-replay:
+	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/lpvs-emu -seed 11 -n 16 -slots 6 -capacity 4 -audit-dir "$$dir" >/dev/null && \
+	$(GO) run ./cmd/lpvs-audit replay "$$dir"
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lpvs/internal/emu"
+	"lpvs/internal/obs/audit"
+	"lpvs/internal/video"
+)
+
+// writeSessionLog runs a short audited emulator session and returns
+// its audit directory.
+func writeSessionLog(tb testing.TB) string {
+	tb.Helper()
+	dir := tb.TempDir()
+	e, err := emu.New(emu.Config{
+		Seed:          21,
+		GroupSize:     8,
+		Slots:         3,
+		Lambda:        1,
+		ServerStreams: 3,
+		Genre:         video.Gaming,
+		AuditDir:      dir,
+	}, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		tb.Fatal(err)
+	}
+	return dir
+}
+
+func TestReplayCommand(t *testing.T) {
+	dir := writeSessionLog(t)
+	// Both the directory and the file path spell the same log.
+	if err := runReplay([]string{dir}); err != nil {
+		t.Fatalf("replay dir: %v", err)
+	}
+	if err := runReplay([]string{"-v", filepath.Join(dir, audit.FileName)}); err != nil {
+		t.Fatalf("replay file: %v", err)
+	}
+}
+
+func TestReplayCommandFlagsDivergence(t *testing.T) {
+	dir := writeSessionLog(t)
+	path := filepath.Join(dir, audit.FileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge the log: claim a different selection count than the
+	// scheduler produced.
+	forged := strings.Replace(string(data), `selected=`, `selected=9`, 1)
+	if forged == string(data) {
+		t.Fatal("forgery did not change the log")
+	}
+	if err := os.WriteFile(path, []byte(forged), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = runReplay([]string{path})
+	if err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("forged log replayed cleanly: %v", err)
+	}
+}
+
+func TestReplayCommandErrors(t *testing.T) {
+	if err := runReplay([]string{}); err == nil {
+		t.Fatal("no-arg replay accepted")
+	}
+	if err := runReplay([]string{filepath.Join(t.TempDir(), "missing.jsonl")}); err == nil {
+		t.Fatal("missing log accepted")
+	}
+	empty := filepath.Join(t.TempDir(), audit.FileName)
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runExplain([]string{"-device", "dev-00", empty}); err == nil {
+		t.Fatal("empty log explained a device")
+	}
+	if err := runReplay([]string{empty}); err == nil {
+		t.Fatal("empty log replayed")
+	}
+}
+
+func TestExplainCommand(t *testing.T) {
+	dir := writeSessionLog(t)
+	recs, err := audit.ReadFile(filepath.Join(dir, audit.FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	device := recs[0].Verdicts[0].Device
+	if err := runExplain([]string{"-device", device, dir}); err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	if err := runExplain([]string{"-device", device, "-slot", "1", dir}); err != nil {
+		t.Fatalf("explain -slot: %v", err)
+	}
+	if err := runExplain([]string{"-device", device, "-slot", "99", dir}); err == nil {
+		t.Fatal("absent slot explained")
+	}
+	if err := runExplain([]string{"-device", "no-such-device", dir}); err == nil {
+		t.Fatal("absent device explained")
+	}
+	if err := runExplain([]string{dir}); err == nil {
+		t.Fatal("missing -device accepted")
+	}
+}

@@ -41,6 +41,7 @@ func main() {
 		metrics  = flag.String("metrics", "", "write the treated run's Prometheus metrics dump to this file (\"-\" = stdout)")
 		progress = flag.Bool("progress", false, "stream per-slot structured logs to stderr while running")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "scheduling pool fan-out for the lpvs policy (1 = serial)")
+		auditDir = flag.String("audit-dir", "", "append per-slot decision audit records to DIR/audit.jsonl (lpvs policy only; replayable with lpvs-audit)")
 	)
 	flag.Parse()
 
@@ -59,6 +60,7 @@ func main() {
 		UseFrames:           *frames,
 		PersonalizedAnxiety: *personal,
 		Workers:             *workers,
+		AuditDir:            *auditDir,
 	}
 	ds := lpvs.GenerateSurvey(lpvs.DefaultSurveyConfig())
 	cfg.Device.GiveUpSampler = lpvs.SurveyGiveUpSampler(ds)

@@ -54,6 +54,9 @@ func main() {
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat   = flag.String("log-format", "text", "log format: text, json")
 		enablePprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		auditDir    = flag.String("audit-dir", "", "append per-tick decision audit records to DIR/audit.jsonl (replayable with lpvs-audit)")
+		traceSample = flag.Float64("trace-sample", 0, "span-tracing sampling probability in [0, 1] (0 = off)")
+		traceSeed   = flag.Int64("trace-seed", 0, "seed for trace/span IDs (0 = default)")
 		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -89,10 +92,14 @@ func main() {
 		SlotSec:       *slotSec,
 		Workers:       *workers,
 		Logger:        logger,
+		AuditDir:      *auditDir,
+		TraceSample:   *traceSample,
+		TraceSeed:     *traceSeed,
 	})
 	if err != nil {
 		fatal(err)
 	}
+	defer srv.Close()
 	obs.RegisterBuildInfo(srv.Registry(), "lpvsd", version)
 
 	handler := srv.Handler()
@@ -147,7 +154,8 @@ func main() {
 	logger.Info("lpvsd listening",
 		"addr", *addr, "version", version, "capacity", *capacity,
 		"lambda", *lambda, "slot_sec", *slotSec, "workers", *workers,
-		"pprof", *enablePprof)
+		"pprof", *enablePprof, "audit_dir", *auditDir,
+		"trace_sample", *traceSample)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}

@@ -21,6 +21,7 @@
 package emu
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -29,6 +30,8 @@ import (
 	"lpvs/internal/device"
 	"lpvs/internal/display"
 	"lpvs/internal/edge"
+	"lpvs/internal/obs/audit"
+	"lpvs/internal/obs/span"
 	"lpvs/internal/scheduler"
 	"lpvs/internal/stats"
 	"lpvs/internal/transform"
@@ -110,6 +113,15 @@ type Config struct {
 	// soon as the slot finishes — live telemetry for long campaigns. The
 	// policy name distinguishes the treated run from the paired baseline.
 	Progress func(policy string, st SlotStat)
+	// AuditDir, when non-empty, appends one decision audit record per
+	// scheduled slot to AuditDir/audit.jsonl (internal/obs/audit).
+	// Records are only written when the deciding policy is the LPVS
+	// scheduler (serial or pooled); baselines are not auditable.
+	AuditDir string
+	// Tracer, when non-nil, traces each slot as a span tree: slot →
+	// gather / schedule (→ vc → compact / phase1 / phase2) / play /
+	// bayes-update. Decisions are identical with tracing on or off.
+	Tracer *span.Tracer
 }
 
 // normalized fills defaults and validates.
@@ -497,17 +509,38 @@ func (e *Emulator) Run() (*RunResult, error) {
 	for i, d := range e.devices {
 		res.LowBatteryStart[i] = d.LowBattery()
 	}
+	var auditLog *audit.Log
+	if e.cfg.AuditDir != "" {
+		var err error
+		auditLog, err = audit.Open(e.cfg.AuditDir)
+		if err != nil {
+			return nil, fmt.Errorf("emu: %w", err)
+		}
+		defer auditLog.Close()
+	}
+	// The LPVS scheduler (serial or behind the pool) is the only policy
+	// whose decisions carry the full config/verdict surface the audit
+	// log replays.
+	lpvsSched, _ := e.policy.(*scheduler.Scheduler)
 
 	for slot := 0; slot < e.cfg.Slots; slot++ {
 		windows := e.slotWindows(slot)
 
+		slotCtx, slotSp := e.cfg.Tracer.Start(context.Background(), "slot")
+		slotSp.SetInt("slot", slot)
+		_, gsp := span.Child(slotCtx, "gather")
 		reqs, reqIdx := e.gatherRequests(windows)
+		gsp.SetInt("requests", len(reqs))
+		gsp.End()
 		decision := scheduler.Decision{Transform: map[string]bool{}}
 		schedSec, schedCPUSec := 0.0, 0.0
 		if len(reqs) > 0 {
+			schedCtx, ssp := span.Child(slotCtx, "schedule")
 			if e.pool != nil {
-				pres, err := e.pool.Decide([]scheduler.VC{{ID: "vc", Requests: reqs}})
+				pres, err := e.pool.DecideCtx(schedCtx, []scheduler.VC{{ID: "vc", Requests: reqs}})
 				if err != nil {
+					ssp.End()
+					slotSp.End()
 					return nil, fmt.Errorf("emu: slot %d: %w", slot, err)
 				}
 				decision = pres.Decision()
@@ -515,21 +548,39 @@ func (e *Emulator) Run() (*RunResult, error) {
 			} else {
 				start := time.Now()
 				var err error
-				decision, err = e.policy.Schedule(reqs)
+				if lpvsSched != nil {
+					decision, err = lpvsSched.ScheduleCtx(schedCtx, reqs)
+				} else {
+					decision, err = e.policy.Schedule(reqs)
+				}
 				if err != nil {
+					ssp.End()
+					slotSp.End()
 					return nil, fmt.Errorf("emu: slot %d: %w", slot, err)
 				}
 				schedSec = time.Since(start).Seconds()
 				schedCPUSec = schedSec
 			}
+			ssp.SetInt("selected", decision.Selected)
+			ssp.End()
 			res.SchedSeconds += schedSec
 			res.SchedCPUSeconds += schedCPUSec
+			if auditLog != nil && lpvsSched != nil {
+				rec := audit.NewRecord(slot, "vc", lpvsSched.Config(), reqs, decision)
+				rec.Seed = e.cfg.Seed
+				rec.UnixSec = float64(time.Now().UnixNano()) / 1e9
+				rec.TraceID = slotSp.TraceID()
+				if err := auditLog.Append(rec); err != nil {
+					slotSp.End()
+					return nil, fmt.Errorf("emu: slot %d: audit: %w", slot, err)
+				}
+			}
 		}
 		res.SelectedPerSlot = append(res.SelectedPerSlot, decision.Selected)
 
 		predicted := e.predictEnergies(reqs, decision)
 		playStart := time.Now()
-		e.playSlot(windows, decision, reqIdx, res)
+		e.playSlot(slotCtx, windows, decision, reqIdx, res)
 		playSec := time.Since(playStart).Seconds()
 		for k, i := range reqIdx {
 			d := e.devices[i]
@@ -581,6 +632,9 @@ func (e *Emulator) Run() (*RunResult, error) {
 		}
 		res.Timeline = append(res.Timeline, stat)
 		res.SlotsRun++
+		slotSp.SetInt("watching", stat.Watching)
+		slotSp.SetInt("selected", stat.Selected)
+		slotSp.End()
 		if e.cfg.Progress != nil {
 			e.cfg.Progress(e.policy.Name(), stat)
 		}
@@ -738,7 +792,8 @@ func (e *Emulator) frameTransform(streamIdx int, chunk video.Chunk, strat transf
 	return fres.Result, nil
 }
 
-func (e *Emulator) playSlot(windows [][]video.Chunk, dec scheduler.Decision, reqIdx []int, res *RunResult) {
+func (e *Emulator) playSlot(ctx context.Context, windows [][]video.Chunk, dec scheduler.Decision, reqIdx []int, res *RunResult) {
+	_, psp := span.Child(ctx, "play")
 	// The memo is per slot: chunk indexes repeat across slots only for
 	// different content windows.
 	e.frameCache = nil
@@ -749,6 +804,16 @@ func (e *Emulator) playSlot(windows [][]video.Chunk, dec scheduler.Decision, req
 			res.EverServed[i] = true
 		}
 	}
+	// Realised reductions are collected during playback and applied to
+	// the estimators in one batch afterwards (the Fig. 6 "Bayesian
+	// updating" stage); nothing inside the playback loop reads them, so
+	// the deferral changes no behaviour and gives the update its own
+	// span.
+	type observation struct {
+		device int
+		mean   float64
+	}
+	var observations []observation
 	for _, i := range reqIdx {
 		d := e.devices[i]
 		window := windows[e.deviceStream[i]]
@@ -805,11 +870,18 @@ func (e *Emulator) playSlot(windows [][]video.Chunk, dec scheduler.Decision, req
 			}
 		}
 		if len(savings) > 0 && e.cfg.FixedGamma == 0 {
-			// Observation Delta_n: the slot's mean realised reduction. A
-			// degenerate observation (0 or 1) carries no information and
-			// is deliberately skipped — the conjugate update assumes a
-			// valid ratio.
-			_ = e.estimators[i].Observe(stats.Mean(savings))
+			observations = append(observations, observation{device: i, mean: stats.Mean(savings)})
 		}
 	}
+	psp.End()
+	_, bsp := span.Child(ctx, "bayes-update")
+	for _, o := range observations {
+		// Observation Delta_n: the slot's mean realised reduction. A
+		// degenerate observation (0 or 1) carries no information and
+		// is deliberately skipped — the conjugate update assumes a
+		// valid ratio.
+		_ = e.estimators[o.device].Observe(o.mean)
+	}
+	bsp.SetInt("observations", len(observations))
+	bsp.End()
 }

@@ -1,0 +1,167 @@
+package emu
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lpvs/internal/obs/audit"
+	"lpvs/internal/obs/span"
+	"lpvs/internal/scheduler"
+)
+
+// TestEmulatorAuditLogReplays runs a capacity-bound session with
+// auditing on and replays every logged decision byte for byte — the
+// same loop make audit-replay runs in CI.
+func TestEmulatorAuditLogReplays(t *testing.T) {
+	dir := t.TempDir()
+	cfg := baseConfig()
+	cfg.GroupSize = 12
+	cfg.Slots = 5
+	cfg.ServerStreams = 4 // scarce: forces capacity rejections into the log
+	cfg.AuditDir = dir
+	e, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := audit.ReadFile(filepath.Join(dir, audit.FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != cfg.Slots {
+		t.Fatalf("got %d audit records, want %d", len(recs), cfg.Slots)
+	}
+	for i, rec := range recs {
+		if rec.Slot != i {
+			t.Fatalf("record %d logged as slot %d", i, rec.Slot)
+		}
+		if rec.Seed != cfg.Seed {
+			t.Fatalf("record %d seed = %d, want %d", i, rec.Seed, cfg.Seed)
+		}
+		if len(rec.Verdicts) != cfg.GroupSize {
+			t.Fatalf("record %d: %d verdicts for %d devices", i, len(rec.Verdicts), cfg.GroupSize)
+		}
+	}
+	diverged, err := audit.ReplayAll(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diverged) != 0 {
+		t.Fatalf("records %v diverged on replay", diverged)
+	}
+}
+
+// TestEmulatorPooledAuditLogReplays covers the Workers>1 path, where
+// decisions come from the sharded pool but must still replay serially.
+func TestEmulatorPooledAuditLogReplays(t *testing.T) {
+	dir := t.TempDir()
+	cfg := baseConfig()
+	cfg.GroupSize = 10
+	cfg.Slots = 3
+	cfg.Workers = 4
+	cfg.AuditDir = dir
+	e, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := audit.ReadFile(filepath.Join(dir, audit.FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != cfg.Slots {
+		t.Fatalf("got %d records, want %d", len(recs), cfg.Slots)
+	}
+	diverged, err := audit.ReplayAll(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diverged) != 0 {
+		t.Fatalf("pooled records %v diverged on replay", diverged)
+	}
+}
+
+// TestBaselinePolicyWritesNoAudit: audit records promise deterministic
+// replay through the LPVS scheduler, so baseline policies must not
+// produce any.
+func TestBaselinePolicyWritesNoAudit(t *testing.T) {
+	dir := t.TempDir()
+	cfg := baseConfig()
+	cfg.GroupSize = 6
+	cfg.Slots = 2
+	cfg.AuditDir = dir
+	e, err := New(cfg, scheduler.NoTransform{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, audit.FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Fatalf("baseline wrote %d audit bytes:\n%s", len(data), data)
+	}
+}
+
+// TestEmulatorSpanTreeMatchesSlotPipeline asserts one emulated slot
+// traces as slot -> gather/schedule/play/bayes-update with the
+// scheduler stages nested under schedule -> vc.
+func TestEmulatorSpanTreeMatchesSlotPipeline(t *testing.T) {
+	tr := span.NewTracer(span.Config{Sample: 1, Seed: 9})
+	cfg := baseConfig()
+	cfg.GroupSize = 6
+	cfg.Slots = 1
+	cfg.Tracer = tr
+	e, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Snapshot()
+	var trace string
+	for _, d := range spans {
+		if d.Name == "slot" {
+			trace = d.TraceID
+		}
+	}
+	if trace == "" {
+		t.Fatalf("no slot span among %d spans", len(spans))
+	}
+	roots := span.Tree(spans, trace)
+	if len(roots) != 1 || roots[0].Name != "slot" {
+		t.Fatalf("slot trace roots: %+v", roots)
+	}
+	byName := map[string]*span.Node{}
+	for _, c := range roots[0].Children {
+		byName[c.Name] = c
+	}
+	for _, want := range []string{"gather", "schedule", "play", "bayes-update"} {
+		if byName[want] == nil {
+			t.Fatalf("slot span missing %q child (have %v)", want, names(roots[0].Children))
+		}
+	}
+	// Serial path (Workers=1): the scheduler stages hang directly off
+	// the schedule span; the pool path interposes a "vc" span per shard.
+	stages := names(byName["schedule"].Children)
+	if len(stages) != 3 || stages[0] != "compact" || stages[1] != "phase1" || stages[2] != "phase2" {
+		t.Fatalf("schedule stages = %v, want [compact phase1 phase2]", stages)
+	}
+}
+
+func names(nodes []*span.Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Name
+	}
+	return out
+}

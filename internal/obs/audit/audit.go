@@ -1,0 +1,505 @@
+// Package audit implements the LPVS decision audit log: an append-only
+// JSONL stream with one self-contained record per scheduling tick. A
+// record carries everything needed to re-run the decision — the request
+// set in its exact scheduling order, the scheduler configuration (with
+// a tamper-evident hash), and the decision in the scheduler's canonical
+// byte encoding — plus the per-device verdicts that explain it.
+//
+// Because the scheduler is deterministic (see internal/scheduler's
+// differential harness), replaying a record through a freshly built
+// scheduler must reproduce the logged decision byte for byte. That
+// makes the log three things at once: an event-sourced audit trail
+// ("why was device N transformed at 14:05?"), a determinism check
+// runnable in CI (`lpvs-audit replay`, `make audit-replay`), and a
+// debugging corpus — any production tick can be replayed on a laptop.
+//
+// Wall-clock fields (UnixSec, span durations) are informational and
+// excluded from the replay comparison. Floating-point fields survive
+// the JSON round trip exactly: encoding/json emits the shortest
+// representation that parses back to the same float64.
+package audit
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"lpvs/internal/anxiety"
+	"lpvs/internal/display"
+	"lpvs/internal/edge"
+	"lpvs/internal/scheduler"
+	"lpvs/internal/video"
+)
+
+// SchemaVersion is bumped on any incompatible record change; the golden
+// file test pins the encoding of version 1.
+const SchemaVersion = 1
+
+// FileName is the log file created inside an audit directory.
+const FileName = "audit.jsonl"
+
+// Record is one tick's audit entry.
+type Record struct {
+	// Schema is the record format version (SchemaVersion).
+	Schema int `json:"schema"`
+	// Slot and VC identify the tick: the scheduling slot counter and
+	// the virtual-cluster ID it solved.
+	Slot int    `json:"slot"`
+	VC   string `json:"vc"`
+	// Seed is the workload seed of the producing process (0 = unknown);
+	// informational, the record replays without it.
+	Seed int64 `json:"seed,omitempty"`
+	// UnixSec is the wall-clock time the record was written.
+	// Informational only — excluded from replay comparison.
+	UnixSec float64 `json:"unix_sec,omitempty"`
+	// TraceID links the record to the tick's span trace when tracing
+	// sampled it.
+	TraceID string `json:"trace_id,omitempty"`
+	// ConfigHash is the SHA-256 of Config's canonical JSON; Verify
+	// recomputes it so tampering (or a drifted encoder) is detected.
+	ConfigHash string `json:"config_hash"`
+	// Config is the scheduler configuration the decision ran under.
+	Config ConfigRecord `json:"config"`
+	// Requests is the tick's request set in its exact scheduling order.
+	// Order matters: the scheduler is deterministic for a fixed input
+	// order, so replay feeds the identical permutation.
+	Requests []RequestRecord `json:"requests"`
+	// DecisionCanonical is the logged decision in the scheduler's
+	// canonical byte encoding (Decision.Canonical) — the replay target.
+	DecisionCanonical string `json:"decision_canonical"`
+	// Verdicts explains every device's outcome, sorted by device ID.
+	Verdicts []VerdictRecord `json:"verdicts"`
+	// Spans summarises the tick's stage timings (from the span tracer
+	// or the decision's timing fields). Informational.
+	Spans []StageSpan `json:"spans,omitempty"`
+}
+
+// StageSpan is one stage's timing inside the tick.
+type StageSpan struct {
+	Name   string  `json:"name"`
+	DurSec float64 `json:"dur_sec"`
+}
+
+// VerdictRecord pairs a device ID with its decision verdict.
+type VerdictRecord struct {
+	Device string `json:"device"`
+	scheduler.Verdict
+}
+
+// AnxietyRecord serialises an anxiety model. Kind "canonical" carries
+// the closed-form curve's parameters; "rescaled" adds the personal
+// warning threshold over a canonical base; "custom" marks a model this
+// schema cannot rebuild — such records do not replay.
+type AnxietyRecord struct {
+	Kind             string  `json:"kind"`
+	AnxietyAtWarning float64 `json:"anxiety_at_warning,omitempty"`
+	ConvexPower      float64 `json:"convex_power,omitempty"`
+	ConcavePower     float64 `json:"concave_power,omitempty"`
+	Warning          float64 `json:"warning,omitempty"`
+}
+
+// newAnxietyRecord classifies a model; nil means the scheduler default
+// (canonical).
+func newAnxietyRecord(m anxiety.Model) AnxietyRecord {
+	switch a := m.(type) {
+	case nil:
+		c := anxiety.NewCanonical()
+		return AnxietyRecord{Kind: "canonical", AnxietyAtWarning: c.AnxietyAtWarning,
+			ConvexPower: c.ConvexPower, ConcavePower: c.ConcavePower}
+	case *anxiety.Canonical:
+		return AnxietyRecord{Kind: "canonical", AnxietyAtWarning: a.AnxietyAtWarning,
+			ConvexPower: a.ConvexPower, ConcavePower: a.ConcavePower}
+	case *anxiety.Rescaled:
+		base := newAnxietyRecord(a.Base)
+		if base.Kind == "canonical" {
+			base.Kind = "rescaled"
+			base.Warning = a.Warning
+			return base
+		}
+		return AnxietyRecord{Kind: "custom"}
+	default:
+		return AnxietyRecord{Kind: "custom"}
+	}
+}
+
+// Model rebuilds the anxiety model; "custom" records are not
+// replayable.
+func (a AnxietyRecord) Model() (anxiety.Model, error) {
+	base := &anxiety.Canonical{
+		AnxietyAtWarning: a.AnxietyAtWarning,
+		ConvexPower:      a.ConvexPower,
+		ConcavePower:     a.ConcavePower,
+	}
+	switch a.Kind {
+	case "canonical":
+		return base, nil
+	case "rescaled":
+		return anxiety.NewRescaled(base, a.Warning)
+	default:
+		return nil, fmt.Errorf("audit: anxiety kind %q is not replayable", a.Kind)
+	}
+}
+
+// ConfigRecord is the decision-relevant scheduler configuration.
+// CompactWorkers/CompactChunk are deliberately absent: the parallel
+// compacting fan-out is proven decision-neutral, so replay always runs
+// serially.
+type ConfigRecord struct {
+	SlotSec           float64       `json:"slot_sec"`
+	Lambda            float64       `json:"lambda"`
+	Unbounded         bool          `json:"unbounded"`
+	ComputeCapacity   float64       `json:"compute_capacity"`
+	StorageCapacityMB float64       `json:"storage_capacity_mb"`
+	ExactThreshold    int           `json:"exact_threshold"`
+	MaxNodes          int           `json:"max_nodes"`
+	DisableSwap       bool          `json:"disable_swap"`
+	MaxSwapPasses     int           `json:"max_swap_passes"`
+	Anxiety           AnxietyRecord `json:"anxiety"`
+}
+
+// NewConfigRecord captures a scheduler configuration.
+func NewConfigRecord(cfg scheduler.Config) ConfigRecord {
+	rec := ConfigRecord{
+		SlotSec:        cfg.SlotSec,
+		Lambda:         cfg.Lambda,
+		Unbounded:      cfg.Server == nil,
+		ExactThreshold: cfg.ExactThreshold,
+		MaxNodes:       cfg.MaxNodes,
+		DisableSwap:    cfg.DisableSwap,
+		MaxSwapPasses:  cfg.MaxSwapPasses,
+		Anxiety:        newAnxietyRecord(cfg.Anxiety),
+	}
+	if cfg.Server != nil {
+		rec.ComputeCapacity = cfg.Server.ComputeCapacity
+		rec.StorageCapacityMB = cfg.Server.StorageCapacityMB
+	}
+	return rec
+}
+
+// SchedulerConfig rebuilds the scheduler configuration for replay.
+func (c ConfigRecord) SchedulerConfig() (scheduler.Config, error) {
+	model, err := c.Anxiety.Model()
+	if err != nil {
+		return scheduler.Config{}, err
+	}
+	cfg := scheduler.Config{
+		SlotSec:        c.SlotSec,
+		Lambda:         c.Lambda,
+		Anxiety:        model,
+		ExactThreshold: c.ExactThreshold,
+		MaxNodes:       c.MaxNodes,
+		DisableSwap:    c.DisableSwap,
+		MaxSwapPasses:  c.MaxSwapPasses,
+	}
+	if !c.Unbounded {
+		cfg.Server = &edge.Server{
+			ComputeCapacity:   c.ComputeCapacity,
+			StorageCapacityMB: c.StorageCapacityMB,
+		}
+	}
+	return cfg, nil
+}
+
+// Hash returns the SHA-256 hex digest of the record's canonical JSON.
+func (c ConfigRecord) Hash() string {
+	b, err := json.Marshal(c)
+	if err != nil {
+		// ConfigRecord contains only marshalable fields.
+		panic(fmt.Sprintf("audit: config hash: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// RequestRecord is one device's slot request, restricted to the fields
+// the scheduler reads (keyframes, for instance, never influence the
+// decision and are dropped).
+type RequestRecord struct {
+	Device           string         `json:"device"`
+	DisplayType      string         `json:"display_type"`
+	Width            int            `json:"width"`
+	Height           int            `json:"height"`
+	DiagonalInch     float64        `json:"diagonal_inch"`
+	Brightness       float64        `json:"brightness"`
+	EnergyFrac       float64        `json:"energy_frac"`
+	BatteryCapacityJ float64        `json:"battery_capacity_j"`
+	BasePowerW       float64        `json:"base_power_w"`
+	Gamma            float64        `json:"gamma"`
+	Anxiety          *AnxietyRecord `json:"anxiety,omitempty"`
+	Chunks           []ChunkRecord  `json:"chunks"`
+}
+
+// ChunkRecord is one chunk's decision-relevant metadata.
+type ChunkRecord struct {
+	Index       int     `json:"index"`
+	DurationSec float64 `json:"duration_sec"`
+	BitrateKbps int     `json:"bitrate_kbps"`
+	MeanLuma    float64 `json:"mean_luma"`
+	PeakLuma    float64 `json:"peak_luma"`
+	MeanR       float64 `json:"mean_r"`
+	MeanG       float64 `json:"mean_g"`
+	MeanB       float64 `json:"mean_b"`
+}
+
+// newRequestRecord captures one scheduler request.
+func newRequestRecord(r *scheduler.Request) RequestRecord {
+	rec := RequestRecord{
+		Device:           r.DeviceID,
+		DisplayType:      r.Display.Type.String(),
+		Width:            r.Display.Resolution.Width,
+		Height:           r.Display.Resolution.Height,
+		DiagonalInch:     r.Display.DiagonalInch,
+		Brightness:       r.Display.Brightness,
+		EnergyFrac:       r.EnergyFrac,
+		BatteryCapacityJ: r.BatteryCapacityJ,
+		BasePowerW:       r.BasePowerW,
+		Gamma:            r.Gamma,
+		Chunks:           make([]ChunkRecord, len(r.Chunks)),
+	}
+	if r.Anxiety != nil {
+		a := newAnxietyRecord(r.Anxiety)
+		rec.Anxiety = &a
+	}
+	for i, c := range r.Chunks {
+		rec.Chunks[i] = ChunkRecord{
+			Index:       c.Index,
+			DurationSec: c.DurationSec,
+			BitrateKbps: c.BitrateKbps,
+			MeanLuma:    c.Stats.MeanLuma,
+			PeakLuma:    c.Stats.PeakLuma,
+			MeanR:       c.Stats.MeanR,
+			MeanG:       c.Stats.MeanG,
+			MeanB:       c.Stats.MeanB,
+		}
+	}
+	return rec
+}
+
+// Request rebuilds the scheduler request for replay.
+func (r RequestRecord) Request() (scheduler.Request, error) {
+	var ty display.Type
+	switch r.DisplayType {
+	case display.LCD.String():
+		ty = display.LCD
+	case display.OLED.String():
+		ty = display.OLED
+	default:
+		return scheduler.Request{}, fmt.Errorf("audit: request %s: unknown display type %q", r.Device, r.DisplayType)
+	}
+	req := scheduler.Request{
+		DeviceID: r.Device,
+		Display: display.Spec{
+			Type:         ty,
+			Resolution:   display.Resolution{Width: r.Width, Height: r.Height},
+			DiagonalInch: r.DiagonalInch,
+			Brightness:   r.Brightness,
+		},
+		EnergyFrac:       r.EnergyFrac,
+		BatteryCapacityJ: r.BatteryCapacityJ,
+		BasePowerW:       r.BasePowerW,
+		Gamma:            r.Gamma,
+		Chunks:           make([]video.Chunk, len(r.Chunks)),
+	}
+	if r.Anxiety != nil {
+		model, err := r.Anxiety.Model()
+		if err != nil {
+			return scheduler.Request{}, fmt.Errorf("audit: request %s: %w", r.Device, err)
+		}
+		req.Anxiety = model
+	}
+	for i, c := range r.Chunks {
+		req.Chunks[i] = video.Chunk{
+			Index:       c.Index,
+			DurationSec: c.DurationSec,
+			BitrateKbps: c.BitrateKbps,
+			Stats: display.ContentStats{
+				MeanLuma: c.MeanLuma,
+				PeakLuma: c.PeakLuma,
+				MeanR:    c.MeanR,
+				MeanG:    c.MeanG,
+				MeanB:    c.MeanB,
+			},
+		}
+	}
+	return req, nil
+}
+
+// NewRecord assembles a tick's audit record from the request set (in
+// scheduling order), the configuration the scheduler ran under, and
+// the finished decision. Wall-clock fields (UnixSec, TraceID, Spans,
+// Seed) are left for the caller to stamp.
+func NewRecord(slot int, vcID string, cfg scheduler.Config, reqs []scheduler.Request, dec scheduler.Decision) *Record {
+	rec := &Record{
+		Schema:            SchemaVersion,
+		Slot:              slot,
+		VC:                vcID,
+		Config:            NewConfigRecord(cfg),
+		Requests:          make([]RequestRecord, len(reqs)),
+		DecisionCanonical: string(dec.Canonical()),
+		Verdicts:          make([]VerdictRecord, 0, len(dec.Verdicts)),
+	}
+	rec.ConfigHash = rec.Config.Hash()
+	for i := range reqs {
+		rec.Requests[i] = newRequestRecord(&reqs[i])
+	}
+	ids := make([]string, 0, len(dec.Verdicts))
+	for id := range dec.Verdicts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		rec.Verdicts = append(rec.Verdicts, VerdictRecord{Device: id, Verdict: dec.Verdicts[id]})
+	}
+	rec.Spans = []StageSpan{
+		{Name: "compact", DurSec: dec.CompactSeconds},
+		{Name: "phase1", DurSec: dec.Phase1Seconds},
+		{Name: "phase2", DurSec: dec.Phase2Seconds},
+	}
+	return rec
+}
+
+// Verdict returns the verdict for a device (found=false when the device
+// is absent from the record).
+func (r *Record) Verdict(device string) (VerdictRecord, bool) {
+	i := sort.Search(len(r.Verdicts), func(i int) bool { return r.Verdicts[i].Device >= device })
+	if i < len(r.Verdicts) && r.Verdicts[i].Device == device {
+		return r.Verdicts[i], true
+	}
+	return VerdictRecord{}, false
+}
+
+// Verify checks the record's internal consistency: schema version and
+// config hash.
+func (r *Record) Verify() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("audit: schema %d, want %d", r.Schema, SchemaVersion)
+	}
+	if got := r.Config.Hash(); got != r.ConfigHash {
+		return fmt.Errorf("audit: config hash mismatch: record says %s, config hashes to %s", r.ConfigHash, got)
+	}
+	return nil
+}
+
+// Encode renders the record as one JSONL line (with trailing newline).
+func (r *Record) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses one JSONL line into a verified record.
+func Decode(line []byte) (*Record, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var rec Record
+	if err := dec.Decode(&rec); err != nil {
+		return nil, fmt.Errorf("audit: decode: %w", err)
+	}
+	if err := rec.Verify(); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// maxLine bounds one record line (a 10k-device tick with full chunk
+// windows stays well under this).
+const maxLine = 256 << 20
+
+// ReadAll decodes every record of a JSONL stream. Blank lines are
+// skipped; a malformed line fails with its line number.
+func ReadAll(r io.Reader) ([]*Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), maxLine)
+	var out []*Record
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := Decode(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadFile decodes every record of a JSONL file.
+func ReadFile(path string) ([]*Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// Writer appends records to an underlying stream, one JSONL line each.
+// Safe for concurrent use.
+type Writer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriter wraps a stream.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Append writes one record.
+func (w *Writer) Append(rec *Record) error {
+	line, err := rec.Encode()
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err = w.w.Write(line)
+	return err
+}
+
+// Log is a Writer backed by an append-only file inside an audit
+// directory (created on open).
+type Log struct {
+	*Writer
+	f    *os.File
+	path string
+}
+
+// Open creates dir if needed and opens (appending) its audit log file.
+func Open(dir string) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, FileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{Writer: NewWriter(f), f: f, path: path}, nil
+}
+
+// Path returns the log file path.
+func (l *Log) Path() string { return l.path }
+
+// Close flushes and closes the file.
+func (l *Log) Close() error { return l.f.Close() }

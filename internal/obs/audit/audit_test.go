@@ -1,0 +1,323 @@
+package audit
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lpvs/internal/anxiety"
+	"lpvs/internal/display"
+	"lpvs/internal/edge"
+	"lpvs/internal/scheduler"
+	"lpvs/internal/video"
+)
+
+// fixedRequest hand-builds a deterministic request (no RNG, no video
+// generator) so the golden file is stable byte for byte.
+func fixedRequest(id string, oled bool, energy, gamma float64) scheduler.Request {
+	ty := display.LCD
+	if oled {
+		ty = display.OLED
+	}
+	chunks := make([]video.Chunk, 3)
+	for i := range chunks {
+		f := float64(i)
+		chunks[i] = video.Chunk{
+			Index:       i,
+			DurationSec: 10,
+			BitrateKbps: 4000 + 100*i,
+			Stats: display.ContentStats{
+				MeanLuma: 0.40 + 0.05*f,
+				PeakLuma: 0.80 + 0.05*f,
+				MeanR:    0.35 + 0.01*f,
+				MeanG:    0.45 + 0.01*f,
+				MeanB:    0.25 + 0.01*f,
+			},
+		}
+	}
+	return scheduler.Request{
+		DeviceID: id,
+		Display: display.Spec{
+			// 720p: one device exactly fills the golden scenario's
+			// capacity-1 server, forcing a selected/rejected mix.
+			Type:         ty,
+			Resolution:   display.Res720p,
+			DiagonalInch: 6,
+			Brightness:   0.6,
+		},
+		EnergyFrac:       energy,
+		BatteryCapacityJ: 50_000,
+		BasePowerW:       0.9,
+		Chunks:           chunks,
+		Gamma:            gamma,
+	}
+}
+
+// fixedInstance is the golden scenario: a capacity-1 server forcing a
+// mix of selected and capacity-rejected devices.
+func fixedInstance(t *testing.T) (scheduler.Config, []scheduler.Request, scheduler.Decision) {
+	t.Helper()
+	server, err := edge.NewServer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scheduler.Config{SlotSec: 30, Lambda: 1, Server: server}
+	s, err := scheduler.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []scheduler.Request{
+		fixedRequest("dev-a", false, 0.30, 0.30),
+		fixedRequest("dev-b", true, 0.15, 0.25),
+		fixedRequest("dev-c", false, 0.80, 0.40),
+	}
+	dec, err := s.Schedule(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Config(), reqs, dec
+}
+
+func goldenRecord(t *testing.T) *Record {
+	t.Helper()
+	cfg, reqs, dec := fixedInstance(t)
+	rec := NewRecord(7, "slot-7", cfg, reqs, dec)
+	// Wall-clock fields are pinned so the encoding is reproducible; the
+	// schema is what the golden file guards.
+	rec.Seed = 42
+	rec.UnixSec = 1754400000.5
+	rec.TraceID = "00000000deadbeef"
+	rec.Spans = []StageSpan{
+		{Name: "compact", DurSec: 0.001},
+		{Name: "phase1", DurSec: 0.002},
+		{Name: "phase2", DurSec: 0.0005},
+	}
+	return rec
+}
+
+// TestGoldenRecordSchema pins the JSONL wire format of schema version
+// 1: any field rename, reorder, or type change shows up as a golden
+// diff and must come with a schema-version bump. Refresh with
+// UPDATE_GOLDEN=1 go test ./internal/obs/audit/.
+func TestGoldenRecordSchema(t *testing.T) {
+	rec := goldenRecord(t)
+	got, err := rec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "record.golden.jsonl")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("audit record schema drifted from golden file:\ngot:  %s\nwant: %s", got, want)
+	}
+	// The golden record must also decode, verify, and replay.
+	dec, err := Decode(bytes.TrimSpace(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dec.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Match {
+		t.Fatalf("golden record does not replay:\n%s", res.Diff())
+	}
+}
+
+func TestVerdictsSortedAndComplete(t *testing.T) {
+	rec := goldenRecord(t)
+	if len(rec.Verdicts) != len(rec.Requests) {
+		t.Fatalf("%d verdicts for %d requests", len(rec.Verdicts), len(rec.Requests))
+	}
+	for i := 1; i < len(rec.Verdicts); i++ {
+		if rec.Verdicts[i-1].Device >= rec.Verdicts[i].Device {
+			t.Fatalf("verdicts not sorted: %q before %q", rec.Verdicts[i-1].Device, rec.Verdicts[i].Device)
+		}
+	}
+	if _, ok := rec.Verdict("dev-b"); !ok {
+		t.Fatal("Verdict lookup failed for present device")
+	}
+	if _, ok := rec.Verdict("dev-zz"); ok {
+		t.Fatal("Verdict lookup invented a device")
+	}
+	// With capacity 1 the instance must contain both outcomes, and both
+	// must carry non-empty reasons.
+	selected, rejected := 0, 0
+	for _, v := range rec.Verdicts {
+		if v.Reason == "" {
+			t.Fatalf("device %s has an empty reason", v.Device)
+		}
+		if v.Selected {
+			selected++
+		} else {
+			rejected++
+		}
+	}
+	if selected == 0 || rejected == 0 {
+		t.Fatalf("golden instance lost its mix: %d selected, %d rejected", selected, rejected)
+	}
+}
+
+func TestConfigHashDetectsTampering(t *testing.T) {
+	rec := goldenRecord(t)
+	if err := rec.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Config.Lambda += 0.5
+	if err := rec.Verify(); err == nil {
+		t.Fatal("tampered config passed verification")
+	}
+	rec = goldenRecord(t)
+	rec.Schema = SchemaVersion + 1
+	if err := rec.Verify(); err == nil {
+		t.Fatal("wrong schema version accepted")
+	}
+}
+
+func TestReplayFlagsForgedDecision(t *testing.T) {
+	rec := goldenRecord(t)
+	rec.DecisionCanonical = strings.Replace(rec.DecisionCanonical, "=true", "=false", 1)
+	res, err := rec.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Match {
+		t.Fatal("forged decision replayed as matching")
+	}
+	if res.Diff() == "" {
+		t.Fatal("mismatch without a diff")
+	}
+}
+
+func TestReplayFlagsForgedReason(t *testing.T) {
+	rec := goldenRecord(t)
+	for i := range rec.Verdicts {
+		rec.Verdicts[i].Reason = scheduler.ReasonNoTransform
+	}
+	res, err := rec.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Match || len(res.ReasonDiffs) == 0 {
+		t.Fatal("forged reasons replayed as matching")
+	}
+}
+
+func TestAnxietyRecordRoundTrip(t *testing.T) {
+	canonical := anxiety.NewCanonical()
+	rescaled, err := anxiety.NewRescaled(canonical, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []anxiety.Model{nil, canonical, rescaled} {
+		rec := newAnxietyRecord(m)
+		back, err := rec.Model()
+		if err != nil {
+			t.Fatalf("%+v: %v", rec, err)
+		}
+		want := m
+		if want == nil {
+			want = canonical
+		}
+		for _, e := range []float64{0, 0.1, 0.2, 0.5, 0.9, 1} {
+			if got, exp := back.Anxiety(e), want.Anxiety(e); got != exp {
+				t.Fatalf("kind %s: anxiety(%v) = %v, want %v", rec.Kind, e, got, exp)
+			}
+		}
+	}
+	custom := newAnxietyRecord(customModel{})
+	if custom.Kind != "custom" {
+		t.Fatalf("custom model classified as %q", custom.Kind)
+	}
+	if _, err := custom.Model(); err == nil {
+		t.Fatal("custom anxiety record replayed")
+	}
+}
+
+type customModel struct{}
+
+func (customModel) Anxiety(float64) float64 { return 0.5 }
+
+func TestLogOpenAppendRead(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "audit")
+	log, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := goldenRecord(t)
+	if err := log.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-open appends, never truncates.
+	log, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2 := goldenRecord(t)
+	rec2.Slot = 8
+	rec2.ConfigHash = rec2.Config.Hash()
+	if err := log.Append(rec2); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadFile(log.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Slot != 7 || recs[1].Slot != 8 {
+		t.Fatalf("read back %d records: %+v", len(recs), recs)
+	}
+	diverged, err := ReplayAll(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diverged) != 0 {
+		t.Fatalf("records %v diverged", diverged)
+	}
+}
+
+func TestReadAllRejectsMalformed(t *testing.T) {
+	rec := goldenRecord(t)
+	line, err := rec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := string(line) + "\n\n{not json}\n"
+	if _, err := ReadAll(strings.NewReader(in)); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	// Blank lines alone are fine.
+	recs, err := ReadAll(strings.NewReader("\n" + string(line) + "\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+}
+
+func TestUnknownDisplayTypeFailsReplay(t *testing.T) {
+	rec := goldenRecord(t)
+	rec.Requests[0].DisplayType = "CRT"
+	if _, err := rec.Replay(); err == nil {
+		t.Fatal("unknown display type replayed")
+	}
+}

@@ -1,0 +1,69 @@
+package audit
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzAuditDecode hardens the JSONL decoder against arbitrary input:
+// Decode must never panic, and anything it accepts must re-encode and
+// decode to the same verified record.
+func FuzzAuditDecode(f *testing.F) {
+	valid, err := func() ([]byte, error) {
+		rec := seedRecord()
+		return rec.Encode()
+	}()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"schema":1}`))
+	f.Add([]byte(`{"schema":1,"config_hash":"x","config":{}}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"schema":1,"unknown_field":true}`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		rec, err := Decode(line)
+		if err != nil {
+			return
+		}
+		out, err := rec.Encode()
+		if err != nil {
+			t.Fatalf("accepted record failed to re-encode: %v", err)
+		}
+		again, err := Decode(bytes.TrimSpace(out))
+		if err != nil {
+			t.Fatalf("re-encoded record failed to decode: %v", err)
+		}
+		out2, err := again.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("encode/decode not idempotent:\n%s\n%s", out, out2)
+		}
+	})
+}
+
+// seedRecord builds a small valid record without testing.T plumbing.
+func seedRecord() *Record {
+	cfg := ConfigRecord{
+		SlotSec:        30,
+		Lambda:         1,
+		Unbounded:      true,
+		ExactThreshold: 220,
+		MaxSwapPasses:  2,
+		Anxiety:        AnxietyRecord{Kind: "canonical", AnxietyAtWarning: 0.72, ConvexPower: 2.2, ConcavePower: 1.6},
+	}
+	rec := &Record{
+		Schema:            SchemaVersion,
+		Slot:              1,
+		VC:                "vc",
+		Config:            cfg,
+		Requests:          []RequestRecord{},
+		DecisionCanonical: "selected=0 eligible=0 swaps=0 optimal=false phase1=0 objective=0\n",
+		Verdicts:          []VerdictRecord{},
+	}
+	rec.ConfigHash = cfg.Hash()
+	return rec
+}

@@ -1,0 +1,98 @@
+package audit
+
+import (
+	"fmt"
+
+	"lpvs/internal/scheduler"
+)
+
+// ReplayResult reports one record's deterministic replay.
+type ReplayResult struct {
+	// Match is true when the replayed decision's canonical encoding is
+	// byte-identical to the logged one AND every per-device reason code
+	// agrees.
+	Match bool
+	// Want and Got are the logged and replayed canonical encodings.
+	Want, Got string
+	// ReasonDiffs lists devices whose replayed reason code diverged
+	// from the logged verdict ("dev-3: phase1-energy != capacity").
+	ReasonDiffs []string
+}
+
+// Diff renders a human-readable mismatch summary ("" when Match).
+func (r *ReplayResult) Diff() string {
+	if r.Match {
+		return ""
+	}
+	out := ""
+	if r.Got != r.Want {
+		out = fmt.Sprintf("canonical decision diverged:\n--- logged ---\n%s--- replayed ---\n%s", r.Want, r.Got)
+	}
+	for _, d := range r.ReasonDiffs {
+		out += "reason diverged: " + d + "\n"
+	}
+	return out
+}
+
+// Replay re-runs the record's decision from scratch: rebuild the
+// scheduler from the logged configuration, rebuild the request set in
+// its logged order, schedule, and byte-compare the canonical encodings
+// and reason codes. The scheduler's determinism contract makes any
+// divergence a bug (or a tampered record), never noise.
+func (r *Record) Replay() (*ReplayResult, error) {
+	if err := r.Verify(); err != nil {
+		return nil, err
+	}
+	cfg, err := r.Config.SchedulerConfig()
+	if err != nil {
+		return nil, err
+	}
+	s, err := scheduler.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("audit: replay: rebuild scheduler: %w", err)
+	}
+	reqs := make([]scheduler.Request, len(r.Requests))
+	for i := range r.Requests {
+		reqs[i], err = r.Requests[i].Request()
+		if err != nil {
+			return nil, err
+		}
+	}
+	dec, err := s.Schedule(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("audit: replay: schedule: %w", err)
+	}
+	res := &ReplayResult{
+		Want: r.DecisionCanonical,
+		Got:  string(dec.Canonical()),
+	}
+	for _, v := range r.Verdicts {
+		got, ok := dec.Verdicts[v.Device]
+		if !ok {
+			res.ReasonDiffs = append(res.ReasonDiffs,
+				fmt.Sprintf("%s: missing from replayed verdicts", v.Device))
+			continue
+		}
+		if got.Reason != v.Reason {
+			res.ReasonDiffs = append(res.ReasonDiffs,
+				fmt.Sprintf("%s: replayed %s != logged %s", v.Device, got.Reason, v.Reason))
+		}
+	}
+	res.Match = res.Got == res.Want && len(res.ReasonDiffs) == 0
+	return res, nil
+}
+
+// ReplayAll replays a record list, returning the indices (0-based) of
+// diverging records and the first error encountered.
+func ReplayAll(recs []*Record) (diverged []int, err error) {
+	for i, rec := range recs {
+		res, rerr := rec.Replay()
+		if rerr != nil {
+			return diverged, fmt.Errorf("record %d (slot %d, vc %s): %w", i, rec.Slot, rec.VC, rerr)
+		}
+		if !res.Match {
+			diverged = append(diverged, i)
+		}
+	}
+	return diverged, nil
+}

@@ -1,0 +1,228 @@
+package span
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDisabledTracerIsInert(t *testing.T) {
+	ctx := context.Background()
+	for _, tr := range []*Tracer{nil, NewTracer(Config{Sample: 0})} {
+		got, sp := tr.Start(ctx, "tick")
+		if sp != nil {
+			t.Fatal("disabled tracer returned a span")
+		}
+		if got != ctx {
+			t.Fatal("disabled tracer changed the context")
+		}
+		// The whole downstream tree short-circuits and every method is
+		// nil-safe.
+		childCtx, child := Child(got, "vc")
+		if child != nil || childCtx != ctx {
+			t.Fatal("child of inactive context not inert")
+		}
+		child.Set("k", 1)
+		child.SetInt("n", 2)
+		child.SetStr("s", "v")
+		child.End()
+		if child.TraceID() != "" {
+			t.Fatal("nil span has a trace ID")
+		}
+		if snap := tr.Snapshot(); len(snap) != 0 {
+			t.Fatalf("disabled tracer collected %d spans", len(snap))
+		}
+		if tr.Dropped() != 0 {
+			t.Fatal("disabled tracer dropped spans")
+		}
+	}
+}
+
+func TestTreeMatchesCallGraph(t *testing.T) {
+	tr := NewTracer(Config{Sample: 1, Seed: 7})
+	ctx, root := tr.Start(context.Background(), "tick")
+	root.SetInt("slot", 3)
+	vcCtx, vc := Child(ctx, "vc")
+	for _, stage := range []string{"compact", "phase1", "phase2"} {
+		_, sp := Child(vcCtx, stage)
+		sp.End()
+	}
+	vc.End()
+	root.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 5 {
+		t.Fatalf("got %d spans, want 5", len(spans))
+	}
+	roots := Tree(spans, root.TraceID())
+	if len(roots) != 1 || roots[0].Name != "tick" {
+		t.Fatalf("roots = %+v", roots)
+	}
+	if got := roots[0].Attrs["slot"]; got != 3 {
+		t.Fatalf("slot attr = %v", got)
+	}
+	if len(roots[0].Children) != 1 || roots[0].Children[0].Name != "vc" {
+		t.Fatalf("tick children = %+v", roots[0].Children)
+	}
+	stages := roots[0].Children[0].Children
+	if len(stages) != 3 {
+		t.Fatalf("vc has %d children, want 3", len(stages))
+	}
+	for i, want := range []string{"compact", "phase1", "phase2"} {
+		if stages[i].Name != want {
+			t.Fatalf("stage %d = %q, want %q", i, stages[i].Name, want)
+		}
+		if stages[i].ParentID != roots[0].Children[0].SpanID {
+			t.Fatalf("stage %q not parented to vc", stages[i].Name)
+		}
+	}
+}
+
+func TestConcurrentChildrenOfOneParent(t *testing.T) {
+	tr := NewTracer(Config{Sample: 1})
+	ctx, root := tr.Start(context.Background(), "tick")
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, sp := Child(ctx, "vc")
+			sp.SetInt("worker", w)
+			sp.End()
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	roots := Tree(tr.Snapshot(), root.TraceID())
+	if len(roots) != 1 || len(roots[0].Children) != workers {
+		t.Fatalf("want 1 root with %d children, got %+v", workers, roots)
+	}
+	ids := map[string]bool{}
+	for _, c := range roots[0].Children {
+		if ids[c.SpanID] {
+			t.Fatalf("duplicate span ID %s", c.SpanID)
+		}
+		ids[c.SpanID] = true
+	}
+}
+
+func TestSeededIDsAreDeterministic(t *testing.T) {
+	run := func() []string {
+		tr := NewTracer(Config{Sample: 1, Seed: 42})
+		var out []string
+		for i := 0; i < 3; i++ {
+			ctx, root := tr.Start(context.Background(), "tick")
+			_, c := Child(ctx, "vc")
+			c.End()
+			root.End()
+			out = append(out, root.TraceID())
+		}
+		for _, d := range tr.Snapshot() {
+			out = append(out, d.SpanID)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("seeded runs diverged:\n%v\n%v", a, b)
+	}
+}
+
+func TestSamplingSkipsTraces(t *testing.T) {
+	tr := NewTracer(Config{Sample: 0.5, Seed: 3})
+	sampled := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		_, sp := tr.Start(context.Background(), "tick")
+		if sp != nil {
+			sampled++
+			sp.End()
+		}
+	}
+	if sampled == 0 || sampled == n {
+		t.Fatalf("sample=0.5 kept %d of %d traces", sampled, n)
+	}
+	if got := len(tr.Snapshot()); got != sampled {
+		t.Fatalf("ring holds %d spans, want %d", got, sampled)
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	tr := NewTracer(Config{Sample: 1, Capacity: 4})
+	var last string
+	for i := 0; i < 10; i++ {
+		_, sp := tr.Start(context.Background(), "s")
+		sp.SetInt("i", i)
+		sp.End()
+		last = sp.TraceID()
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(snap))
+	}
+	for i, d := range snap {
+		if want := float64(6 + i); d.Attrs["i"] != want {
+			t.Fatalf("slot %d holds span %v, want %v (oldest-first order)", i, d.Attrs["i"], want)
+		}
+	}
+	if snap[3].TraceID != last {
+		t.Fatal("newest span missing after wrap")
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+}
+
+func TestDoubleEndCommitsOnce(t *testing.T) {
+	tr := NewTracer(Config{Sample: 1})
+	_, sp := tr.Start(context.Background(), "s")
+	sp.End()
+	sp.End()
+	if got := len(tr.Snapshot()); got != 1 {
+		t.Fatalf("double End committed %d spans", got)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(Config{Sample: 1, Seed: 5})
+	ctx, root := tr.Start(context.Background(), "tick")
+	_, c := Child(ctx, "vc")
+	c.SetStr("vc", "slot-0")
+	c.End()
+	root.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		var d Data
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if d.TraceID != root.TraceID() || d.SpanID == "" {
+			t.Fatalf("bad span data: %+v", d)
+		}
+	}
+}
+
+func TestTreeSurvivesMissingParent(t *testing.T) {
+	// Partially evicted traces: a child whose parent fell out of the
+	// ring must surface as a root, not vanish.
+	spans := []Data{
+		{TraceID: "t", SpanID: "b", ParentID: "missing", Name: "orphan"},
+		{TraceID: "t", SpanID: "a", Name: "root"},
+		{TraceID: "other", SpanID: "x", Name: "noise"},
+	}
+	roots := Tree(spans, "t")
+	if len(roots) != 2 {
+		t.Fatalf("got %d roots, want 2 (root + orphan)", len(roots))
+	}
+}

@@ -1,10 +1,12 @@
 package scheduler
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"lpvs/internal/edge"
+	"lpvs/internal/obs/span"
 )
 
 func benchCluster(b *testing.B, n int) []Request {
@@ -136,6 +138,50 @@ func BenchmarkPhase2Swap(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := s.Schedule(reqs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleTracing measures what span tracing costs the hot
+// scheduling path. "untraced" is the PR-2 baseline call; "sampling-off"
+// carries a context whose tracer is disabled (the production default),
+// which must cost nothing measurable; "sampled" traces every call and
+// prices the full instrumentation.
+func BenchmarkScheduleTracing(b *testing.B) {
+	server, err := edge.NewServer(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := benchCluster(b, 500)
+	for _, mode := range []struct {
+		name   string
+		sample float64
+		ctx    bool
+	}{
+		{"untraced", 0, false},
+		{"sampling-off", 0, true},
+		{"sampled", 1, true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			s := mustScheduler(b, Config{Server: server, Lambda: 1})
+			ctx := context.Background()
+			if mode.ctx {
+				tr := span.NewTracer(span.Config{Sample: mode.sample, Seed: 1})
+				var sp *span.Span
+				ctx, sp = tr.Start(ctx, "bench")
+				defer sp.End()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode.ctx {
+					_, err = s.ScheduleCtx(ctx, reqs)
+				} else {
+					_, err = s.Schedule(reqs)
+				}
+				if err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,19 @@
+package scheduler
+
+import "testing"
+
+// Test-only bridges for external test packages (package scheduler_test)
+// that need the differential corpus generator but would create an
+// import cycle if its helpers lived in an importable package: the audit
+// round-trip test imports internal/obs/audit, which imports scheduler.
+
+// MakeClusterForTest exposes the shared request-cluster generator.
+func MakeClusterForTest(tb testing.TB, n int, seed int64) []Request {
+	tb.Helper()
+	return makeCluster(tb, n, seed)
+}
+
+// RandomInstanceForTest exposes the differential-corpus instance
+// generator (the 210-instance pool-vs-serial harness uses the same
+// function, so corpora stay in lockstep).
+var RandomInstanceForTest = randomInstance

@@ -30,18 +30,24 @@ func (NoTransform) Name() string { return "no-transform" }
 
 // Schedule implements Policy.
 func (NoTransform) Schedule(reqs []Request) (Decision, error) {
-	d := Decision{Transform: make(map[string]bool, len(reqs))}
+	d := Decision{
+		Transform: make(map[string]bool, len(reqs)),
+		Verdicts:  make(map[string]Verdict, len(reqs)),
+	}
 	for i := range reqs {
 		if err := reqs[i].Validate(); err != nil {
 			return Decision{}, err
 		}
 		d.Transform[reqs[i].DeviceID] = false
+		d.Verdicts[reqs[i].DeviceID] = Verdict{Reason: ReasonNoTransform, Gamma: reqs[i].Gamma}
 	}
 	return d, nil
 }
 
 // capacityFilter greedily admits plans in the given order until the edge
-// capacities are exhausted, honouring eligibility.
+// capacities are exhausted, honouring eligibility. Verdicts carry the
+// same ineligible/capacity reason codes as the LPVS path, with
+// ReasonAdmitted marking greedy admission.
 func (s *Scheduler) capacityFilter(plans []*plan, order []int) Decision {
 	d := Decision{Transform: make(map[string]bool, len(plans))}
 	for _, p := range plans {
@@ -63,6 +69,13 @@ func (s *Scheduler) capacityFilter(plans []*plan, order []int) Decision {
 		d.Selected++
 	}
 	d.Objective = s.totalObjective(plans, d.Transform)
+	d.Verdicts = s.verdicts(plans, d.Transform, nil, nil)
+	for id, v := range d.Verdicts {
+		if v.Selected {
+			v.Reason = ReasonAdmitted
+			d.Verdicts[id] = v
+		}
+	}
 	return d
 }
 
@@ -187,6 +200,7 @@ func (p *JointKnapsackPolicy) Schedule(reqs []Request) (Decision, error) {
 	d.Eligible = len(eligible)
 	if len(eligible) == 0 {
 		d.Objective = s.totalObjective(plans, d.Transform)
+		d.Verdicts = s.verdicts(plans, d.Transform, nil, nil)
 		return d, nil
 	}
 	sel, val, optimal := s.jointKnapsack(eligible)
@@ -197,6 +211,13 @@ func (p *JointKnapsackPolicy) Schedule(reqs []Request) (Decision, error) {
 		d.Selected++
 	}
 	d.Objective = s.totalObjective(plans, d.Transform)
+	d.Verdicts = s.verdicts(plans, d.Transform, nil, nil)
+	for id, v := range d.Verdicts {
+		if v.Selected {
+			v.Reason = ReasonJoint
+			d.Verdicts[id] = v
+		}
+	}
 	return d, nil
 }
 

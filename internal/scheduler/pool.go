@@ -2,12 +2,15 @@ package scheduler
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lpvs/internal/obs/span"
 )
 
 // This file implements the sharded scheduling engine: the paper's edge
@@ -119,6 +122,15 @@ func (p *Pool) Workers() int { return p.workers }
 // VC is solved independently by the same deterministic Schedule, and
 // the merge orders by VC ID regardless of which worker finished first.
 func (p *Pool) Decide(vcs []VC) (*PoolResult, error) {
+	return p.DecideCtx(context.Background(), vcs)
+}
+
+// DecideCtx is Decide with span tracing: when ctx carries an active
+// span, each VC's solve opens a "vc" child (with the compact / phase1
+// / phase2 stage spans nested under it). Workers create children of
+// the same parent concurrently — the tracer is built for that — and
+// decisions are identical with tracing on or off.
+func (p *Pool) DecideCtx(ctx context.Context, vcs []VC) (*PoolResult, error) {
 	ordered, err := orderVCs(vcs)
 	if err != nil {
 		return nil, err
@@ -136,7 +148,7 @@ func (p *Pool) Decide(vcs []VC) (*PoolResult, error) {
 	errs := make([]error, len(ordered))
 	if workers == 1 {
 		for i := range ordered {
-			res.VCs[i], errs[i] = p.solveVC(ordered[i], 0)
+			res.VCs[i], errs[i] = p.solveVC(ctx, ordered[i], 0)
 		}
 	} else {
 		var next atomic.Int64
@@ -150,7 +162,7 @@ func (p *Pool) Decide(vcs []VC) (*PoolResult, error) {
 					if i >= len(ordered) {
 						return
 					}
-					res.VCs[i], errs[i] = p.solveVC(ordered[i], w)
+					res.VCs[i], errs[i] = p.solveVC(ctx, ordered[i], w)
 				}
 			}(w)
 		}
@@ -195,9 +207,13 @@ func DecideSerial(s *Scheduler, vcs []VC) (*PoolResult, error) {
 	return res, nil
 }
 
-func (p *Pool) solveVC(vc VC, worker int) (VCDecision, error) {
+func (p *Pool) solveVC(ctx context.Context, vc VC, worker int) (VCDecision, error) {
+	vcCtx, sp := span.Child(ctx, "vc")
+	sp.SetStr("vc", vc.ID)
+	sp.SetInt("worker", worker)
 	start := time.Now()
-	dec, err := p.sched.Schedule(vc.Requests)
+	dec, err := p.sched.ScheduleCtx(vcCtx, vc.Requests)
+	sp.End()
 	if err != nil {
 		return VCDecision{}, err
 	}

@@ -25,6 +25,7 @@
 package scheduler
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -35,6 +36,7 @@ import (
 	"lpvs/internal/display"
 	"lpvs/internal/edge"
 	"lpvs/internal/ilp"
+	"lpvs/internal/obs/span"
 	"lpvs/internal/video"
 )
 
@@ -101,10 +103,94 @@ func SortRequests(reqs []Request) {
 	sort.SliceStable(reqs, func(a, b int) bool { return reqs[a].DeviceID < reqs[b].DeviceID })
 }
 
+// Reason is a per-device decision explanation code: why a device did
+// or did not receive the transform this slot. The codes are part of
+// the audit-log schema (internal/obs/audit) — add new ones rather than
+// renaming existing ones.
+type Reason string
+
+// Decision reason codes.
+const (
+	// ReasonIneligible: the device failed the energy-feasibility
+	// constraint (11) — transforming could not carry it through the
+	// slot.
+	ReasonIneligible Reason = "ineligible"
+	// ReasonCapacity: eligible, but the edge server's compute/storage
+	// capacities (6)-(7) were exhausted by devices with higher energy
+	// saving.
+	ReasonCapacity Reason = "capacity"
+	// ReasonPhase1: selected by the Phase-1 energy-saving knapsack and
+	// kept through Phase-2.
+	ReasonPhase1 Reason = "phase1-energy"
+	// ReasonSwappedIn: not picked by Phase-1, but swapped in by the
+	// Phase-2 anxiety pass.
+	ReasonSwappedIn Reason = "swapped-in-anxiety"
+	// ReasonSwappedOut: picked by Phase-1, then displaced by a
+	// higher-anxiety device in Phase-2.
+	ReasonSwappedOut Reason = "swapped-out-by-higher-anxiety"
+	// ReasonAdmitted: selected by a baseline policy's greedy capacity
+	// filter (random, greedy-battery).
+	ReasonAdmitted Reason = "admitted"
+	// ReasonJoint: selected by the joint-knapsack policy.
+	ReasonJoint Reason = "joint-knapsack"
+	// ReasonNoTransform: the no-transform baseline never selects.
+	ReasonNoTransform Reason = "no-transform"
+)
+
+// Detail spells out the constraint or phase behind the code — the
+// prose half of /v1/explain and `lpvs-audit explain`.
+func (r Reason) Detail() string {
+	switch r {
+	case ReasonIneligible:
+		return "failed the energy-feasibility constraint (11): even transformed, the forecast drains the battery before the slot ends, so transforming cannot carry the device through"
+	case ReasonCapacity:
+		return "eligible, but the edge server's compute/storage capacities (6)-(7) were exhausted by devices with higher energy saving"
+	case ReasonPhase1:
+		return "selected by the Phase-1 knapsack for its energy saving and kept through the Phase-2 anxiety pass"
+	case ReasonSwappedIn:
+		return "not a Phase-1 pick, but its higher anxiety degree won a Phase-2 swap against a Phase-1 selection"
+	case ReasonSwappedOut:
+		return "selected by Phase-1, then displaced in Phase-2 by a device with a higher anxiety degree"
+	case ReasonAdmitted:
+		return "admitted by the baseline policy's greedy capacity filter"
+	case ReasonJoint:
+		return "selected by the joint two-constraint knapsack over the full objective"
+	case ReasonNoTransform:
+		return "the no-transform baseline never selects devices"
+	default:
+		return string(r)
+	}
+}
+
+// Verdict explains one device's outcome within a Decision: the binding
+// reason plus the quantities the decision weighed. It is what the
+// audit log records and the /v1/explain endpoint serves.
+type Verdict struct {
+	// Selected is x_n.
+	Selected bool `json:"selected"`
+	// Eligible is the constraint-(11) feasibility flag.
+	Eligible bool `json:"eligible"`
+	// Reason is the binding explanation code.
+	Reason Reason `json:"reason"`
+	// AnxietyBefore is phi(e) at the slot start; AnxietyAfter is phi at
+	// the predicted end-of-slot energy under the final decision.
+	AnxietyBefore float64 `json:"anxiety_before"`
+	AnxietyAfter  float64 `json:"anxiety_after"`
+	// Gamma is the power-reduction estimate the decision planned with.
+	Gamma float64 `json:"gamma_est"`
+	// SavingFrac is the battery fraction transforming would save this
+	// slot — the device's Phase-1 knapsack value.
+	SavingFrac float64 `json:"saving_frac"`
+}
+
 // Decision is the scheduling outcome for one slot.
 type Decision struct {
 	// Transform maps device ID to x_n.
 	Transform map[string]bool
+	// Verdicts maps device ID to the per-device explanation. Excluded
+	// from Canonical() (which predates it); the audit log encodes
+	// verdicts separately and deterministically.
+	Verdicts map[string]Verdict
 	// Selected is the number of devices receiving transforming.
 	Selected int
 	// Eligible counts devices passing the energy-feasibility check (11).
@@ -216,6 +302,11 @@ func New(cfg Config) (*Scheduler, error) {
 	return &Scheduler{cfg: cfg}, nil
 }
 
+// Config returns the scheduler's effective configuration — the caller's
+// config with defaults applied. The audit log records it so a replayed
+// scheduler is rebuilt from exactly the values this one runs with.
+func (s *Scheduler) Config() Config { return s.cfg }
+
 // plan is the per-device precomputation derived from a request: chunk
 // energies in battery fractions, resource costs, the objective value
 // under both decisions, and the eligibility flag from constraint (11).
@@ -230,6 +321,8 @@ type plan struct {
 	obj1     float64       // objective contribution with x_n = 1
 	saving   float64       // display energy saved by transforming (fractions)
 	anx      float64       // anxiety degree at slot start (for Phase-2 rank)
+	end0     float64       // predicted end-of-slot energy with x_n = 0
+	end1     float64       // predicted end-of-slot energy with x_n = 1
 }
 
 // buildPlan runs information gathering + compacting for one request.
@@ -263,6 +356,17 @@ func (s *Scheduler) buildPlan(r *Request) (*plan, error) {
 		p.saving += (1 - r.Gamma) * e
 	}
 	p.anx = p.anxModel.Anxiety(r.EnergyFrac)
+	p.end0, p.end1 = r.EnergyFrac, r.EnergyFrac
+	for i := range p.dispFrac {
+		p.end0 -= p.dispFrac[i] + p.baseFrac[i]
+		p.end1 -= r.Gamma*p.dispFrac[i] + p.baseFrac[i]
+	}
+	if p.end0 < 0 {
+		p.end0 = 0
+	}
+	if p.end1 < 0 {
+		p.end1 = 0
+	}
 	return p, nil
 }
 
@@ -365,15 +469,29 @@ func (s *Scheduler) deviceObjective(p *plan, transformed bool) float64 {
 
 // Schedule makes the slot decision for one virtual cluster.
 func (s *Scheduler) Schedule(reqs []Request) (Decision, error) {
+	return s.ScheduleCtx(context.Background(), reqs)
+}
+
+// ScheduleCtx is Schedule with span tracing: when ctx carries an active
+// span (internal/obs/span), each stage — information compacting, the
+// Phase-1 knapsack, Phase-2 swapping — opens a child span whose
+// duration matches the Decision's timing fields. With no active span
+// the only cost is three context lookups; decisions are identical
+// either way.
+func (s *Scheduler) ScheduleCtx(ctx context.Context, reqs []Request) (Decision, error) {
 	if len(reqs) == 0 {
-		return Decision{Transform: map[string]bool{}}, nil
+		return Decision{Transform: map[string]bool{}, Verdicts: map[string]Verdict{}}, nil
 	}
+	_, csp := span.Child(ctx, "compact")
 	compactStart := time.Now()
 	plans, err := s.buildPlans(reqs)
 	if err != nil {
+		csp.End()
 		return Decision{}, err
 	}
 	compactSec := time.Since(compactStart).Seconds()
+	csp.SetInt("devices", len(reqs))
+	csp.End()
 
 	dec := Decision{Transform: make(map[string]bool, len(reqs)), CompactSeconds: compactSec}
 	var eligible []*plan
@@ -386,9 +504,11 @@ func (s *Scheduler) Schedule(reqs []Request) (Decision, error) {
 	dec.Eligible = len(eligible)
 	if len(eligible) == 0 {
 		dec.Objective = s.totalObjective(plans, dec.Transform)
+		dec.Verdicts = s.verdicts(plans, dec.Transform, nil, nil)
 		return dec, nil
 	}
 
+	_, p1sp := span.Child(ctx, "phase1")
 	phase1Start := time.Now()
 	selected, phase1Val, optimal := s.phase1(eligible)
 	dec.Phase1Seconds = time.Since(phase1Start).Seconds()
@@ -397,11 +517,20 @@ func (s *Scheduler) Schedule(reqs []Request) (Decision, error) {
 	for _, p := range selected {
 		dec.Transform[p.req.DeviceID] = true
 	}
+	p1sp.SetInt("eligible", len(eligible))
+	p1sp.SetInt("selected", len(selected))
+	p1sp.End()
 
+	var swapIn, swapOut map[string]bool
 	if !s.cfg.DisableSwap && s.cfg.Lambda > 0 {
+		_, p2sp := span.Child(ctx, "phase2")
+		swapIn = make(map[string]bool)
+		swapOut = make(map[string]bool)
 		phase2Start := time.Now()
-		dec.Swaps = s.phase2(eligible, dec.Transform)
+		dec.Swaps = s.phase2(eligible, dec.Transform, swapIn, swapOut)
 		dec.Phase2Seconds = time.Since(phase2Start).Seconds()
+		p2sp.SetInt("swaps", dec.Swaps)
+		p2sp.End()
 	}
 
 	for _, on := range dec.Transform {
@@ -410,7 +539,45 @@ func (s *Scheduler) Schedule(reqs []Request) (Decision, error) {
 		}
 	}
 	dec.Objective = s.totalObjective(plans, dec.Transform)
+	dec.Verdicts = s.verdicts(plans, dec.Transform, swapIn, swapOut)
 	return dec, nil
+}
+
+// verdicts derives the per-device explanation of a finished decision:
+// the binding reason code plus the anxiety trajectory the decision
+// implies. swapIn/swapOut are the Phase-2 swap events (nil when
+// Phase-2 did not run).
+func (s *Scheduler) verdicts(plans []*plan, x map[string]bool, swapIn, swapOut map[string]bool) map[string]Verdict {
+	out := make(map[string]Verdict, len(plans))
+	for _, p := range plans {
+		id := p.req.DeviceID
+		v := Verdict{
+			Selected:      x[id],
+			Eligible:      p.eligible,
+			AnxietyBefore: p.anx,
+			Gamma:         p.req.Gamma,
+			SavingFrac:    p.saving,
+		}
+		switch {
+		case !p.eligible:
+			v.Reason = ReasonIneligible
+		case v.Selected && swapIn[id]:
+			v.Reason = ReasonSwappedIn
+		case v.Selected:
+			v.Reason = ReasonPhase1
+		case swapOut[id]:
+			v.Reason = ReasonSwappedOut
+		default:
+			v.Reason = ReasonCapacity
+		}
+		end := p.end0
+		if v.Selected {
+			end = p.end1
+		}
+		v.AnxietyAfter = p.anxModel.Anxiety(end)
+		out[id] = v
+	}
+	return out
 }
 
 // phase1 solves the energy-only selection (14) as a 0/1 knapsack over
@@ -445,8 +612,10 @@ func (s *Scheduler) phase1(eligible []*plan) (chosen []*plan, value float64, opt
 // phase2 implements the anxiety-driven swapping: unselected devices
 // ranked by anxiety degree are swapped in for selected ones whenever the
 // joint objective (13) decreases and the capacities still hold. Returns
-// the number of accepted swaps.
-func (s *Scheduler) phase2(eligible []*plan, x map[string]bool) int {
+// the number of accepted swaps and records each accepted swap's two
+// sides in swapIn / swapOut (a device appears in at most one: original
+// outsiders can only swap in, original insiders only out).
+func (s *Scheduler) phase2(eligible []*plan, x map[string]bool, swapIn, swapOut map[string]bool) int {
 	var in, out []*plan
 	usedG, usedH := 0.0, 0.0
 	for _, p := range eligible {
@@ -500,6 +669,8 @@ func (s *Scheduler) phase2(eligible []*plan, x map[string]bool) int {
 				}
 				x[cand.req.DeviceID] = true
 				x[cur.req.DeviceID] = false
+				swapIn[cand.req.DeviceID] = true
+				swapOut[cur.req.DeviceID] = true
 				swaps++
 				improved = true
 				break

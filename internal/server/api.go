@@ -11,6 +11,7 @@
 //	GET  /v1/chunk     ?device=ID&index=K -> chunk metadata (transformed
 //	                   for selected devices)
 //	POST /v1/observe   device feeds back the realised power reduction
+//	GET  /v1/explain   ?device=ID -> why the device was (not) selected
 //	GET  /v1/status    cluster-wide counters
 //	GET  /healthz      liveness
 package server
@@ -152,6 +153,25 @@ type ObserveResponse struct {
 	Observations int     `json:"observations"`
 }
 
+// ExplainResponse is one device's verdict from its last scheduled
+// tick: the binding reason code, a human-readable account of the
+// constraint or phase that determined it, and the quantities the
+// decision weighed.
+type ExplainResponse struct {
+	DeviceID string `json:"device_id"`
+	Slot     int    `json:"slot"`
+	Selected bool   `json:"selected"`
+	Eligible bool   `json:"eligible"`
+	// Reason is the stable machine-readable code (scheduler.Reason);
+	// Detail is the prose explanation.
+	Reason        string  `json:"reason"`
+	Detail        string  `json:"detail"`
+	AnxietyBefore float64 `json:"anxiety_before"`
+	AnxietyAfter  float64 `json:"anxiety_after"`
+	Gamma         float64 `json:"gamma_est"`
+	SavingFrac    float64 `json:"saving_frac"`
+}
+
 // StatusResponse is the cluster dashboard.
 type StatusResponse struct {
 	Slot            int     `json:"slot"`
@@ -164,6 +184,14 @@ type StatusResponse struct {
 	StreamChunks    int     `json:"stream_chunks"`
 	// Workers is the scheduling pool fan-out the daemon runs with.
 	Workers int `json:"workers"`
+	// StartUnixSec/UptimeSec report when the daemon started and how long
+	// it has been up.
+	StartUnixSec float64 `json:"start_unix_sec"`
+	UptimeSec    float64 `json:"uptime_sec"`
+	// AuditPath is the decision audit log file ("" = auditing off);
+	// TraceSample is the span-tracing sampling probability (0 = off).
+	AuditPath   string  `json:"audit_path,omitempty"`
+	TraceSample float64 `json:"trace_sample"`
 	// LastTick is the scheduler breakdown of the most recent tick; nil
 	// until the first tick has run.
 	LastTick *TickStats `json:"last_tick,omitempty"`

@@ -13,6 +13,8 @@ import (
 	"lpvs/internal/display"
 	"lpvs/internal/edge"
 	"lpvs/internal/obs"
+	"lpvs/internal/obs/audit"
+	"lpvs/internal/obs/span"
 	"lpvs/internal/scheduler"
 	"lpvs/internal/transform"
 	"lpvs/internal/video"
@@ -40,6 +42,16 @@ type Config struct {
 	Workers int
 	// Logger receives the daemon's structured logs; nil discards them.
 	Logger *slog.Logger
+	// AuditDir, when non-empty, appends one decision audit record per
+	// tick to AuditDir/audit.jsonl (see internal/obs/audit); the log
+	// replays deterministically with `lpvs-audit replay`.
+	AuditDir string
+	// TraceSample is the span-tracing sampling probability: 0 disables
+	// tracing (the zero-overhead path), 1 traces every tick.
+	TraceSample float64
+	// TraceSeed seeds the trace/span ID stream (0 = default seed), making
+	// traced runs reproducible.
+	TraceSeed int64
 }
 
 // deviceState is the daemon's per-device bookkeeping.
@@ -49,6 +61,10 @@ type deviceState struct {
 	transform bool
 	slot      int
 	channel   string // stream the device watches
+	// verdict is the device's explanation from its last scheduled tick;
+	// hasVerdict guards against serving the zero value before then.
+	verdict    scheduler.Verdict
+	hasVerdict bool
 }
 
 // Server is the LPVS edge daemon. It is safe for concurrent use.
@@ -61,6 +77,9 @@ type Server struct {
 	streams map[string]*video.Video
 	log     *slog.Logger
 	metrics *serverMetrics
+	tracer  *span.Tracer
+	audit   *audit.Log // nil when auditing is off
+	started time.Time
 
 	mu       sync.Mutex
 	slot     int
@@ -138,11 +157,31 @@ func New(cfg Config) (*Server, error) {
 		chunksPer: chunksPer,
 		streams:   streams,
 		log:       logger,
+		tracer:    span.NewTracer(span.Config{Sample: cfg.TraceSample, Seed: cfg.TraceSeed}),
+		started:   time.Now(),
 		pending:   make(map[string]scheduler.Request),
 		devices:   make(map[string]*deviceState),
 	}
+	if cfg.AuditDir != "" {
+		alog, err := audit.Open(cfg.AuditDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: open audit log: %w", err)
+		}
+		s.audit = alog
+	}
 	s.metrics = newServerMetrics(s)
 	return s, nil
+}
+
+// Tracer exposes the daemon's span tracer (for export and tests).
+func (s *Server) Tracer() *span.Tracer { return s.tracer }
+
+// Close releases the daemon's file resources (the audit log).
+func (s *Server) Close() error {
+	if s.audit != nil {
+		return s.audit.Close()
+	}
+	return nil
 }
 
 // Handler returns the HTTP routes. Every route is wrapped in the
@@ -157,6 +196,7 @@ func (s *Server) Handler() http.Handler {
 		"GET /v1/chunk":    s.handleChunk,
 		"GET /v1/playlist": s.handlePlaylist,
 		"POST /v1/observe": s.handleObserve,
+		"GET /v1/explain":  s.handleExplain,
 		"GET /v1/status":   s.handleStatus,
 		"GET /metrics":     s.handleMetrics,
 		"GET /healthz": func(w http.ResponseWriter, _ *http.Request) {
@@ -235,11 +275,13 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ReportResponse{Slot: s.slot, Accepted: true})
 }
 
-func (s *Server) handleTick(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
 	start := time.Now()
+	ctx, sp := s.tracer.Start(r.Context(), "tick")
+	sp.SetInt("slot", s.slot)
 	reqs := make([]scheduler.Request, 0, len(s.pending))
 	for _, r := range s.pending {
 		reqs = append(reqs, r)
@@ -248,19 +290,40 @@ func (s *Server) handleTick(w http.ResponseWriter, _ *http.Request) {
 	// scheduler's tie-breaks are only deterministic for a fixed input
 	// order. Sorting by DeviceID makes every tick reproducible.
 	scheduler.SortRequests(reqs)
-	pres, err := s.pool.Decide([]scheduler.VC{
-		{ID: fmt.Sprintf("slot-%d", s.slot), Requests: reqs},
+	vcID := fmt.Sprintf("slot-%d", s.slot)
+	pres, err := s.pool.DecideCtx(ctx, []scheduler.VC{
+		{ID: vcID, Requests: reqs},
 	})
 	if err != nil {
+		sp.End()
 		s.log.Error("tick failed", "slot", s.slot, "reports", len(reqs), "err", err)
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	dec := pres.Decision()
+	sp.SetInt("reports", len(reqs))
+	sp.SetInt("selected", dec.Selected)
+	sp.End()
 	for id, on := range dec.Transform {
 		if st, ok := s.devices[id]; ok {
 			st.transform = on
 			st.slot = s.slot
+		}
+	}
+	for id, v := range dec.Verdicts {
+		if st, ok := s.devices[id]; ok {
+			st.verdict = v
+			st.hasVerdict = true
+		}
+	}
+	if s.audit != nil {
+		rec := audit.NewRecord(s.slot, vcID, s.pool.Scheduler().Config(), reqs, dec)
+		rec.UnixSec = float64(time.Now().UnixNano()) / 1e9
+		rec.TraceID = sp.TraceID()
+		if err := s.audit.Append(rec); err != nil {
+			// Auditing is an observer: a full disk must not take the
+			// scheduling path down with it.
+			s.log.Error("audit append failed", "slot", s.slot, "err", err)
 		}
 	}
 	s.lastSel = dec.Selected
@@ -404,12 +467,20 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	ctx, sp := s.tracer.Start(r.Context(), "observe")
+	defer sp.End()
+	sp.SetStr("device", req.DeviceID)
 	st, ok := s.devices[req.DeviceID]
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown device %q", req.DeviceID))
 		return
 	}
-	if err := st.estimator.Observe(req.Reduction); err != nil {
+	_, bsp := span.Child(ctx, "bayes-update")
+	err := st.estimator.Observe(req.Reduction)
+	bsp.Set("gamma", st.estimator.Gamma())
+	bsp.SetInt("observations", st.estimator.Observations())
+	bsp.End()
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -420,6 +491,33 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ObserveResponse{
 		Gamma:        st.estimator.Gamma(),
 		Observations: st.estimator.Observations(),
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("device")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.devices[id]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown device %q", id))
+		return
+	}
+	if !st.hasVerdict {
+		writeError(w, http.StatusNotFound, fmt.Errorf("device %q has not been scheduled yet", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, ExplainResponse{
+		DeviceID:      id,
+		Slot:          st.slot,
+		Selected:      st.verdict.Selected,
+		Eligible:      st.verdict.Eligible,
+		Reason:        string(st.verdict.Reason),
+		Detail:        st.verdict.Reason.Detail(),
+		AnxietyBefore: st.verdict.AnxietyBefore,
+		AnxietyAfter:  st.verdict.AnxietyAfter,
+		Gamma:         st.verdict.Gamma,
+		SavingFrac:    st.verdict.SavingFrac,
 	})
 }
 
@@ -434,6 +532,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		Lambda:         s.cfg.Lambda,
 		StreamChunks:   len(s.cfg.Stream.Chunks),
 		Workers:        s.pool.Workers(),
+		StartUnixSec:   float64(s.started.UnixNano()) / 1e9,
+		UptimeSec:      time.Since(s.started).Seconds(),
+		TraceSample:    s.cfg.TraceSample,
+	}
+	if s.audit != nil {
+		resp.AuditPath = s.audit.Path()
 	}
 	if s.edgeSrv != nil {
 		resp.ComputeCapacity = s.edgeSrv.ComputeCapacity
