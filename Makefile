@@ -7,7 +7,7 @@ GO ?= go
 # Per-target budget for `make fuzz-smoke`.
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fmt check bench fuzz-smoke audit-replay
+.PHONY: all build test race vet fmt check bench bench-smoke fuzz-smoke audit-replay
 
 all: build
 
@@ -29,7 +29,7 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: fmt vet build race audit-replay
+check: fmt vet build race audit-replay bench-smoke
 
 # audit-replay gates the determinism contract end to end: run a short
 # audited emulator session, then re-run every logged decision through
@@ -39,8 +39,16 @@ audit-replay:
 	$(GO) run ./cmd/lpvs-emu -seed 11 -n 16 -slots 6 -capacity 4 -audit-dir "$$dir" >/dev/null && \
 	$(GO) run ./cmd/lpvs-audit replay "$$dir"
 
+# bench runs every benchmark with -benchmem and emits an
+# environment-stamped JSON report (cores, GOMAXPROCS, Go version) via
+# cmd/lpvs-benchjson — the format the recorded BENCH_*.json files use.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) run ./cmd/lpvs-benchjson
+
+# bench-smoke compiles and runs every benchmark exactly once — a fast
+# bitrot guard wired into `make check`.
+bench-smoke:
+	$(GO) run ./cmd/lpvs-benchjson -benchtime 1x -out /dev/null
 
 # fuzz-smoke runs every Fuzz* target for FUZZTIME each — a quick
 # coverage-guided shake beyond the checked-in seed corpora. Not part of

@@ -1,0 +1,161 @@
+// Command lpvs-benchjson runs Go benchmarks and emits the results as
+// machine-readable JSON, stamped with the environment they ran in
+// (cores, GOMAXPROCS, Go version) so recorded figures such as
+// BENCH_incremental.json carry their own provenance.
+//
+// Usage:
+//
+//	lpvs-benchjson                                         # all benchmarks, all packages
+//	lpvs-benchjson -pkg ./internal/scheduler/ -bench BenchmarkIncrementalSlots
+//	lpvs-benchjson -benchtime 1x -out /dev/null            # smoke: every benchmark once
+//
+// The tool shells out to `go test -run ^$ -bench ... -benchmem` and
+// parses the standard benchmark output; it adds no dependencies beyond
+// the Go toolchain already required to build the repo.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark case's parsed outcome.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Environment records where the benchmarks ran.
+type Environment struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPU        string `json:"cpu,omitempty"`
+	Cores      int    `json:"cores"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Command     string      `json:"command"`
+	Environment Environment `json:"environment"`
+	Benchmarks  []Result    `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench -benchmem` result line, e.g.
+//
+//	BenchmarkFoo/case-8   120   9876543 ns/op   1234 B/op   56 allocs/op
+//
+// The memory columns are optional so plain -bench output still parses.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+// ParseBench extracts benchmark results and the reported CPU model from
+// `go test -bench` output.
+func ParseBench(out string) (results []Result, cpu string) {
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.Atoi(m[2])
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := Result{Name: trimProcSuffix(m[1]), Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		results = append(results, r)
+	}
+	return results, cpu
+}
+
+// trimProcSuffix drops the trailing -GOMAXPROCS that go test appends to
+// benchmark names ("BenchmarkFoo/bar-8" -> "BenchmarkFoo/bar"); the
+// parallelism is recorded once in the environment instead.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func main() {
+	var (
+		pkg       = flag.String("pkg", "./...", "package pattern to benchmark")
+		bench     = flag.String("bench", ".", "benchmark regexp (go test -bench)")
+		benchtime = flag.String("benchtime", "", "per-case budget (go test -benchtime), e.g. 1s or 5x")
+		outPath   = flag.String("out", "", "write the JSON report to this file (default stdout)")
+	)
+	flag.Parse()
+
+	args := []string{"test", *pkg, "-run", "^$", "-bench", *bench, "-benchmem"}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		// Benchmark output collected so far still prints to aid debugging.
+		fmt.Fprintln(os.Stderr, string(out))
+		fmt.Fprintln(os.Stderr, "lpvs-benchjson:", err)
+		os.Exit(1)
+	}
+	results, cpu := ParseBench(string(out))
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "lpvs-benchjson: no benchmark results in output")
+		fmt.Fprintln(os.Stderr, string(out))
+		os.Exit(1)
+	}
+	rep := Report{
+		Command: "go " + strings.Join(args, " "),
+		Environment: Environment{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			CPU:        cpu,
+			Cores:      runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+		},
+		Benchmarks: results,
+	}
+	w := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lpvs-benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "lpvs-benchjson:", err)
+		os.Exit(1)
+	}
+}

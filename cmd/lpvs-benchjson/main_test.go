@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestParseBench(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: lpvs/internal/scheduler
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkIncrementalSlots/1k-8vc/churn=5%/incremental-8         	     120	   5522916 ns/op	  123456 B/op	    1234 allocs/op
+BenchmarkSchedule/n=100-8   	    2000	    654321.5 ns/op
+PASS
+ok  	lpvs/internal/scheduler	12.3s
+`
+	results, cpu := ParseBench(out)
+	if cpu != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Fatalf("cpu = %q", cpu)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkIncrementalSlots/1k-8vc/churn=5%/incremental" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix must be stripped)", r.Name)
+	}
+	if r.Iterations != 120 || r.NsPerOp != 5522916 || r.BytesPerOp != 123456 || r.AllocsPerOp != 1234 {
+		t.Fatalf("parsed %+v", r)
+	}
+	r = results[1]
+	if r.Name != "BenchmarkSchedule/n=100" || r.NsPerOp != 654321.5 || r.BytesPerOp != 0 {
+		t.Fatalf("parsed %+v (memory columns are optional)", r)
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":          "BenchmarkFoo",
+		"BenchmarkFoo/case-1x-16": "BenchmarkFoo/case-1x",
+		"BenchmarkFoo/plain":      "BenchmarkFoo/plain",
+	} {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

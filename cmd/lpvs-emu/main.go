@@ -42,6 +42,7 @@ func main() {
 		progress = flag.Bool("progress", false, "stream per-slot structured logs to stderr while running")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "scheduling pool fan-out for the lpvs policy (1 = serial)")
 		auditDir = flag.String("audit-dir", "", "append per-slot decision audit records to DIR/audit.jsonl (lpvs policy only; replayable with lpvs-audit)")
+		incr     = flag.Bool("incremental", true, "reuse cross-slot scheduling caches (decisions are identical either way)")
 	)
 	flag.Parse()
 
@@ -61,6 +62,7 @@ func main() {
 		PersonalizedAnxiety: *personal,
 		Workers:             *workers,
 		AuditDir:            *auditDir,
+		DisableIncremental:  !*incr,
 	}
 	ds := lpvs.GenerateSurvey(lpvs.DefaultSurveyConfig())
 	cfg.Device.GiveUpSampler = lpvs.SurveyGiveUpSampler(ds)

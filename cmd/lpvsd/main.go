@@ -55,6 +55,7 @@ func main() {
 		logFormat   = flag.String("log-format", "text", "log format: text, json")
 		enablePprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		auditDir    = flag.String("audit-dir", "", "append per-tick decision audit records to DIR/audit.jsonl (replayable with lpvs-audit)")
+		incremental = flag.Bool("incremental", true, "reuse cross-slot scheduling caches (decisions are identical either way)")
 		traceSample = flag.Float64("trace-sample", 0, "span-tracing sampling probability in [0, 1] (0 = off)")
 		traceSeed   = flag.Int64("trace-seed", 0, "seed for trace/span IDs (0 = default)")
 		showVersion = flag.Bool("version", false, "print the build version and exit")
@@ -86,15 +87,16 @@ func main() {
 		fatal(err)
 	}
 	srv, err := server.New(server.Config{
-		Stream:        stream,
-		ServerStreams: *capacity,
-		Lambda:        *lambda,
-		SlotSec:       *slotSec,
-		Workers:       *workers,
-		Logger:        logger,
-		AuditDir:      *auditDir,
-		TraceSample:   *traceSample,
-		TraceSeed:     *traceSeed,
+		Stream:             stream,
+		ServerStreams:      *capacity,
+		Lambda:             *lambda,
+		SlotSec:            *slotSec,
+		Workers:            *workers,
+		Logger:             logger,
+		AuditDir:           *auditDir,
+		TraceSample:        *traceSample,
+		TraceSeed:          *traceSeed,
+		DisableIncremental: !*incremental,
 	})
 	if err != nil {
 		fatal(err)

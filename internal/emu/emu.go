@@ -77,6 +77,10 @@ type Config struct {
 	LRUCacheMB, PrefetchMBPerSlot float64
 	// DisableSwap turns off Phase-2 in the LPVS scheduler (ablation).
 	DisableSwap bool
+	// DisableIncremental turns off the scheduler's cross-slot incremental
+	// caches (DESIGN.md §11), forcing every slot down the cold path.
+	// Decisions are byte-identical either way.
+	DisableIncremental bool
 	// FixedGamma, when positive, disables Bayesian learning and plans
 	// with this constant reduction ratio (ablation).
 	FixedGamma float64
@@ -259,6 +263,12 @@ type SlotStat struct {
 	Phase1Sec   float64
 	Phase2Sec   float64
 	PlaySec     float64
+	// CacheHits/CacheMisses report the slot's incremental plan-cache
+	// traffic; Replayed marks slots whose whole decision was served from
+	// the previous slot (DESIGN.md §11). All zero with incremental off.
+	CacheHits   int
+	CacheMisses int
+	Replayed    bool
 }
 
 // EnergySavingRatio is the paper's Fig. 7/8a metric.
@@ -464,12 +474,13 @@ func BuildLPVSPolicy(cfg Config) (scheduler.Policy, error) {
 		}
 	}
 	return scheduler.New(scheduler.Config{
-		SlotSec:        cfg.SlotSec,
-		Lambda:         cfg.Lambda,
-		Anxiety:        cfg.Anxiety,
-		Server:         server,
-		DisableSwap:    cfg.DisableSwap,
-		ExactThreshold: cfg.ExactThreshold,
+		SlotSec:            cfg.SlotSec,
+		Lambda:             cfg.Lambda,
+		Anxiety:            cfg.Anxiety,
+		Server:             server,
+		DisableSwap:        cfg.DisableSwap,
+		ExactThreshold:     cfg.ExactThreshold,
+		DisableIncremental: cfg.DisableIncremental,
 	})
 }
 
@@ -488,12 +499,13 @@ func SchedulerConfig(cfg Config) (scheduler.Config, error) {
 		}
 	}
 	return scheduler.Config{
-		SlotSec:        cfg.SlotSec,
-		Lambda:         cfg.Lambda,
-		Anxiety:        cfg.Anxiety,
-		Server:         server,
-		DisableSwap:    cfg.DisableSwap,
-		ExactThreshold: cfg.ExactThreshold,
+		SlotSec:            cfg.SlotSec,
+		Lambda:             cfg.Lambda,
+		Anxiety:            cfg.Anxiety,
+		Server:             server,
+		DisableSwap:        cfg.DisableSwap,
+		ExactThreshold:     cfg.ExactThreshold,
+		DisableIncremental: cfg.DisableIncremental,
 	}, nil
 }
 
@@ -608,6 +620,9 @@ func (e *Emulator) Run() (*RunResult, error) {
 			Phase1Sec:   decision.Phase1Seconds,
 			Phase2Sec:   decision.Phase2Seconds,
 			PlaySec:     playSec,
+			CacheHits:   decision.PlanCacheHits,
+			CacheMisses: decision.PlanCacheMisses,
+			Replayed:    decision.Replayed,
 		}
 		for _, d := range e.devices {
 			anx := e.cfg.Anxiety.Anxiety(d.EnergyFrac())

@@ -165,3 +165,51 @@ func names(nodes []*span.Node) []string {
 	}
 	return out
 }
+
+// TestIncrementalAuditLogMatchesCold runs the identical session with
+// the cross-slot incremental caches on and off and asserts the audit
+// logs carry byte-identical decisions slot for slot, then replays the
+// incremental log — the emulator-level end of the DESIGN.md §11
+// "byte-identical decisions" contract.
+func TestIncrementalAuditLogMatchesCold(t *testing.T) {
+	run := func(disable bool) []*audit.Record {
+		t.Helper()
+		dir := t.TempDir()
+		cfg := baseConfig()
+		cfg.GroupSize = 12
+		cfg.Slots = 6
+		cfg.ServerStreams = 4
+		cfg.AuditDir = dir
+		cfg.DisableIncremental = disable
+		e, err := New(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := audit.ReadFile(filepath.Join(dir, audit.FileName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	warm := run(false)
+	cold := run(true)
+	if len(warm) != len(cold) {
+		t.Fatalf("incremental logged %d records, cold %d", len(warm), len(cold))
+	}
+	for i := range warm {
+		if warm[i].DecisionCanonical != cold[i].DecisionCanonical {
+			t.Fatalf("slot %d decisions diverged:\nincremental: %s\ncold: %s",
+				i, warm[i].DecisionCanonical, cold[i].DecisionCanonical)
+		}
+	}
+	diverged, err := audit.ReplayAll(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diverged) != 0 {
+		t.Fatalf("incremental records %v diverged on replay", diverged)
+	}
+}

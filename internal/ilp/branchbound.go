@@ -3,6 +3,7 @@ package ilp
 import (
 	"math"
 	"sort"
+	"sync"
 )
 
 // Solution is the result of a 0/1 solver.
@@ -12,8 +13,13 @@ type Solution struct {
 	// Optimal reports whether the solver proved optimality (branch-and-
 	// bound without hitting its node limit).
 	Optimal bool
-	// Nodes counts branch-and-bound nodes explored (0 for greedy).
+	// Nodes counts branch-and-bound nodes explored (0 for greedy). When a
+	// warm-started search is discarded and re-run cold, Nodes is the total
+	// across both searches — the true cost of the call.
 	Nodes int
+	// WarmUsed reports that a WarmStart seed survived the acceptance
+	// rules and the returned solution came from the warm-seeded search.
+	WarmUsed bool
 }
 
 // BBConfig tunes the branch-and-bound solver.
@@ -21,24 +27,91 @@ type BBConfig struct {
 	// MaxNodes caps the search; when exceeded the best incumbent is
 	// returned with Optimal=false. Zero means the default.
 	MaxNodes int
+	// WarmStart optionally seeds the search with a known assignment —
+	// typically the previous scheduling slot's solution projected onto
+	// the current item set. The seed is adopted as the initial incumbent
+	// only when it is feasible and its value strictly exceeds the greedy
+	// incumbent's, and the warm-seeded result is kept only when the
+	// search strictly improved beyond the seed (by more than the bound
+	// tolerance) without hitting the node limit; in every other case the
+	// solver falls back to a cold-start search, so warm and cold callers
+	// receive identical solutions (see DESIGN.md §11 for the soundness
+	// argument). Length must equal the problem size or the seed is
+	// ignored.
+	WarmStart []bool
 }
 
 // DefaultMaxNodes bounds the search effort; random LPVS instances
 // typically close the gap within a few thousand nodes.
 const DefaultMaxNodes = 200_000
 
+// boundTol is the bound-pruning slack: a subtree is abandoned when its
+// upper bound does not beat the incumbent by more than this.
+const boundTol = 1e-9
+
+// bbScratch is the per-call search state of BranchBound and Greedy,
+// recycled through a sync.Pool so hot schedulers (one Phase-1 solve per
+// virtual cluster per slot) do not re-allocate it every call. Only
+// state that never escapes into a Solution lives here; incumbent X
+// vectors are still allocated per call.
+type bbScratch struct {
+	order     []int
+	pos       []int
+	density   []float64
+	consOrder [][]int
+	remaining []float64
+	suffix    []float64
+	cur       []bool
+	greedyX   []bool
+}
+
+var bbScratchPool = sync.Pool{New: func() any { return new(bbScratch) }}
+
+// grow resizes every scratch slice for an n-item, m-constraint problem.
+func (sc *bbScratch) grow(n, m int) {
+	if cap(sc.order) < n {
+		sc.order = make([]int, n)
+		sc.pos = make([]int, n)
+		sc.density = make([]float64, n)
+		sc.cur = make([]bool, n)
+		sc.greedyX = make([]bool, n)
+		sc.suffix = make([]float64, n+1)
+	}
+	sc.order = sc.order[:n]
+	sc.pos = sc.pos[:n]
+	sc.density = sc.density[:n]
+	sc.cur = sc.cur[:n]
+	sc.greedyX = sc.greedyX[:n]
+	sc.suffix = sc.suffix[:n+1]
+	if cap(sc.remaining) < m {
+		sc.remaining = make([]float64, m)
+	}
+	sc.remaining = sc.remaining[:m]
+	for cap(sc.consOrder) < m {
+		sc.consOrder = append(sc.consOrder[:cap(sc.consOrder)], nil)
+	}
+	sc.consOrder = sc.consOrder[:m]
+	for j := range sc.consOrder {
+		if cap(sc.consOrder[j]) < n {
+			sc.consOrder[j] = make([]int, n)
+		}
+		sc.consOrder[j] = sc.consOrder[j][:n]
+	}
+}
+
 // BranchBound solves the 0/1 problem exactly (up to the node limit) by
 // depth-first branch and bound. Items are explored in value-density
 // order; the upper bound at each node is the tightest of the per-
 // constraint fractional (Dantzig) knapsack bounds, each of which is a
 // valid relaxation of the multi-constraint problem. The greedy solution
-// primes the incumbent so pruning is effective immediately.
+// primes the incumbent so pruning is effective immediately; a caller-
+// supplied WarmStart seed can prime it higher (see BBConfig).
 //
-// BranchBound is reentrant: it only reads the Problem and allocates all
-// search state (orders, bounds, incumbent) per call, so concurrent
-// solves — including of the same Problem value — are safe. The
-// scheduler's worker pool relies on this; reentrancy_test.go pins it
-// under the race detector.
+// BranchBound is reentrant: it only reads the Problem, and all search
+// state is per call (recycled through an internal sync.Pool, never
+// shared between live calls), so concurrent solves — including of the
+// same Problem value — are safe. The scheduler's worker pool relies on
+// this; reentrancy_test.go pins it under the race detector.
 func BranchBound(p *Problem, cfg BBConfig) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
@@ -49,19 +122,24 @@ func BranchBound(p *Problem, cfg BBConfig) (Solution, error) {
 	}
 	n := p.N()
 
+	sc := bbScratchPool.Get().(*bbScratch)
+	defer bbScratchPool.Put(sc)
+	sc.grow(n, len(p.Constraints))
+
 	// Density order: value per unit of normalised weight across
 	// constraints. Items that fit nowhere sort last.
-	order := densityOrder(p)
-	pos := make([]int, n) // pos[item] = its index in the branching order
+	order := sc.order
+	densityOrderInto(p, order, sc.density)
+	pos := sc.pos // pos[item] = its index in the branching order
 	for k, item := range order {
 		pos[item] = k
 	}
 
 	// Per-constraint orders sorted by value/weight once, so each bound
 	// evaluation is a linear scan instead of a sort.
-	consOrder := make([][]int, len(p.Constraints))
+	consOrder := sc.consOrder
 	for j, c := range p.Constraints {
-		idx := make([]int, n)
+		idx := consOrder[j]
 		for i := range idx {
 			idx[i] = i
 		}
@@ -74,89 +152,147 @@ func BranchBound(p *Problem, cfg BBConfig) (Solution, error) {
 			}
 			return p.Values[ia]*wb > p.Values[ib]*wa
 		})
-		consOrder[j] = idx
 	}
 
-	// Incumbent from greedy.
-	incumbent := Greedy(p)
-	best := incumbent.Value
+	// Greedy incumbent, computed over the shared density order with the
+	// exact admission rule of Greedy().
+	greedyX := sc.greedyX
+	greedyValue := greedyInto(p, order, sc.remaining, greedyX)
+
+	remaining := sc.remaining
+	cur := sc.cur
 	bestX := make([]bool, n)
-	copy(bestX, incumbent.X)
-
-	remaining := make([]float64, len(p.Constraints))
-	for j, c := range p.Constraints {
-		remaining[j] = c.Capacity
-	}
-
-	cur := make([]bool, n)
-	nodes := 0
-	hitLimit := false
 	st := &bbState{p: p}
 
-	// suffixValue[k] = total value of items order[k:] — a cheap extra
-	// bound component.
-	suffixValue := make([]float64, n+1)
+	// suffix[k] = total value of items order[k:] — a cheap extra bound
+	// component.
+	suffix := sc.suffix
+	suffix[n] = 0
 	for k := n - 1; k >= 0; k-- {
-		suffixValue[k] = suffixValue[k+1] + p.Values[order[k]]
+		suffix[k] = suffix[k+1] + p.Values[order[k]]
 	}
 
-	var dfs func(k int, value float64)
-	dfs = func(k int, value float64) {
-		if hitLimit {
-			return
-		}
-		nodes++
-		if nodes > maxNodes {
-			hitLimit = true
-			return
-		}
-		if value > best {
-			best = value
-			copy(bestX, cur)
-		}
-		if k == n {
-			return
-		}
-		// Bound: fractional knapsack on each constraint over the
-		// remaining items; the integer optimum of the subtree cannot
-		// exceed any of them.
-		ub := value + suffixValue[k]
-		for j := range p.Constraints {
-			b := value + st.fractionalBound(consOrder[j], pos, k, j, remaining[j])
-			if b < ub {
-				ub = b
-			}
-		}
-		if ub <= best+1e-9 {
-			return
-		}
-
-		item := order[k]
-		// Branch 1: take the item if it fits.
-		fits := true
+	// search runs one full DFS from the given incumbent and reports the
+	// final incumbent value, the node count, and whether the node limit
+	// was hit. bestX holds the final incumbent assignment.
+	search := func(seedX []bool, seedValue float64) (best float64, nodes int, hitLimit bool) {
+		copy(bestX, seedX)
+		best = seedValue
 		for j, c := range p.Constraints {
-			if c.Weights[item] > remaining[j]+1e-9 {
-				fits = false
-				break
-			}
+			remaining[j] = c.Capacity
 		}
-		if fits {
-			for j, c := range p.Constraints {
-				remaining[j] -= c.Weights[item]
-			}
-			cur[item] = true
-			dfs(k+1, value+p.Values[item])
-			cur[item] = false
-			for j, c := range p.Constraints {
-				remaining[j] += c.Weights[item]
-			}
+		for i := range cur {
+			cur[i] = false
 		}
-		// Branch 2: skip the item.
-		dfs(k+1, value)
-	}
-	dfs(0, 0)
+		var dfs func(k int, value float64)
+		dfs = func(k int, value float64) {
+			if hitLimit {
+				return
+			}
+			nodes++
+			if nodes > maxNodes {
+				hitLimit = true
+				return
+			}
+			if value > best {
+				best = value
+				copy(bestX, cur)
+			}
+			if k == n {
+				return
+			}
+			// Bound: fractional knapsack on each constraint over the
+			// remaining items; the integer optimum of the subtree cannot
+			// exceed any of them.
+			ub := value + suffix[k]
+			for j := range p.Constraints {
+				b := value + st.fractionalBound(consOrder[j], pos, k, j, remaining[j])
+				if b < ub {
+					ub = b
+				}
+			}
+			if ub <= best+boundTol {
+				return
+			}
 
-	return Solution{X: bestX, Value: best, Optimal: !hitLimit, Nodes: nodes}, nil
+			item := order[k]
+			// Branch 1: take the item if it fits.
+			fits := true
+			for j, c := range p.Constraints {
+				if c.Weights[item] > remaining[j]+boundTol {
+					fits = false
+					break
+				}
+			}
+			if fits {
+				for j, c := range p.Constraints {
+					remaining[j] -= c.Weights[item]
+				}
+				cur[item] = true
+				dfs(k+1, value+p.Values[item])
+				cur[item] = false
+				for j, c := range p.Constraints {
+					remaining[j] += c.Weights[item]
+				}
+			}
+			// Branch 2: skip the item.
+			dfs(k+1, value)
+		}
+		dfs(0, 0)
+		return best, nodes, hitLimit
+	}
+
+	totalNodes := 0
+	if warmValue, ok := warmSeedValue(p, cfg.WarmStart, order, greedyValue); ok {
+		best, nodes, hit := search(cfg.WarmStart, warmValue)
+		totalNodes += nodes
+		// The warm result is kept only when the search strictly improved
+		// beyond the seed without exhausting the node budget. A seed that
+		// survives as the incumbent may be one of several assignments
+		// tying the optimum, and the cold search's deterministic
+		// tie-break must rule; a truncated search must return exactly
+		// what the cold truncated search would. Both cases fall through
+		// to the cold run below.
+		if !hit && best > warmValue+boundTol {
+			return Solution{X: bestX, Value: best, Optimal: true, Nodes: totalNodes, WarmUsed: true}, nil
+		}
+	}
+	best, nodes, hit := search(greedyX, greedyValue)
+	totalNodes += nodes
+	return Solution{X: bestX, Value: best, Optimal: !hit, Nodes: totalNodes}, nil
+}
+
+// warmSeedValue vets a warm-start seed: it must match the problem size,
+// fit every constraint (with the search's own tolerance), and beat the
+// greedy incumbent strictly. The returned value is accumulated over the
+// branching order — the exact float sequence the DFS would produce on
+// the seed's path — so incumbent comparisons inside the search are
+// bit-consistent.
+func warmSeedValue(p *Problem, seed []bool, order []int, greedyValue float64) (float64, bool) {
+	if len(seed) != p.N() {
+		return 0, false
+	}
+	for _, c := range p.Constraints {
+		used := 0.0
+		for i, on := range seed {
+			if on {
+				used += c.Weights[i]
+			}
+		}
+		if used > c.Capacity+boundTol {
+			return 0, false
+		}
+	}
+	value := 0.0
+	for _, item := range order {
+		if seed[item] {
+			value += p.Values[item]
+		}
+	}
+	if value <= greedyValue {
+		return 0, false
+	}
+	return value, true
 }
 
 // fractionalBound computes the Dantzig bound for constraint j over the
@@ -192,12 +328,12 @@ func (bb *bbState) fractionalBound(consOrder []int, pos []int, k, j int, capacit
 // bbState carries the problem through bound evaluations.
 type bbState struct{ p *Problem }
 
-// densityOrder sorts item indices by decreasing value density, where an
-// item's weight is its maximum capacity-normalised weight across
-// constraints (the binding dimension).
-func densityOrder(p *Problem) []int {
+// densityOrderInto sorts item indices by decreasing value density into
+// order, where an item's weight is its maximum capacity-normalised
+// weight across constraints (the binding dimension). density is scratch
+// of the same length.
+func densityOrderInto(p *Problem, order []int, density []float64) {
 	n := p.N()
-	density := make([]float64, n)
 	for i := 0; i < n; i++ {
 		w := 0.0
 		for _, c := range p.Constraints {
@@ -216,28 +352,34 @@ func densityOrder(p *Problem) []int {
 			density[i] = p.Values[i] / w
 		}
 	}
-	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool { return density[order[a]] > density[order[b]] })
+}
+
+// densityOrder is the allocating form of densityOrderInto.
+func densityOrder(p *Problem) []int {
+	n := p.N()
+	order := make([]int, n)
+	densityOrderInto(p, order, make([]float64, n))
 	return order
 }
 
-// Greedy builds a feasible solution in O(n log n): scan items in density
-// order, taking each one that fits. It is the paper-agnostic baseline
-// for the ablation study and the warm start for branch and bound.
-// Like BranchBound it is reentrant: read-only on the Problem, all state
-// per call.
-func Greedy(p *Problem) Solution {
-	n := p.N()
-	x := make([]bool, n)
-	remaining := make([]float64, len(p.Constraints))
+// greedyInto runs the greedy admission scan over a precomputed density
+// order: take each item that fits. remaining is constraint scratch; x
+// receives the assignment. Returns the accumulated value. This is the
+// exact algorithm of Greedy, shared so BranchBound's incumbent is
+// bit-identical to a standalone Greedy call.
+func greedyInto(p *Problem, order []int, remaining []float64, x []bool) float64 {
 	for j, c := range p.Constraints {
 		remaining[j] = c.Capacity
 	}
+	for i := range x {
+		x[i] = false
+	}
 	value := 0.0
-	for _, i := range densityOrder(p) {
+	for _, i := range order {
 		fits := true
 		for j, c := range p.Constraints {
 			if c.Weights[i] > remaining[j]+1e-12 {
@@ -254,6 +396,22 @@ func Greedy(p *Problem) Solution {
 		x[i] = true
 		value += p.Values[i]
 	}
+	return value
+}
+
+// Greedy builds a feasible solution in O(n log n): scan items in density
+// order, taking each one that fits. It is the paper-agnostic baseline
+// for the ablation study and the warm start for branch and bound.
+// Like BranchBound it is reentrant: read-only on the Problem, all
+// mutable state per call.
+func Greedy(p *Problem) Solution {
+	n := p.N()
+	sc := bbScratchPool.Get().(*bbScratch)
+	defer bbScratchPool.Put(sc)
+	sc.grow(n, len(p.Constraints))
+	densityOrderInto(p, sc.order, sc.density)
+	x := make([]bool, n)
+	value := greedyInto(p, sc.order, sc.remaining, x)
 	return Solution{X: x, Value: value, Optimal: false}
 }
 

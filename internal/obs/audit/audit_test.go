@@ -321,3 +321,56 @@ func TestUnknownDisplayTypeFailsReplay(t *testing.T) {
 		t.Fatal("unknown display type replayed")
 	}
 }
+
+// TestReplayMatchesWarmDecisions covers the incremental-scheduling
+// compatibility contract (DESIGN.md §11): records written from warm
+// decisions — plan-cache hits, whole-decision replays, warm-started
+// Phase-1 — must replay byte for byte through the fresh (cold)
+// scheduler Replay rebuilds. Divergence here would mean the warm path
+// broke the determinism invariant.
+func TestReplayMatchesWarmDecisions(t *testing.T) {
+	server, err := edge.NewServer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := scheduler.New(scheduler.Config{SlotSec: 30, Lambda: 1, Server: server})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []scheduler.Request{
+		fixedRequest("dev-a", false, 0.30, 0.30),
+		fixedRequest("dev-b", true, 0.15, 0.25),
+		fixedRequest("dev-c", false, 0.80, 0.40),
+	}
+	var recs []*Record
+	for slot := 0; slot < 4; slot++ {
+		if slot == 2 {
+			// Partial churn: dev-b's battery moved, the others hit the
+			// plan cache.
+			reqs[1].EnergyFrac = 0.22
+		}
+		dec, err := s.Schedule(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch slot {
+		case 1, 3:
+			if !dec.Replayed {
+				t.Fatalf("slot %d: identical batch not replayed", slot)
+			}
+		case 2:
+			if dec.Replayed || dec.PlanCacheHits != len(reqs)-1 {
+				t.Fatalf("slot 2: replayed=%t hits=%d, want warm with %d hits",
+					dec.Replayed, dec.PlanCacheHits, len(reqs)-1)
+			}
+		}
+		recs = append(recs, NewRecord(slot, "vc", s.Config(), reqs, dec))
+	}
+	diverged, err := ReplayAll(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diverged) != 0 {
+		t.Fatalf("warm records %v diverged on cold replay", diverged)
+	}
+}

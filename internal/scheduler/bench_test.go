@@ -188,3 +188,93 @@ func BenchmarkScheduleTracing(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkIncrementalSlots measures the steady-state cross-slot cost
+// of the incremental engine (DESIGN.md §11) against the cold path at
+// several churn rates: each iteration is one slot whose batch differs
+// from the previous slot's in churn% of the devices. Workers=1 so the
+// figure isolates the incremental machinery from pool parallelism (the
+// CI container is single-core anyway). Recorded results live in
+// BENCH_incremental.json.
+func BenchmarkIncrementalSlots(b *testing.B) {
+	server, err := edge.NewServer(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, wl := range []struct {
+		name       string
+		nVC, perVC int
+	}{
+		{"1k-8vc", 8, 125},
+		{"10k-32vc", 32, 312},
+	} {
+		base := makeVCSet(b, wl.nVC, wl.perVC, 7)
+		for _, churnPct := range []int{0, 5, 20, 100} {
+			for _, mode := range []struct {
+				name    string
+				disable bool
+			}{
+				{"incremental", false},
+				{"cold", true},
+			} {
+				name := fmt.Sprintf("%s/churn=%d%%/%s", wl.name, churnPct, mode.name)
+				b.Run(name, func(b *testing.B) {
+					pool, err := NewPool(Config{Server: server, Lambda: 1, DisableIncremental: mode.disable},
+						PoolConfig{Workers: 1})
+					if err != nil {
+						b.Fatal(err)
+					}
+					vcs := cloneVCSet(base)
+					// Prime slot 0 outside the timer: the first slot is
+					// always cold, steady state is what the benchmark
+					// prices.
+					if _, err := pool.Decide(vcs); err != nil {
+						b.Fatal(err)
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						churnVCSet(vcs, churnPct, i)
+						if _, err := pool.Decide(vcs); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// cloneVCSet deep-copies the request slices so per-iteration churn
+// mutations never leak across benchmark cases sharing one base
+// workload.
+func cloneVCSet(base []VC) []VC {
+	out := make([]VC, len(base))
+	for v := range base {
+		reqs := make([]Request, len(base[v].Requests))
+		copy(reqs, base[v].Requests)
+		out[v] = VC{ID: base[v].ID, Requests: reqs}
+	}
+	return out
+}
+
+// churnVCSet mutates churnPct percent of each VC's requests for slot
+// iteration it: the battery level always moves, the gamma estimate on
+// every second mutated device — the two fields that actually drift
+// between consecutive slots in production. The rotation (it % step)
+// spreads the churn across different devices each slot, matching how
+// real drain touches the whole fleet over time.
+func churnVCSet(vcs []VC, churnPct, it int) {
+	if churnPct == 0 {
+		return
+	}
+	step := 100 / churnPct
+	for v := range vcs {
+		reqs := vcs[v].Requests
+		for j := it % step; j < len(reqs); j += step {
+			reqs[j].EnergyFrac = 0.05 + 0.9*float64((it*31+j*17)%97)/96
+			if j%2 == 0 {
+				reqs[j].Gamma = 0.2 + 0.25*float64((it*13+j*7)%89)/88
+			}
+		}
+	}
+}

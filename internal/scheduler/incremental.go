@@ -1,0 +1,561 @@
+package scheduler
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"lpvs/internal/anxiety"
+	"lpvs/internal/ilp"
+	"lpvs/internal/video"
+)
+
+// This file implements the cross-slot incremental layer (DESIGN.md §11).
+// Consecutive scheduling slots share most of their input — the paper's
+// Twitch trace shows viewers persisting across many 5-minute slots — so
+// the scheduler keeps per-stream state that makes slot t+1 cost
+// proportional to churn: a plan cache keyed by a content fingerprint of
+// each Request, a whole-decision replay for bit-unchanged slots, a
+// Phase-1 problem cache, and a Phase-1 warm start seeded from the
+// previous slot's knapsack solution. Every shortcut is either keyed on
+// byte equality of the exact inputs the cold path would consume or
+// (for the warm start) proven decision-neutral inside internal/ilp, so
+// decisions remain byte-identical to the stateless cold path — the
+// invariant the differential corpus, the churn suite and audit replay
+// enforce.
+
+// CacheStats reports the lifetime effectiveness of one scheduling
+// stream's incremental caches.
+type CacheStats struct {
+	// Hits and Misses count per-request plan-cache outcomes (a replayed
+	// slot counts every request as a hit).
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Evictions counts cached plans dropped because their device left
+	// the stream or changed content.
+	Evictions uint64 `json:"evictions"`
+}
+
+// HitRate is Hits/(Hits+Misses), or 0 before any lookup.
+func (c CacheStats) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// add merges another stream's counters (pool aggregation).
+func (c *CacheStats) add(o CacheStats) {
+	c.Hits += o.Hits
+	c.Misses += o.Misses
+	c.Evictions += o.Evictions
+}
+
+// cachedPlan is one device's cached compacting output, valid while the
+// request's content fingerprint stays byte-identical.
+type cachedPlan struct {
+	key  []byte // request fingerprint at build time
+	p    *plan
+	seen uint64 // last slot sequence that looked the device up
+}
+
+// chunkRef identifies a chunk-window slice by backing-array identity for
+// the per-call intern memo. Every device in a virtual cluster shares one
+// chunk slice, so this collapses the window-encoding cost from
+// once-per-request to once-per-distinct-window. Sound within a call
+// because request storage is read-only while the scheduler runs.
+type chunkRef struct {
+	ptr *video.Chunk
+	n   int
+}
+
+// internedWindow binds one distinct chunk-window encoding to a stable
+// ID. IDs are allocated monotonically and never reused, so a request
+// fingerprint embedding an ID can only compare equal while the
+// byte-identical window stays interned; a window that is evicted and
+// later reappears gets a fresh ID, forcing a conservative plan rebuild
+// rather than ever aliasing stale bytes.
+type internedWindow struct {
+	id   uint64
+	seen uint64 // last slot sequence that referenced the window
+}
+
+// slotState is the cross-slot memory of one scheduling stream: one per
+// Scheduler for the plain Schedule path, one per virtual cluster inside
+// a Pool. All fields are guarded by mu; a scheduling call holds the
+// lock end to end, so streams serialise internally while distinct
+// streams (pool VCs) stay concurrent.
+type slotState struct {
+	mu sync.Mutex
+
+	// cfgSig guards against a state ever being consulted by a scheduler
+	// with a different effective configuration: on mismatch every cache
+	// is dropped before use.
+	cfgSig []byte
+
+	seq   uint64 // scheduling-call sequence, for eviction sweeps
+	plans map[string]*cachedPlan
+
+	// Chunk-window intern table: request fingerprints embed the 8-byte
+	// window ID instead of the multi-KB window encoding, so the per-slot
+	// fingerprint pass costs O(requests + distinct windows), not
+	// O(requests x window size).
+	windows    map[string]*internedWindow
+	nextWindow uint64
+
+	// Per-call scratch (valid only while mu is held).
+	encBuf    []byte // request fingerprints, concatenated in input order
+	offs      []int  // encBuf offsets; request i's key is encBuf[offs[i]:offs[i+1]]
+	cacheable []bool
+	allCache  bool
+	probBuf   []byte              // Phase-1 problem fingerprint scratch
+	winBuf    []byte              // chunk-window encoding scratch
+	winMemo   map[chunkRef]uint64 // per-call slice-identity -> window ID
+
+	// Whole-decision replay: when the full ordered request set is
+	// byte-identical to the previous successful call's, the previous
+	// decision is returned without recomputing anything.
+	prevN   int
+	prevKey []byte
+	prevDec *Decision
+
+	// Phase-1 caches.
+	prevProbKey  []byte
+	prevSol      ilp.Solution
+	probValid    bool
+	prevSelected map[string]bool // previous Phase-1 knapsack picks (warm seed)
+
+	hits, misses, evictions uint64
+}
+
+// newState builds an empty slot state bound to the scheduler's config.
+// Returns nil when incremental scheduling is off or the config is not
+// fingerprintable (a custom anxiety model), in which case callers fall
+// back to the stateless cold path.
+func (s *Scheduler) newState() *slotState {
+	if s.cfg.DisableIncremental || s.cfgSig == nil {
+		return nil
+	}
+	return &slotState{
+		cfgSig:  s.cfgSig,
+		plans:   make(map[string]*cachedPlan),
+		windows: make(map[string]*internedWindow),
+	}
+}
+
+// CacheStats reports the lifetime incremental-cache counters of the
+// scheduler's own scheduling stream (all zero when incremental mode is
+// off). Pool callers want Pool.CacheStats, which aggregates the
+// per-virtual-cluster streams.
+func (s *Scheduler) CacheStats() CacheStats {
+	if s.state == nil {
+		return CacheStats{}
+	}
+	return s.state.stats()
+}
+
+// reset drops every cache; used when the config fingerprint changes.
+// nextWindow stays monotonic so window IDs are never reused even across
+// resets.
+func (st *slotState) reset(cfgSig []byte) {
+	st.cfgSig = cfgSig
+	st.plans = make(map[string]*cachedPlan)
+	st.windows = make(map[string]*internedWindow)
+	st.prevN = 0
+	st.prevKey = nil
+	st.prevDec = nil
+	st.prevProbKey = nil
+	st.probValid = false
+	st.prevSelected = nil
+}
+
+// begin starts one scheduling call: it fingerprints every request into
+// the per-call arena and either detects a whole-set replay (rep, true)
+// or resolves plan-cache lookups into plans, returning the miss indices
+// and this call's hit count. Caller holds mu.
+func (st *slotState) begin(reqs []Request, plans []*plan) (rep Decision, replayed bool, misses []int, hits int) {
+	n := len(reqs)
+	// The sequence advances before fingerprinting so window interning can
+	// stamp entries as it encodes; eviction sweeps only run in commit,
+	// within the same call as the stamps, so advancing on a replayed call
+	// (which skips commit) is harmless.
+	st.seq++
+	if st.winMemo == nil {
+		st.winMemo = make(map[chunkRef]uint64)
+	}
+	clear(st.winMemo)
+	st.encBuf = st.encBuf[:0]
+	if cap(st.offs) < n+1 {
+		st.offs = make([]int, 0, n+1)
+		st.cacheable = make([]bool, 0, n+1)
+	}
+	st.offs = st.offs[:0]
+	st.cacheable = st.cacheable[:0]
+	st.allCache = true
+	for i := range reqs {
+		st.offs = append(st.offs, len(st.encBuf))
+		var ok bool
+		st.encBuf, ok = st.appendRequestKey(st.encBuf, &reqs[i])
+		st.cacheable = append(st.cacheable, ok)
+		if !ok {
+			st.allCache = false
+		}
+	}
+	st.offs = append(st.offs, len(st.encBuf))
+
+	// Whole-decision replay: identical ordered request set, previous
+	// call succeeded. The decision is a deterministic function of
+	// (config, requests), so the previous one is returned as is. No
+	// eviction runs: cached entries keep their stamps and are re-stamped
+	// on the next non-replay call.
+	if st.allCache && st.prevDec != nil && n == st.prevN && len(st.encBuf) == len(st.prevKey) && bytes.Equal(st.encBuf, st.prevKey) {
+		rep = copyDecision(st.prevDec)
+		rep.Replayed = true
+		rep.Phase1Cached = true
+		rep.Phase1Nodes = 0
+		rep.Phase1Warm = false
+		rep.PlanCacheHits = n
+		rep.PlanCacheMisses = 0
+		rep.PlanCacheEvictions = 0
+		rep.CompactSeconds = 0
+		rep.Phase1Seconds = 0
+		rep.Phase2Seconds = 0
+		st.hits += uint64(n)
+		return rep, true, nil, 0
+	}
+
+	for i := range reqs {
+		if !st.cacheable[i] {
+			misses = append(misses, i)
+			continue
+		}
+		key := st.encBuf[st.offs[i]:st.offs[i+1]]
+		if e, ok := st.plans[reqs[i].DeviceID]; ok && bytes.Equal(e.key, key) {
+			e.seen = st.seq
+			e.p.req = &reqs[i] // rebind to this call's request storage
+			plans[i] = e.p
+			hits++
+			continue
+		}
+		misses = append(misses, i)
+	}
+	return Decision{}, false, misses, hits
+}
+
+// commit stores the freshly built miss plans, sweeps out entries whose
+// device left or changed, and records the whole-set key for replay.
+// Caller holds mu; plans[i] is non-nil for every miss index.
+func (st *slotState) commit(reqs []Request, plans []*plan, misses []int) (evicted int) {
+	for _, i := range misses {
+		if !st.cacheable[i] {
+			continue
+		}
+		key := st.encBuf[st.offs[i]:st.offs[i+1]]
+		if e, ok := st.plans[reqs[i].DeviceID]; ok {
+			// Same device, changed content: refresh the entry in place,
+			// reusing the key's capacity.
+			e.key = append(e.key[:0], key...)
+			e.p = plans[i]
+			e.seen = st.seq
+		} else {
+			st.plans[reqs[i].DeviceID] = &cachedPlan{
+				key:  append([]byte(nil), key...),
+				p:    plans[i],
+				seen: st.seq,
+			}
+		}
+	}
+	for id, e := range st.plans {
+		if e.seen != st.seq {
+			delete(st.plans, id)
+			evicted++
+		}
+	}
+	st.evictions += uint64(evicted)
+	// Sweep interned windows no request referenced this call. Plans whose
+	// fingerprints embed a swept window ID can never hit again (the ID is
+	// never reissued) and are themselves swept or replaced by the same
+	// churn that retired the window. Internal dedup, not surfaced in
+	// Evictions.
+	for k, e := range st.windows {
+		if e.seen != st.seq {
+			delete(st.windows, k)
+		}
+	}
+	if st.allCache {
+		st.prevN = len(reqs)
+		st.prevKey = append(st.prevKey[:0], st.encBuf...)
+	} else {
+		st.prevN = 0
+		st.prevKey = st.prevKey[:0]
+		st.prevDec = nil
+	}
+	return evicted
+}
+
+// finish records the call's outcome: lifetime counters, the decision
+// for whole-set replay, and the Phase-1 picks as the next warm seed.
+// Caller holds mu.
+func (st *slotState) finish(dec *Decision, phase1Picks []*plan) {
+	st.hits += uint64(dec.PlanCacheHits)
+	st.misses += uint64(dec.PlanCacheMisses)
+	if st.allCache {
+		if st.prevDec == nil {
+			st.prevDec = &Decision{}
+		}
+		copyDecisionInto(st.prevDec, dec)
+	}
+	if st.prevSelected == nil {
+		st.prevSelected = make(map[string]bool, len(phase1Picks))
+	}
+	clear(st.prevSelected)
+	for _, p := range phase1Picks {
+		st.prevSelected[p.req.DeviceID] = true
+	}
+}
+
+// probLookup fingerprints the Phase-1 problem (eligible IDs, knapsack
+// values, per-device resource weights; capacities are fixed by the
+// config the state is bound to) and reports whether it is byte-equal to
+// the previous call's, in which case prevSol can be reused verbatim —
+// the solver is a deterministic function of the problem. Caller holds
+// mu.
+func (st *slotState) probLookup(eligible []*plan, values []float64) bool {
+	b := st.probBuf[:0]
+	b = appendUint64(b, uint64(len(eligible)))
+	for i, p := range eligible {
+		b = appendString(b, p.req.DeviceID)
+		b = appendFloat64(b, values[i])
+		b = appendFloat64(b, p.g)
+		b = appendFloat64(b, p.h)
+	}
+	st.probBuf = b
+	return st.probValid && bytes.Equal(b, st.prevProbKey)
+}
+
+// probStore records the solved Phase-1 problem (fingerprinted by the
+// preceding probLookup) and its solution. Caller holds mu.
+func (st *slotState) probStore(sol ilp.Solution) {
+	st.prevProbKey = append(st.prevProbKey[:0], st.probBuf...)
+	st.prevSol = sol
+	st.probValid = true
+}
+
+// warmSeed projects the previous slot's Phase-1 picks onto the current
+// eligible set, or nil when there is no usable seed. Soundness does not
+// depend on the seed's quality: internal/ilp adopts a warm result only
+// when it strictly improves on the seed without hitting the node limit,
+// falling back to the cold search otherwise.
+func (st *slotState) warmSeed(eligible []*plan) []bool {
+	if len(st.prevSelected) == 0 {
+		return nil
+	}
+	seed := make([]bool, len(eligible))
+	any := false
+	for i, p := range eligible {
+		if st.prevSelected[p.req.DeviceID] {
+			seed[i] = true
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return seed
+}
+
+// stats snapshots the lifetime counters.
+func (st *slotState) stats() CacheStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return CacheStats{Hits: st.hits, Misses: st.misses, Evictions: st.evictions}
+}
+
+// copyDecision deep-copies a decision so cached state and caller-held
+// results never alias each other's maps.
+func copyDecision(d *Decision) Decision {
+	var out Decision
+	copyDecisionInto(&out, d)
+	return out
+}
+
+// copyDecisionInto deep-copies src into dst, reusing dst's existing
+// maps when present — finish runs it every non-replayed slot, so the
+// reuse keeps steady-state operation free of two map rebuilds per call.
+func copyDecisionInto(dst, src *Decision) {
+	tr, vd := dst.Transform, dst.Verdicts
+	*dst = *src
+	if tr == nil {
+		tr = make(map[string]bool, len(src.Transform))
+	} else {
+		clear(tr)
+	}
+	for k, v := range src.Transform {
+		tr[k] = v
+	}
+	dst.Transform = tr
+	if vd == nil {
+		vd = make(map[string]Verdict, len(src.Verdicts))
+	} else {
+		clear(vd)
+	}
+	for k, v := range src.Verdicts {
+		vd[k] = v
+	}
+	dst.Verdicts = vd
+}
+
+// --- content fingerprints -------------------------------------------
+
+// cfgSigVersion versions the fingerprint encoding; bump on any change
+// so persisted or cross-build state can never alias.
+const cfgSigVersion = 1
+
+// configSig fingerprints every decision-relevant config field. Fields
+// that cannot change the decision bytes (CompactWorkers, CompactChunk,
+// DisableIncremental — mirrored by the audit log's ConfigRecord) are
+// excluded. Returns nil for configs the encoding cannot capture (a
+// custom anxiety model), which disables incremental state.
+func configSig(cfg Config) []byte {
+	b := []byte{cfgSigVersion}
+	b = appendFloat64(b, cfg.SlotSec)
+	b = appendFloat64(b, cfg.Lambda)
+	var ok bool
+	if b, ok = appendAnxietyKey(b, cfg.Anxiety); !ok {
+		return nil
+	}
+	if cfg.Server == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = appendFloat64(b, cfg.Server.ComputeCapacity)
+		b = appendFloat64(b, cfg.Server.StorageCapacityMB)
+	}
+	b = appendUint64(b, uint64(cfg.ExactThreshold))
+	b = appendUint64(b, uint64(cfg.MaxNodes))
+	if cfg.DisableSwap {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendUint64(b, uint64(cfg.MaxSwapPasses))
+	return b
+}
+
+// appendRequestKey appends the content fingerprint of a request: every
+// field the compacting step reads (device identity, display spec,
+// energy state, gamma, anxiety model, and the full chunk window —
+// represented by its interned window ID; see windowID for why ID
+// equality implies byte equality of the window encoding). Two requests
+// with equal fingerprints produce bit-identical plans. ok is false for
+// requests carrying an anxiety model the encoding cannot capture; such
+// requests are never cached.
+func (st *slotState) appendRequestKey(b []byte, r *Request) (out []byte, ok bool) {
+	b = appendString(b, r.DeviceID)
+	b = appendUint64(b, uint64(r.Display.Type))
+	b = appendUint64(b, uint64(r.Display.Resolution.Width))
+	b = appendUint64(b, uint64(r.Display.Resolution.Height))
+	b = appendFloat64(b, r.Display.DiagonalInch)
+	b = appendFloat64(b, r.Display.Brightness)
+	b = appendFloat64(b, r.EnergyFrac)
+	b = appendFloat64(b, r.BatteryCapacityJ)
+	b = appendFloat64(b, r.BasePowerW)
+	b = appendFloat64(b, r.Gamma)
+	if b, ok = appendAnxietyKey(b, r.Anxiety); !ok {
+		return b, false
+	}
+	b = appendUint64(b, st.windowID(r.Chunks))
+	return b, true
+}
+
+// windowID interns a request's chunk window and returns its stable ID.
+// The encoding covers every chunk field the compacting step reads —
+// index, duration, bitrate and content statistics; Chunk.Keyframe is
+// excluded because the scheduling path derives nothing from it. Equal
+// IDs imply byte-equal encodings (one live entry per encoding); distinct
+// live windows always have distinct IDs; and because IDs are never
+// reused, a fingerprint that embeds an evicted window's ID can never
+// collide with a later window — at worst a returning window costs one
+// conservative rebuild. The per-call memo keys on slice identity, so a
+// virtual cluster whose requests share one chunk slice encodes it once
+// per slot instead of once per device.
+func (st *slotState) windowID(chunks []video.Chunk) uint64 {
+	var ref chunkRef
+	if len(chunks) > 0 {
+		ref = chunkRef{ptr: &chunks[0], n: len(chunks)}
+	}
+	if id, ok := st.winMemo[ref]; ok {
+		return id
+	}
+	b := st.winBuf[:0]
+	b = appendUint64(b, uint64(len(chunks)))
+	for i := range chunks {
+		c := &chunks[i]
+		b = appendUint64(b, uint64(c.Index))
+		b = appendFloat64(b, c.DurationSec)
+		b = appendUint64(b, uint64(c.BitrateKbps))
+		b = appendFloat64(b, c.Stats.MeanLuma)
+		b = appendFloat64(b, c.Stats.PeakLuma)
+		b = appendFloat64(b, c.Stats.MeanR)
+		b = appendFloat64(b, c.Stats.MeanG)
+		b = appendFloat64(b, c.Stats.MeanB)
+	}
+	st.winBuf = b
+	e, ok := st.windows[string(b)]
+	if !ok {
+		st.nextWindow++
+		e = &internedWindow{id: st.nextWindow}
+		st.windows[string(b)] = e
+	}
+	e.seen = st.seq
+	st.winMemo[ref] = e.id
+	return e.id
+}
+
+// appendAnxietyKey fingerprints the anxiety models the repo ships;
+// anything else reports ok=false (uncacheable rather than wrong).
+func appendAnxietyKey(b []byte, m anxiety.Model) (out []byte, ok bool) {
+	switch m := m.(type) {
+	case nil:
+		return append(b, 0), true
+	case *anxiety.Canonical:
+		b = append(b, 1)
+		b = appendFloat64(b, m.AnxietyAtWarning)
+		b = appendFloat64(b, m.ConvexPower)
+		b = appendFloat64(b, m.ConcavePower)
+		return b, true
+	case anxiety.Linear:
+		return append(b, 2), true
+	case *anxiety.Rescaled:
+		b = append(b, 3)
+		b = appendFloat64(b, m.Warning)
+		return appendAnxietyKey(b, m.Base)
+	case *anxiety.Curve:
+		b = append(b, 4)
+		for level := 1; level <= anxiety.Levels; level++ {
+			b = appendFloat64(b, m.AtLevel(level))
+		}
+		return b, true
+	default:
+		return b, false
+	}
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	var t [8]byte
+	binary.LittleEndian.PutUint64(t[:], v)
+	return append(b, t[:]...)
+}
+
+func appendFloat64(b []byte, v float64) []byte {
+	return appendUint64(b, math.Float64bits(v))
+}
+
+// appendString length-prefixes the string so concatenated fingerprints
+// stay self-delimiting.
+func appendString(b []byte, s string) []byte {
+	b = appendUint64(b, uint64(len(s)))
+	return append(b, s...)
+}

@@ -30,8 +30,24 @@ type VC struct {
 	// ID identifies the cluster; IDs must be unique within one Decide
 	// call and define the deterministic output order.
 	ID string
+	// StateKey names the incremental scheduling stream this cluster
+	// continues across ticks (DESIGN.md §11); empty means ID. Callers
+	// whose ID changes every tick for labelling reasons (the daemon's
+	// per-slot "slot-N" audit tag) set a stable StateKey so the cross-
+	// slot caches still connect consecutive slots. The key only selects
+	// which cache is consulted — decisions are byte-identical whatever
+	// it is set to.
+	StateKey string
 	// Requests is the cluster's information-gathering output.
 	Requests []Request
+}
+
+// stateKey is the effective incremental-stream name.
+func (vc *VC) stateKey() string {
+	if vc.StateKey != "" {
+		return vc.StateKey
+	}
+	return vc.ID
 }
 
 // VCDecision is one cluster's outcome within a pool tick.
@@ -79,13 +95,22 @@ type PoolConfig struct {
 }
 
 // Pool schedules many virtual clusters per tick across a bounded worker
-// set. It is stateless across ticks and safe for concurrent use: every
-// Decide call allocates its own job state, and the underlying Scheduler
-// and ILP solvers hold no shared mutable state (see the reentrancy
-// notes in internal/ilp).
+// set. It is safe for concurrent use: every Decide call allocates its
+// own job state, the ILP solvers are reentrant (see internal/ilp), and
+// the only cross-tick state is the per-VC incremental cache, each
+// stream behind its own lock so workers solving different VCs never
+// contend. With Config.DisableIncremental the pool is fully stateless
+// across ticks, as before.
 type Pool struct {
 	sched   *Scheduler
 	workers int
+
+	// states holds one incremental scheduling stream per VC state key
+	// (nil map entries never occur; the whole map stays empty when
+	// incremental mode is off). mu guards only the map — each stream
+	// has its own internal lock.
+	mu     sync.Mutex
+	states map[string]*slotState
 }
 
 // NewPool builds the sharded engine. The scheduler config is validated
@@ -107,7 +132,41 @@ func NewPool(cfg Config, pc PoolConfig) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Pool{sched: s, workers: workers}, nil
+	return &Pool{sched: s, workers: workers, states: make(map[string]*slotState)}, nil
+}
+
+// stateFor returns the incremental stream for a VC, creating it on
+// first sight; nil when incremental mode is off.
+func (p *Pool) stateFor(vc *VC) *slotState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := vc.stateKey()
+	st, ok := p.states[key]
+	if !ok {
+		st = p.sched.newState() // nil when incremental is off
+		if st == nil {
+			return nil
+		}
+		p.states[key] = st
+	}
+	return st
+}
+
+// CacheStats aggregates the incremental-cache counters across every
+// per-VC scheduling stream the pool has seen (all zero when
+// incremental mode is off).
+func (p *Pool) CacheStats() CacheStats {
+	p.mu.Lock()
+	states := make([]*slotState, 0, len(p.states))
+	for _, st := range p.states {
+		states = append(states, st)
+	}
+	p.mu.Unlock()
+	var out CacheStats
+	for _, st := range states {
+		out.add(st.stats())
+	}
+	return out
 }
 
 // Scheduler exposes the pool's underlying per-VC scheduler (e.g. for
@@ -212,7 +271,7 @@ func (p *Pool) solveVC(ctx context.Context, vc VC, worker int) (VCDecision, erro
 	sp.SetStr("vc", vc.ID)
 	sp.SetInt("worker", worker)
 	start := time.Now()
-	dec, err := p.sched.ScheduleCtx(vcCtx, vc.Requests)
+	dec, err := p.sched.scheduleWith(vcCtx, vc.Requests, p.stateFor(&vc))
 	sp.End()
 	if err != nil {
 		return VCDecision{}, err

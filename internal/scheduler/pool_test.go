@@ -89,7 +89,11 @@ func randomInstance(rng *stats.RNG, base []Request) ([]VC, Config) {
 // TestPoolVsSerialDifferential is the core equivalence harness: across
 // 210 randomized instances (sizes, capacities, lambdas), the pooled
 // engine's merged output must be byte-identical to the serial reference
-// loop — same selections, same counters, same objective bits.
+// loop — same selections, same counters, same objective bits. The
+// serial reference runs with DisableIncremental, so the corpus also
+// pins incremental-vs-cold equivalence; each instance is decided twice
+// through the pool so the second tick exercises the warm caches
+// (whole-decision replay on an unchanged instance).
 func TestPoolVsSerialDifferential(t *testing.T) {
 	base := makeCluster(t, 64, 999)
 	rng := stats.NewRNG(20260805)
@@ -100,7 +104,9 @@ func TestPoolVsSerialDifferential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		serial := mustScheduler(t, cfg)
+		coldCfg := cfg
+		coldCfg.DisableIncremental = true
+		serial := mustScheduler(t, coldCfg)
 		pr, err := pool.Decide(vcs)
 		if err != nil {
 			t.Fatalf("instance %d: pool: %v", inst, err)
@@ -112,6 +118,14 @@ func TestPoolVsSerialDifferential(t *testing.T) {
 		if !bytes.Equal(pr.Canonical(), sr.Canonical()) {
 			t.Fatalf("instance %d: pool and serial decisions diverged:\npool:\n%s\nserial:\n%s",
 				inst, pr.Canonical(), sr.Canonical())
+		}
+		warm, err := pool.Decide(vcs)
+		if err != nil {
+			t.Fatalf("instance %d: warm pool tick: %v", inst, err)
+		}
+		if !bytes.Equal(warm.Canonical(), sr.Canonical()) {
+			t.Fatalf("instance %d: warm pool tick diverged from cold serial:\nwarm:\n%s\nserial:\n%s",
+				inst, warm.Canonical(), sr.Canonical())
 		}
 	}
 }

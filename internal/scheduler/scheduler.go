@@ -25,6 +25,7 @@
 package scheduler
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"sort"
@@ -213,6 +214,26 @@ type Decision struct {
 	CompactSeconds float64
 	Phase1Seconds  float64
 	Phase2Seconds  float64
+	// PlanCacheHits / PlanCacheMisses / PlanCacheEvictions report this
+	// call's incremental plan-cache outcomes (all zero on the cold
+	// path). Like the timing fields they are excluded from Canonical():
+	// cache behaviour never changes the decision, only its cost.
+	PlanCacheHits      int
+	PlanCacheMisses    int
+	PlanCacheEvictions int
+	// Phase1Nodes is the total branch-and-bound node count behind this
+	// decision (0 for the greedy fallback and for cached Phase-1
+	// solves). When a warm-started search was discarded it includes the
+	// cold re-run.
+	Phase1Nodes int
+	// Phase1Warm reports that the adopted Phase-1 solution came from a
+	// warm-seeded search; Phase1Cached that Phase-1 was skipped because
+	// the knapsack problem was byte-identical to the previous slot's.
+	Phase1Warm   bool
+	Phase1Cached bool
+	// Replayed reports that the whole decision was served from the
+	// previous slot (the full ordered request set was byte-identical).
+	Replayed bool
 }
 
 // Config parameterises the scheduler.
@@ -247,6 +268,13 @@ type Config struct {
 	// at a time; clusters at or below one chunk are compacted serially.
 	// Zero means DefaultCompactChunk.
 	CompactChunk int
+	// DisableIncremental turns off the cross-slot incremental layer —
+	// plan cache, whole-decision replay, Phase-1 problem cache and warm
+	// start (DESIGN.md §11) — restoring the fully stateless path. The
+	// switch is decision-neutral: incremental scheduling is byte-
+	// identical to cold by construction; it exists for ablation,
+	// benchmarking and as an escape hatch.
+	DisableIncremental bool
 }
 
 // DefaultCompactChunk balances fan-out overhead against load balance:
@@ -258,10 +286,17 @@ const DefaultCompactChunk = 64
 // devices.
 const DefaultExactThreshold = 220
 
-// Scheduler is the LPVS request scheduler. It is stateless across slots
-// (gamma learning lives with the caller) and safe for concurrent use.
+// Scheduler is the LPVS request scheduler. Decisions are a pure
+// function of (configuration, request batch): the incremental layer
+// (DESIGN.md §11) caches work across slots but never changes decision
+// bytes, and gamma learning lives with the caller. Safe for concurrent
+// use; unless DisableIncremental is set, concurrent Schedule calls
+// serialise on the scheduler's slot state (a Pool gives each virtual
+// cluster its own state, so pool workers never contend).
 type Scheduler struct {
-	cfg Config
+	cfg    Config
+	cfgSig []byte     // decision-relevant config fingerprint (nil: not fingerprintable)
+	state  *slotState // cross-slot caches for the plain Schedule path (nil: cold)
 }
 
 // New validates the configuration and builds a scheduler.
@@ -299,7 +334,9 @@ func New(cfg Config) (*Scheduler, error) {
 	if cfg.CompactChunk < 0 {
 		return nil, fmt.Errorf("scheduler: negative compact chunk")
 	}
-	return &Scheduler{cfg: cfg}, nil
+	s := &Scheduler{cfg: cfg, cfgSig: configSig(cfg)}
+	s.state = s.newState()
+	return s, nil
 }
 
 // Config returns the scheduler's effective configuration — the caller's
@@ -328,13 +365,23 @@ type plan struct {
 // buildPlan runs information gathering + compacting for one request.
 // It reads only the request and the (immutable) scheduler config, so
 // plans for different devices can be built concurrently.
+//
+// The derived quantities — the eligibility inequality (11), the
+// objective contributions (13) under both decisions, the Phase-1
+// saving, and the end-of-slot energy projections — are all walks over
+// the same dispFrac/baseFrac vectors, so they are computed in a single
+// fused pass. Each accumulator keeps the exact per-element expression
+// and accumulation order of the original separate walks, so the fused
+// pass is bit-identical to them (pinned by TestBuildPlanFusedBitIdentical).
 func (s *Scheduler) buildPlan(r *Request) (*plan, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
 	p := &plan{req: r}
-	p.dispFrac = make([]float64, len(r.Chunks))
-	p.baseFrac = make([]float64, len(r.Chunks))
+	k := len(r.Chunks)
+	frac := make([]float64, 2*k)
+	p.dispFrac = frac[:k:k]
+	p.baseFrac = frac[k:]
 	for k, c := range r.Chunks {
 		watts, err := video.PowerRate(r.Display, c)
 		if err != nil {
@@ -345,28 +392,49 @@ func (s *Scheduler) buildPlan(r *Request) (*plan, error) {
 	}
 	p.g = edge.ComputeCost(r.Display.Resolution, r.Chunks, s.cfg.SlotSec)
 	p.h = edge.StorageCost(r.Chunks)
-	p.eligible = s.eligible(p)
 	p.anxModel = s.cfg.Anxiety
 	if r.Anxiety != nil {
 		p.anxModel = r.Anxiety
 	}
-	p.obj0 = s.deviceObjective(p, false)
-	p.obj1 = s.deviceObjective(p, true)
-	for _, e := range p.dispFrac {
-		p.saving += (1 - r.Gamma) * e
+
+	gamma := r.Gamma
+	lambda := s.cfg.Lambda
+	// Constraint (11) accumulators (see eligible() for the inequality).
+	lhs := float64(k) * r.EnergyFrac
+	rhs := 0.0
+	// Objective-(13) energy recursions under x_n = 0 and x_n = 1.
+	e0, e1 := r.EnergyFrac, r.EnergyFrac
+	// End-of-slot energy projections.
+	end0, end1 := r.EnergyFrac, r.EnergyFrac
+	for i := 0; i < k; i++ {
+		d, b := p.dispFrac[i], p.baseFrac[i]
+		psi1 := gamma*d + b
+		lhs -= float64(k-i-1) * psi1
+		rhs += gamma * d
+		psi0 := d + b
+		p.obj0 += psi0 + lambda*p.anxModel.Anxiety(e0)
+		e0 -= psi0
+		if e0 < 0 {
+			e0 = 0
+		}
+		p.obj1 += psi1 + lambda*p.anxModel.Anxiety(e1)
+		e1 -= psi1
+		if e1 < 0 {
+			e1 = 0
+		}
+		p.saving += (1 - gamma) * d
+		end0 -= psi0
+		end1 -= psi1
 	}
+	p.eligible = lhs >= rhs
 	p.anx = p.anxModel.Anxiety(r.EnergyFrac)
-	p.end0, p.end1 = r.EnergyFrac, r.EnergyFrac
-	for i := range p.dispFrac {
-		p.end0 -= p.dispFrac[i] + p.baseFrac[i]
-		p.end1 -= r.Gamma*p.dispFrac[i] + p.baseFrac[i]
+	if end0 < 0 {
+		end0 = 0
 	}
-	if p.end0 < 0 {
-		p.end0 = 0
+	if end1 < 0 {
+		end1 = 0
 	}
-	if p.end1 < 0 {
-		p.end1 = 0
-	}
+	p.end0, p.end1 = end0, end1
 	return p, nil
 }
 
@@ -377,25 +445,50 @@ func (s *Scheduler) buildPlan(r *Request) (*plan, error) {
 // reported, matching the serial scan order.
 func (s *Scheduler) buildPlans(reqs []Request) ([]*plan, error) {
 	plans := make([]*plan, len(reqs))
+	if err := s.buildPlansInto(reqs, nil, plans); err != nil {
+		return nil, err
+	}
+	return plans, nil
+}
+
+// buildPlansInto builds plans for the requests at the given ascending
+// indices (nil means all of them) into plans. The incremental path uses
+// it to rebuild only plan-cache misses. On error the failure at the
+// lowest index is reported; because cached requests necessarily passed
+// validation when their plan was built (same bytes, same verdict), the
+// lowest failing miss index is also the lowest failing index overall,
+// so the incremental path reports exactly the cold path's error.
+func (s *Scheduler) buildPlansInto(reqs []Request, idxs []int, plans []*plan) error {
+	n := len(reqs)
+	if idxs != nil {
+		n = len(idxs)
+	}
+	at := func(j int) int {
+		if idxs == nil {
+			return j
+		}
+		return idxs[j]
+	}
 	chunk := s.cfg.CompactChunk
 	if chunk <= 0 {
 		chunk = DefaultCompactChunk
 	}
-	if s.cfg.CompactWorkers <= 1 || len(reqs) <= chunk {
-		for i := range reqs {
+	if s.cfg.CompactWorkers <= 1 || n <= chunk {
+		for j := 0; j < n; j++ {
+			i := at(j)
 			p, err := s.buildPlan(&reqs[i])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			plans[i] = p
 		}
-		return plans, nil
+		return nil
 	}
 
-	errs := make([]error, len(reqs))
+	errs := make([]error, n)
 	var next atomic.Int64
 	workers := s.cfg.CompactWorkers
-	if max := (len(reqs) + chunk - 1) / chunk; workers > max {
+	if max := (n + chunk - 1) / chunk; workers > max {
 		workers = max
 	}
 	var wg sync.WaitGroup
@@ -405,15 +498,16 @@ func (s *Scheduler) buildPlans(reqs []Request) ([]*plan, error) {
 			defer wg.Done()
 			for {
 				lo := int(next.Add(int64(chunk))) - chunk
-				if lo >= len(reqs) {
+				if lo >= n {
 					return
 				}
 				hi := lo + chunk
-				if hi > len(reqs) {
-					hi = len(reqs)
+				if hi > n {
+					hi = n
 				}
-				for i := lo; i < hi; i++ {
-					plans[i], errs[i] = s.buildPlan(&reqs[i])
+				for j := lo; j < hi; j++ {
+					i := at(j)
+					plans[i], errs[j] = s.buildPlan(&reqs[i])
 				}
 			}
 		}()
@@ -421,10 +515,10 @@ func (s *Scheduler) buildPlans(reqs []Request) ([]*plan, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return plans, nil
+	return nil
 }
 
 // eligible evaluates the compacted energy-feasibility constraint (11)
@@ -477,23 +571,61 @@ func (s *Scheduler) Schedule(reqs []Request) (Decision, error) {
 // Phase-1 knapsack, Phase-2 swapping — opens a child span whose
 // duration matches the Decision's timing fields. With no active span
 // the only cost is three context lookups; decisions are identical
-// either way.
+// either way. A fully replayed slot (identical request set, see
+// DESIGN.md §11) opens no stage spans: no stage ran.
 func (s *Scheduler) ScheduleCtx(ctx context.Context, reqs []Request) (Decision, error) {
+	return s.scheduleWith(ctx, reqs, s.state)
+}
+
+// scheduleWith is the scheduling engine behind Schedule/ScheduleCtx,
+// parameterised by the cross-slot state to use: the scheduler's own for
+// the public entry points, a per-VC state for pool workers (so workers
+// never contend on one mutex), or nil for the stateless cold path.
+func (s *Scheduler) scheduleWith(ctx context.Context, reqs []Request, st *slotState) (Decision, error) {
 	if len(reqs) == 0 {
 		return Decision{Transform: map[string]bool{}, Verdicts: map[string]Verdict{}}, nil
 	}
+	var misses []int
+	hits := 0
+	plans := make([]*plan, len(reqs))
+	if st != nil {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		// Config-fingerprint guard: a state consulted by a differently
+		// configured scheduler drops every cache first (DESIGN.md §11).
+		if !bytes.Equal(st.cfgSig, s.cfgSig) {
+			st.reset(s.cfgSig)
+		}
+		rep, replayed, m, h := st.begin(reqs, plans)
+		if replayed {
+			return rep, nil
+		}
+		misses, hits = m, h
+	}
+
 	_, csp := span.Child(ctx, "compact")
 	compactStart := time.Now()
-	plans, err := s.buildPlans(reqs)
-	if err != nil {
-		csp.End()
-		return Decision{}, err
+	if st == nil {
+		if err := s.buildPlansInto(reqs, nil, plans); err != nil {
+			csp.End()
+			return Decision{}, err
+		}
+	} else if len(misses) > 0 {
+		if err := s.buildPlansInto(reqs, misses, plans); err != nil {
+			csp.End()
+			return Decision{}, err
+		}
 	}
 	compactSec := time.Since(compactStart).Seconds()
 	csp.SetInt("devices", len(reqs))
 	csp.End()
 
 	dec := Decision{Transform: make(map[string]bool, len(reqs)), CompactSeconds: compactSec}
+	if st != nil {
+		dec.PlanCacheHits = hits
+		dec.PlanCacheMisses = len(misses)
+		dec.PlanCacheEvictions = st.commit(reqs, plans, misses)
+	}
 	var eligible []*plan
 	for _, p := range plans {
 		dec.Transform[p.req.DeviceID] = false
@@ -503,17 +635,26 @@ func (s *Scheduler) ScheduleCtx(ctx context.Context, reqs []Request) (Decision, 
 	}
 	dec.Eligible = len(eligible)
 	if len(eligible) == 0 {
+		if st != nil {
+			st.probValid = false
+		}
 		dec.Objective = s.totalObjective(plans, dec.Transform)
 		dec.Verdicts = s.verdicts(plans, dec.Transform, nil, nil)
+		if st != nil {
+			st.finish(&dec, nil)
+		}
 		return dec, nil
 	}
 
 	_, p1sp := span.Child(ctx, "phase1")
 	phase1Start := time.Now()
-	selected, phase1Val, optimal := s.phase1(eligible)
+	selected, phase1Val, optimal, p1 := s.phase1(eligible, st, hits, len(misses))
 	dec.Phase1Seconds = time.Since(phase1Start).Seconds()
 	dec.Phase1Value = phase1Val
 	dec.OptimalPhase1 = optimal
+	dec.Phase1Nodes = p1.nodes
+	dec.Phase1Warm = p1.warm
+	dec.Phase1Cached = p1.cached
 	for _, p := range selected {
 		dec.Transform[p.req.DeviceID] = true
 	}
@@ -540,6 +681,9 @@ func (s *Scheduler) ScheduleCtx(ctx context.Context, reqs []Request) (Decision, 
 	}
 	dec.Objective = s.totalObjective(plans, dec.Transform)
 	dec.Verdicts = s.verdicts(plans, dec.Transform, swapIn, swapOut)
+	if st != nil {
+		st.finish(&dec, selected)
+	}
 	return dec, nil
 }
 
@@ -580,33 +724,65 @@ func (s *Scheduler) verdicts(plans []*plan, x map[string]bool, swapIn, swapOut m
 	return out
 }
 
+// phase1Info reports how the Phase-1 solve went, for observability
+// only (none of it feeds the decision bytes).
+type phase1Info struct {
+	nodes  int  // branch-and-bound nodes (0: greedy or cached)
+	warm   bool // the adopted solution came from a warm-seeded search
+	cached bool // problem byte-identical to previous slot; solve skipped
+}
+
 // phase1 solves the energy-only selection (14) as a 0/1 knapsack over
-// the eligible devices.
-func (s *Scheduler) phase1(eligible []*plan) (chosen []*plan, value float64, optimal bool) {
+// the eligible devices. st (nil on the cold path; locked by the caller
+// otherwise) supplies the incremental shortcuts: reuse of the previous
+// slot's solution when the knapsack problem is byte-identical, and a
+// warm-start seed otherwise. hits/misses are the call's plan-cache
+// counts, gating the warm-start attempt.
+func (s *Scheduler) phase1(eligible []*plan, st *slotState, hits, misses int) (chosen []*plan, value float64, optimal bool, info phase1Info) {
 	values := make([]float64, len(eligible))
 	for i, p := range eligible {
 		values[i] = p.saving
 	}
-	prob := problemWithCapacity(s, eligible, values)
 
 	var sol ilp.Solution
-	if len(eligible) <= s.cfg.ExactThreshold {
-		var err error
-		sol, err = ilp.BranchBound(prob, ilp.BBConfig{MaxNodes: s.cfg.MaxNodes})
-		if err != nil {
-			// The problem was validated during plan building; a solver
-			// error here indicates a programming bug.
-			panic(fmt.Sprintf("scheduler: phase-1 solver: %v", err))
-		}
+	if st != nil && st.probLookup(eligible, values) {
+		sol = st.prevSol
+		info.cached = true
 	} else {
-		sol = ilp.Greedy(prob)
+		prob := problemWithCapacity(s, eligible, values)
+		if len(eligible) <= s.cfg.ExactThreshold {
+			bb := ilp.BBConfig{MaxNodes: s.cfg.MaxNodes}
+			// A warm start pays only when the slot is mostly cached (the
+			// projected seed is then likely still near-optimal); at high
+			// churn the mandatory cold fallback for non-improving seeds
+			// would roughly double the solve, so the attempt is gated on
+			// the plan-cache hit rate. The gate is decision-neutral:
+			// warm and cold searches return identical solutions.
+			if st != nil && hits > 0 && hits >= misses {
+				bb.WarmStart = st.warmSeed(eligible)
+			}
+			var err error
+			sol, err = ilp.BranchBound(prob, bb)
+			if err != nil {
+				// The problem was validated during plan building; a solver
+				// error here indicates a programming bug.
+				panic(fmt.Sprintf("scheduler: phase-1 solver: %v", err))
+			}
+		} else {
+			sol = ilp.Greedy(prob)
+		}
+		if st != nil {
+			st.probStore(sol)
+		}
+		info.nodes = sol.Nodes
+		info.warm = sol.WarmUsed
 	}
 	for i, on := range sol.X {
 		if on {
 			chosen = append(chosen, eligible[i])
 		}
 	}
-	return chosen, sol.Value, sol.Optimal
+	return chosen, sol.Value, sol.Optimal, info
 }
 
 // phase2 implements the anxiety-driven swapping: unselected devices
@@ -643,15 +819,23 @@ func (s *Scheduler) phase2(eligible []*plan, x map[string]bool, swapIn, swapOut 
 		return in[a].req.DeviceID < in[b].req.DeviceID
 	})
 
+	// Positional selection flags mirror x for the two swap-eligible
+	// populations, so the O(|out| x |in|) probe loop below never pays a
+	// string-map lookup per probe: an outsider can only swap in once and
+	// an insider only out once, and x is updated alongside the flags on
+	// every accepted swap, so the mirror is exact.
+	candIn := make([]bool, len(out)) // out[i] swapped in
+	curOut := make([]bool, len(in))  // in[j] swapped out
+
 	swaps := 0
 	for pass := 0; pass < s.cfg.MaxSwapPasses; pass++ {
 		improved := false
-		for _, cand := range out {
-			if x[cand.req.DeviceID] {
+		for ci, cand := range out {
+			if candIn[ci] {
 				continue // swapped in on an earlier pass
 			}
-			for _, cur := range in {
-				if !x[cur.req.DeviceID] {
+			for cj, cur := range in {
+				if curOut[cj] {
 					continue // swapped out already
 				}
 				// Objective delta of swapping cand in, cur out.
@@ -667,6 +851,7 @@ func (s *Scheduler) phase2(eligible []*plan, x map[string]bool, swapIn, swapOut 
 					}
 					usedG, usedH = usedG-cur.g+cand.g, usedH-cur.h+cand.h
 				}
+				candIn[ci], curOut[cj] = true, true
 				x[cand.req.DeviceID] = true
 				x[cur.req.DeviceID] = false
 				swapIn[cand.req.DeviceID] = true

@@ -87,6 +87,17 @@ type TickStats struct {
 	// overhead figure under a multi-worker pool).
 	CPUSec      float64 `json:"cpu_sec"`
 	DurationSec float64 `json:"duration_sec"`
+	// Incremental-scheduling breakdown (DESIGN.md §11): how many device
+	// plans the cross-slot cache supplied vs rebuilt this tick, how many
+	// stale entries were evicted, the Phase-1 search size, whether the
+	// warm-started search was adopted, and whether the whole decision was
+	// replayed verbatim from the previous slot.
+	CacheHits      int  `json:"cache_hits"`
+	CacheMisses    int  `json:"cache_misses"`
+	CacheEvictions int  `json:"cache_evictions"`
+	Phase1Nodes    int  `json:"phase1_nodes"`
+	Phase1Warm     bool `json:"phase1_warm"`
+	Replayed       bool `json:"replayed"`
 }
 
 // TickResponse summarises a scheduling round. The flat counters are
@@ -195,6 +206,14 @@ type StatusResponse struct {
 	// LastTick is the scheduler breakdown of the most recent tick; nil
 	// until the first tick has run.
 	LastTick *TickStats `json:"last_tick,omitempty"`
+	// Incremental reports whether cross-slot incremental scheduling is
+	// on; the PlanCache* counters aggregate its plan-cache traffic since
+	// daemon start (all zero when off).
+	Incremental        bool    `json:"incremental"`
+	PlanCacheHits      uint64  `json:"plan_cache_hits"`
+	PlanCacheMisses    uint64  `json:"plan_cache_misses"`
+	PlanCacheEvictions uint64  `json:"plan_cache_evictions"`
+	PlanCacheHitRate   float64 `json:"plan_cache_hit_rate"`
 }
 
 // ErrorResponse is the uniform error body.

@@ -34,6 +34,14 @@ type serverMetrics struct {
 	eligible   *obs.Gauge
 	selected   *obs.Gauge
 
+	// Incremental-scheduling telemetry (DESIGN.md §11).
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	warmNodes      *obs.Gauge
+	coldNodes      *obs.Gauge
+	replays        *obs.Counter
+
 	// Bayesian-estimator telemetry, refreshed at each tick.
 	gammaSigmaMean  *obs.Gauge
 	gammaDrift      *obs.Gauge
@@ -75,6 +83,19 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Devices passing the energy-feasibility check (11) in the last tick."),
 		selected: reg.Gauge("lpvs_sched_selected",
 			"Devices selected for transforming in the last tick."),
+
+		cacheHits: reg.Counter("lpvs_plan_cache_hits_total",
+			"Device plans served from the cross-slot incremental cache."),
+		cacheMisses: reg.Counter("lpvs_plan_cache_misses_total",
+			"Device plans rebuilt because the report fingerprint changed."),
+		cacheEvictions: reg.Counter("lpvs_plan_cache_evictions_total",
+			"Cached device plans dropped for devices absent from a tick."),
+		warmNodes: reg.Gauge("lpvs_phase1_warmstart_nodes",
+			"Branch-and-bound nodes of the last warm-started Phase-1 solve."),
+		coldNodes: reg.Gauge("lpvs_phase1_cold_nodes",
+			"Branch-and-bound nodes of the last cold Phase-1 solve."),
+		replays: reg.Counter("lpvs_sched_replays_total",
+			"Ticks whose whole decision was replayed from the previous slot."),
 
 		gammaSigmaMean: reg.Gauge("lpvs_gamma_sigma_mean",
 			"Mean posterior standard deviation of the per-device gamma estimators at the last tick."),
@@ -174,6 +195,17 @@ func (s *Server) observeTick(stats TickStats) {
 		m.phase1Runs.With("true").Inc()
 	} else {
 		m.phase1Runs.With("false").Inc()
+	}
+	m.cacheHits.Add(float64(stats.CacheHits))
+	m.cacheMisses.Add(float64(stats.CacheMisses))
+	m.cacheEvictions.Add(float64(stats.CacheEvictions))
+	if stats.Phase1Warm {
+		m.warmNodes.Set(float64(stats.Phase1Nodes))
+	} else {
+		m.coldNodes.Set(float64(stats.Phase1Nodes))
+	}
+	if stats.Replayed {
+		m.replays.Inc()
 	}
 
 	gammaMean, sigmaMean := s.gammaStatsLocked()

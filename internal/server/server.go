@@ -52,6 +52,11 @@ type Config struct {
 	// TraceSeed seeds the trace/span ID stream (0 = default seed), making
 	// traced runs reproducible.
 	TraceSeed int64
+	// DisableIncremental turns off the cross-slot incremental scheduling
+	// caches (DESIGN.md §11), forcing every tick down the cold path.
+	// Decisions are byte-identical either way; this switch exists for
+	// benchmarking and as an operational escape hatch.
+	DisableIncremental bool
 }
 
 // deviceState is the daemon's per-device bookkeeping.
@@ -135,9 +140,10 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	pool, err := scheduler.NewPool(scheduler.Config{
-		SlotSec: cfg.SlotSec,
-		Lambda:  cfg.Lambda,
-		Server:  edgeSrv,
+		SlotSec:            cfg.SlotSec,
+		Lambda:             cfg.Lambda,
+		Server:             edgeSrv,
+		DisableIncremental: cfg.DisableIncremental,
 	}, scheduler.PoolConfig{Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
@@ -290,9 +296,13 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 	// scheduler's tie-breaks are only deterministic for a fixed input
 	// order. Sorting by DeviceID makes every tick reproducible.
 	scheduler.SortRequests(reqs)
+	// The VC ID carries the slot number for audit records and spans; the
+	// stable StateKey links consecutive slots into one incremental
+	// scheduling stream (the cross-slot caches would otherwise miss every
+	// tick because the key changes).
 	vcID := fmt.Sprintf("slot-%d", s.slot)
 	pres, err := s.pool.DecideCtx(ctx, []scheduler.VC{
-		{ID: vcID, Requests: reqs},
+		{ID: vcID, StateKey: "edge", Requests: reqs},
 	})
 	if err != nil {
 		sp.End()
@@ -328,17 +338,23 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 	}
 	s.lastSel = dec.Selected
 	stats := TickStats{
-		Slot:          s.slot,
-		Reports:       len(reqs),
-		Eligible:      dec.Eligible,
-		Selected:      dec.Selected,
-		Swaps:         dec.Swaps,
-		Phase1Optimal: dec.OptimalPhase1,
-		CompactSec:    dec.CompactSeconds,
-		Phase1Sec:     dec.Phase1Seconds,
-		Phase2Sec:     dec.Phase2Seconds,
-		CPUSec:        pres.CPUSeconds,
-		DurationSec:   time.Since(start).Seconds(),
+		Slot:           s.slot,
+		Reports:        len(reqs),
+		Eligible:       dec.Eligible,
+		Selected:       dec.Selected,
+		Swaps:          dec.Swaps,
+		Phase1Optimal:  dec.OptimalPhase1,
+		CompactSec:     dec.CompactSeconds,
+		Phase1Sec:      dec.Phase1Seconds,
+		Phase2Sec:      dec.Phase2Seconds,
+		CPUSec:         pres.CPUSeconds,
+		DurationSec:    time.Since(start).Seconds(),
+		CacheHits:      dec.PlanCacheHits,
+		CacheMisses:    dec.PlanCacheMisses,
+		CacheEvictions: dec.PlanCacheEvictions,
+		Phase1Nodes:    dec.Phase1Nodes,
+		Phase1Warm:     dec.Phase1Warm,
+		Replayed:       dec.Replayed,
 	}
 	s.lastTick = stats
 	s.observeTick(stats)
@@ -547,6 +563,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		last := s.lastTick
 		resp.LastTick = &last
 	}
+	resp.Incremental = !s.cfg.DisableIncremental
+	cs := s.pool.CacheStats()
+	resp.PlanCacheHits = cs.Hits
+	resp.PlanCacheMisses = cs.Misses
+	resp.PlanCacheEvictions = cs.Evictions
+	resp.PlanCacheHitRate = cs.HitRate()
 	writeJSON(w, http.StatusOK, resp)
 }
 
