@@ -7,7 +7,7 @@ GO ?= go
 # Per-target budget for `make fuzz-smoke`.
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fmt check bench bench-smoke fuzz-smoke audit-replay
+.PHONY: all build test race vet vet-extra fmt check bench bench-smoke fuzz-smoke audit-replay chaos-smoke
 
 all: build
 
@@ -23,13 +23,35 @@ race:
 vet:
 	$(GO) vet ./...
 
+# vet-extra widens the static net beyond `go vet`: staticcheck when
+# the toolchain has it (the repo stays stdlib-only, so it is never a
+# hard dependency) and `gofmt -s` simplification findings, which the
+# plain `fmt` gate does not check.
+vet-extra:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+	@out="$$(gofmt -s -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt -s simplifications available in:"; echo "$$out"; exit 1; \
+	fi
+
 fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: fmt vet build race audit-replay bench-smoke
+check: fmt vet vet-extra build race audit-replay chaos-smoke bench-smoke
+
+# chaos-smoke drives the resilience stack end to end: the retrying /
+# breaker-guarded client against a real daemon wrapped in the seeded
+# fault injector, plus the chaos package's own determinism tests.
+chaos-smoke:
+	$(GO) test -count=1 ./internal/chaos/
+	$(GO) test -count=1 ./internal/client/ -run 'Chaotic|PartialFailure|CircuitBreaker|RetryBudget|RetryAfter|TypedAPIError'
 
 # audit-replay gates the determinism contract end to end: run a short
 # audited emulator session, then re-run every logged decision through

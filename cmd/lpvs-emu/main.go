@@ -43,6 +43,7 @@ func main() {
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "scheduling pool fan-out for the lpvs policy (1 = serial)")
 		auditDir = flag.String("audit-dir", "", "append per-slot decision audit records to DIR/audit.jsonl (lpvs policy only; replayable with lpvs-audit)")
 		incr     = flag.Bool("incremental", true, "reuse cross-slot scheduling caches (decisions are identical either way)")
+		deadline = flag.Duration("sched-deadline", 0, "per-slot scheduling wall-clock budget; expired slots degrade to the anytime shortcuts (lpvs policy only; 0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -63,6 +64,7 @@ func main() {
 		Workers:             *workers,
 		AuditDir:            *auditDir,
 		DisableIncremental:  !*incr,
+		SchedDeadline:       *deadline,
 	}
 	ds := lpvs.GenerateSurvey(lpvs.DefaultSurveyConfig())
 	cfg.Device.GiveUpSampler = lpvs.SurveyGiveUpSampler(ds)
@@ -107,6 +109,10 @@ func main() {
 		base, treated, 100*gain, cmp.CohortSize())
 	fmt.Printf("scheduler time:     %.3f s over %d slots\n",
 		cmp.Treated.SchedSeconds, cmp.Treated.SlotsRun)
+	if *deadline > 0 {
+		fmt.Printf("degraded slots:     %d of %d (deadline %v)\n",
+			cmp.Treated.DegradedSlots, cmp.Treated.SlotsRun, *deadline)
+	}
 
 	if *timeline {
 		fmt.Println("\nslot  watching  selected  mean-energy  mean-anxiety")

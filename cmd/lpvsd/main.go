@@ -43,22 +43,24 @@ var version = "dev"
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		capacity    = flag.Int("capacity", 100, "edge capacity in 720p transform streams (-1 = unbounded)")
-		lambda      = flag.Float64("lambda", 1, "energy/anxiety balance")
-		slotSec     = flag.Float64("slot", 300, "scheduling slot length in seconds")
-		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "scheduling pool fan-out (1 = serial)")
-		genreName   = flag.String("genre", "Gaming", "stream genre (Gaming, Esports, IRL, Music, Sports)")
-		seed        = flag.Int64("seed", 1, "content generation seed")
-		manualTick  = flag.Bool("manual-tick", false, "disable the automatic slot ticker")
-		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
-		logFormat   = flag.String("log-format", "text", "log format: text, json")
-		enablePprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
-		auditDir    = flag.String("audit-dir", "", "append per-tick decision audit records to DIR/audit.jsonl (replayable with lpvs-audit)")
-		incremental = flag.Bool("incremental", true, "reuse cross-slot scheduling caches (decisions are identical either way)")
-		traceSample = flag.Float64("trace-sample", 0, "span-tracing sampling probability in [0, 1] (0 = off)")
-		traceSeed   = flag.Int64("trace-seed", 0, "seed for trace/span IDs (0 = default)")
-		showVersion = flag.Bool("version", false, "print the build version and exit")
+		addr          = flag.String("addr", ":8080", "listen address")
+		capacity      = flag.Int("capacity", 100, "edge capacity in 720p transform streams (-1 = unbounded)")
+		lambda        = flag.Float64("lambda", 1, "energy/anxiety balance")
+		slotSec       = flag.Float64("slot", 300, "scheduling slot length in seconds")
+		workers       = flag.Int("workers", runtime.GOMAXPROCS(0), "scheduling pool fan-out (1 = serial)")
+		genreName     = flag.String("genre", "Gaming", "stream genre (Gaming, Esports, IRL, Music, Sports)")
+		seed          = flag.Int64("seed", 1, "content generation seed")
+		manualTick    = flag.Bool("manual-tick", false, "disable the automatic slot ticker")
+		logLevel      = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat     = flag.String("log-format", "text", "log format: text, json")
+		enablePprof   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		auditDir      = flag.String("audit-dir", "", "append per-tick decision audit records to DIR/audit.jsonl (replayable with lpvs-audit)")
+		incremental   = flag.Bool("incremental", true, "reuse cross-slot scheduling caches (decisions are identical either way)")
+		traceSample   = flag.Float64("trace-sample", 0, "span-tracing sampling probability in [0, 1] (0 = off)")
+		traceSeed     = flag.Int64("trace-seed", 0, "seed for trace/span IDs (0 = default)")
+		schedDeadline = flag.Duration("sched-deadline", 0, "per-tick scheduling wall-clock budget; on expiry the tick degrades to the anytime shortcuts (0 = unbounded)")
+		maxInflight   = flag.Int("max-inflight", server.DefaultMaxInflight, "admitted heavy requests before 429 load shedding (negative = no gate)")
+		showVersion   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
 
@@ -97,6 +99,8 @@ func main() {
 		TraceSample:        *traceSample,
 		TraceSeed:          *traceSeed,
 		DisableIncremental: !*incremental,
+		SchedDeadline:      *schedDeadline,
+		MaxInflight:        *maxInflight,
 	})
 	if err != nil {
 		fatal(err)
@@ -142,7 +146,18 @@ func main() {
 		}()
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: handler}
+	// Server-side timeouts (DESIGN.md §12): a client that stalls its
+	// headers, trickles a body, or never reads the response must not pin
+	// a connection forever. WriteTimeout leaves room for the slowest
+	// gated tick; IdleTimeout reaps abandoned keep-alives.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	go func() {
 		<-ctx.Done()
 		logger.Info("shutting down")
@@ -157,7 +172,8 @@ func main() {
 		"addr", *addr, "version", version, "capacity", *capacity,
 		"lambda", *lambda, "slot_sec", *slotSec, "workers", *workers,
 		"pprof", *enablePprof, "audit_dir", *auditDir,
-		"trace_sample", *traceSample)
+		"trace_sample", *traceSample,
+		"sched_deadline", *schedDeadline, "max_inflight", *maxInflight)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}

@@ -49,19 +49,23 @@ func main() {
 		}
 		clients = append(clients, c)
 	}
+	// Batched reporting: the whole fleet's slot reports ride one
+	// POST /v1/report round-trip instead of one per device.
+	group, err := lpvs.NewClientFleet(clients...)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Six scheduling slots: report -> tick -> play.
 	for slot := 0; slot < 6; slot++ {
-		reporting := 0
-		for _, c := range clients {
-			if c.Device().State != device.Watching {
-				continue
-			}
-			if _, err := c.Report(); err != nil {
-				log.Fatal(err)
-			}
-			reporting++
+		batch, err := group.Report()
+		if err != nil {
+			log.Fatal(err)
 		}
+		if batch.Rejected > 0 {
+			log.Fatalf("slot %d: %d reports rejected: %+v", slot, batch.Rejected, batch.Results)
+		}
+		reporting := batch.Accepted
 		resp, err := http.Post(ts.URL+"/v1/tick", "application/json", nil)
 		if err != nil {
 			log.Fatal(err)

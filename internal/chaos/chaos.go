@@ -1,0 +1,205 @@
+// Package chaos implements deterministic fault injection for the LPVS
+// edge protocol, so the resilience layer (DESIGN.md §12) is tested
+// against misbehaviour instead of hoped correct. An Injector wraps
+// either side of the HTTP path:
+//
+//   - Middleware wraps the edge daemon's handler, injecting latency
+//     and 5xx failures before (or instead of) the real handler — what
+//     a client sees from a struggling edge;
+//   - Transport wraps a client's http.RoundTripper, injecting latency
+//     and transport-level errors — what a device sees on a lossy
+//     mobile network.
+//
+// Faults are drawn from a seeded internal/stats stream, so a chaos
+// test's failure pattern is exactly reproducible from its seed: a
+// flaky run is re-runnable, which is the entire point.
+package chaos
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lpvs/internal/stats"
+)
+
+// Config shapes the injected faults. All probabilities are per
+// request, independent; zero values inject nothing of that kind.
+type Config struct {
+	// Seed seeds the deterministic fault stream (0 is a valid seed).
+	Seed int64
+	// LatencyProb is the probability of delaying a request; MaxLatency
+	// bounds the injected delay (uniform in (0, MaxLatency]).
+	LatencyProb float64
+	MaxLatency  time.Duration
+	// ErrorProb is the probability of failing a request outright. On
+	// the server side this writes ErrorStatus without running the real
+	// handler; on the client side it returns a transport error without
+	// touching the network.
+	ErrorProb float64
+	// ErrorStatus is the status Middleware injects (0 means 503). The
+	// body is a valid v1 error envelope so clients exercise their real
+	// decode path.
+	ErrorStatus int
+	// PartialProb is the probability that Middleware truncates the real
+	// handler's response body mid-stream (headers sent, body cut) —
+	// the classic partial failure a client must treat as an error.
+	PartialProb float64
+}
+
+// Validate rejects nonsensical configurations.
+func (c Config) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"LatencyProb", c.LatencyProb}, {"ErrorProb", c.ErrorProb}, {"PartialProb", c.PartialProb}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("chaos: %s %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if c.LatencyProb > 0 && c.MaxLatency <= 0 {
+		return fmt.Errorf("chaos: LatencyProb %v with no MaxLatency", c.LatencyProb)
+	}
+	if c.ErrorStatus != 0 && (c.ErrorStatus < 400 || c.ErrorStatus > 599) {
+		return fmt.Errorf("chaos: ErrorStatus %d outside [400, 599]", c.ErrorStatus)
+	}
+	return nil
+}
+
+// Stats counts what the injector actually did.
+type Stats struct {
+	Requests  uint64 // requests seen
+	Delayed   uint64 // latency injections
+	Errored   uint64 // injected failures (5xx or transport errors)
+	Truncated uint64 // partial-failure body truncations
+}
+
+// Injector draws faults from one seeded stream. Safe for concurrent
+// use; concurrency makes the per-request draw order scheduling-
+// dependent, but the aggregate fault rate stays seed-determined, and
+// serial tests (the common case) are exactly reproducible.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *stats.RNG
+
+	requests, delayed, errored, truncated atomic.Uint64
+}
+
+// New builds an injector; the zero Config injects nothing.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ErrorStatus == 0 {
+		cfg.ErrorStatus = http.StatusServiceUnavailable
+	}
+	return &Injector{cfg: cfg, rng: stats.NewRNG(cfg.Seed)}, nil
+}
+
+// Stats snapshots the injection counters.
+func (i *Injector) Stats() Stats {
+	return Stats{
+		Requests:  i.requests.Load(),
+		Delayed:   i.delayed.Load(),
+		Errored:   i.errored.Load(),
+		Truncated: i.truncated.Load(),
+	}
+}
+
+// draw rolls this request's faults under the lock, so the stream stays
+// one deterministic sequence.
+func (i *Injector) draw() (delay time.Duration, fail, truncate bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.cfg.LatencyProb > 0 && i.rng.Bool(i.cfg.LatencyProb) {
+		delay = time.Duration(i.rng.Uniform(0, float64(i.cfg.MaxLatency))) + 1
+	}
+	if i.cfg.ErrorProb > 0 && i.rng.Bool(i.cfg.ErrorProb) {
+		fail = true
+	}
+	if i.cfg.PartialProb > 0 && i.rng.Bool(i.cfg.PartialProb) {
+		truncate = true
+	}
+	return delay, fail, truncate
+}
+
+// Middleware wraps a server handler with fault injection: injected
+// latency first, then either an injected error response (a valid v1
+// envelope, so clients exercise their real decode path), a truncated
+// real response, or the untouched handler.
+func (i *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i.requests.Add(1)
+		delay, fail, truncate := i.draw()
+		if delay > 0 {
+			i.delayed.Add(1)
+			time.Sleep(delay)
+		}
+		if fail {
+			i.errored.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(i.cfg.ErrorStatus)
+			fmt.Fprintf(w, `{"error":{"code":"internal","message":"chaos: injected failure","retryable":true}}`+"\n")
+			return
+		}
+		if truncate {
+			i.truncated.Add(1)
+			next.ServeHTTP(&truncatingWriter{ResponseWriter: w}, r)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// truncatingWriter forwards headers and then cuts the body after the
+// first byte — a response the client can only treat as malformed.
+type truncatingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (t *truncatingWriter) Write(b []byte) (int, error) {
+	if t.wrote {
+		// Swallow the rest; report success so the handler completes.
+		return len(b), nil
+	}
+	t.wrote = true
+	if len(b) > 1 {
+		_, err := t.ResponseWriter.Write(b[:1])
+		return len(b), err
+	}
+	return t.ResponseWriter.Write(b)
+}
+
+// Transport wraps a client round tripper with fault injection:
+// injected latency, then either an injected transport error (the
+// request never reaches base) or the untouched round trip. Wrap an
+// http.Client's Transport to emulate a lossy mobile network:
+//
+//	cli.Transport = inj.Transport(http.DefaultTransport)
+func (i *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return roundTripFunc(func(r *http.Request) (*http.Response, error) {
+		i.requests.Add(1)
+		delay, fail, _ := i.draw()
+		if delay > 0 {
+			i.delayed.Add(1)
+			time.Sleep(delay)
+		}
+		if fail {
+			i.errored.Add(1)
+			return nil, fmt.Errorf("chaos: injected transport error for %s %s", r.Method, r.URL.Path)
+		}
+		return base.RoundTrip(r)
+	})
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }

@@ -1,0 +1,170 @@
+package chaos
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{ErrorProb: -0.1},
+		{ErrorProb: 1.5},
+		{LatencyProb: 0.5}, // no MaxLatency
+		{PartialProb: 2},
+		{ErrorProb: 0.1, ErrorStatus: 200},
+		{ErrorProb: 0.1, ErrorStatus: 700},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(Config{}); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+}
+
+// The fault stream is a pure function of the seed: two injectors with
+// the same config produce the same per-request fault sequence, and a
+// different seed produces a different one.
+func TestDeterministicFaultSequence(t *testing.T) {
+	cfg := Config{Seed: 42, ErrorProb: 0.3, PartialProb: 0.2}
+	sequence := func(seed int64) []int {
+		c := cfg
+		c.Seed = seed
+		inj, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := inj.Middleware(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			io.WriteString(w, `{"ok":true}`)
+		}))
+		var codes []int
+		for i := 0; i < 40; i++ {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+			codes = append(codes, rec.Code)
+		}
+		return codes
+	}
+	a, b, c := sequence(42), sequence(42), sequence(43)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical 40-request fault sequence")
+	}
+}
+
+// An injected server error is a valid v1 envelope with the configured
+// status, so clients exercise their real decode path.
+func TestInjectedErrorIsEnvelope(t *testing.T) {
+	inj, err := New(Config{ErrorProb: 1, ErrorStatus: 502})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := inj.Middleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		t.Fatal("real handler ran despite ErrorProb=1")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/report", nil))
+	if rec.Code != 502 {
+		t.Fatalf("status %d, want 502", rec.Code)
+	}
+	var env struct {
+		Error struct {
+			Code      string `json:"code"`
+			Retryable bool   `json:"retryable"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("injected body is not an envelope: %v", err)
+	}
+	if env.Error.Code != "internal" || !env.Error.Retryable {
+		t.Fatalf("envelope %+v", env)
+	}
+	if st := inj.Stats(); st.Errored != 1 || st.Requests != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// A partial failure sends headers and then cuts the body: the client
+// sees a 200 whose payload no longer parses.
+func TestPartialFailureTruncatesBody(t *testing.T) {
+	inj, err := New(Config{PartialProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := inj.Middleware(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, `{"slot":3,"reports":12}`)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if rec.Body.Len() >= len(`{"slot":3,"reports":12}`) {
+		t.Fatalf("body not truncated: %q", rec.Body.String())
+	}
+	var out map[string]any
+	if json.Unmarshal(rec.Body.Bytes(), &out) == nil {
+		t.Fatal("truncated body still parsed")
+	}
+	if st := inj.Stats(); st.Truncated != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// Transport-level injection fails the round trip before the network.
+func TestTransportErrorInjection(t *testing.T) {
+	inj, err := New(Config{ErrorProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		t.Fatal("request reached the server despite ErrorProb=1")
+	}))
+	defer ts.Close()
+	cli := &http.Client{Transport: inj.Transport(nil)}
+	if _, err := cli.Get(ts.URL); err == nil {
+		t.Fatal("injected transport error not surfaced")
+	}
+	if st := inj.Stats(); st.Errored != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// Injected latency actually delays the request (bounded by MaxLatency).
+func TestLatencyInjection(t *testing.T) {
+	inj, err := New(Config{LatencyProb: 1, MaxLatency: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := inj.Middleware(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(200)
+	}))
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	}
+	if st := inj.Stats(); st.Delayed != 5 {
+		t.Fatalf("stats %+v", st)
+	}
+	if time.Since(start) > 5*30*time.Millisecond+time.Second {
+		t.Fatal("latency injection wildly over MaxLatency")
+	}
+}

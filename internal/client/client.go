@@ -29,14 +29,18 @@ type Client struct {
 
 	retries int
 	backoff time.Duration
+	breaker *breaker     // nil = no circuit breaking
+	budget  *retryBudget // nil = unbounded retries (up to `retries`)
 }
 
 // Option customises a Client.
 type Option func(*Client)
 
-// WithRetries makes the client retry transport errors and 5xx responses
-// up to n extra attempts with exponential backoff starting at initial.
-// 4xx responses are never retried — they mean the request is wrong.
+// WithRetries makes the client retry transport errors, 5xx responses
+// and shed (429) requests up to n extra attempts with exponential
+// backoff starting at initial; a server Retry-After hint overrides the
+// computed backoff for that attempt. Other 4xx responses are never
+// retried — they mean the request is wrong.
 func WithRetries(n int, initial time.Duration) Option {
 	return func(c *Client) {
 		if n < 0 {
@@ -47,6 +51,40 @@ func WithRetries(n int, initial time.Duration) Option {
 		}
 		c.retries = n
 		c.backoff = initial
+	}
+}
+
+// WithCircuitBreaker opens the circuit after `threshold` consecutive
+// failures (transport errors, 5xx, 429): while open, calls fail
+// immediately with ErrCircuitOpen instead of touching the network;
+// after `cooldown` one probe is admitted and its outcome closes or
+// re-opens the circuit. Any response from a live server — including
+// 4xx — counts as a success for the breaker.
+func WithCircuitBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *Client) {
+		if threshold < 1 {
+			threshold = 1
+		}
+		if cooldown <= 0 {
+			cooldown = time.Second
+		}
+		c.breaker = newBreaker(threshold, cooldown)
+	}
+}
+
+// WithRetryBudget bounds retry amplification: each retry spends one
+// token from a bucket of `max`, refilled by `ratio` tokens per
+// successful request. When the bucket is empty, failures surface
+// immediately instead of multiplying load on a struggling edge.
+func WithRetryBudget(max, ratio float64) Option {
+	return func(c *Client) {
+		if max < 1 {
+			max = 1
+		}
+		if ratio <= 0 {
+			ratio = 0.1
+		}
+		c.budget = newRetryBudget(max, ratio)
 	}
 }
 
@@ -79,9 +117,10 @@ func New(baseURL string, dev *device.Device, httpClient *http.Client, opts ...Op
 // Device returns the client's device.
 func (c *Client) Device() *device.Device { return c.dev }
 
-// Report sends the device's slot report.
-func (c *Client) Report() (server.ReportResponse, error) {
-	req := server.ReportRequest{
+// ReportRequest builds the device's slot report in wire form — what
+// Report sends, exposed so batching callers (Fleet) can aggregate.
+func (c *Client) ReportRequest() server.ReportRequest {
+	return server.ReportRequest{
 		DeviceID:         c.dev.ID,
 		ChannelID:        c.channel,
 		DisplayType:      c.dev.Display.Type.String(),
@@ -93,8 +132,23 @@ func (c *Client) Report() (server.ReportResponse, error) {
 		BatteryCapacityJ: c.dev.Battery.CapacityJ,
 		BasePowerW:       c.dev.BasePowerW,
 	}
+}
+
+// Report sends the device's slot report.
+func (c *Client) Report() (server.ReportResponse, error) {
 	var resp server.ReportResponse
-	err := c.post("/v1/report", req, &resp)
+	err := c.post("/v1/report", c.ReportRequest(), &resp)
+	return resp, err
+}
+
+// ReportBatch posts many reports as one JSON-array body — one
+// round-trip for a whole co-located fleet instead of one per device.
+// The reports need not belong to this client's device; the call just
+// rides its transport, retry and breaker machinery. Per-item failures
+// do not error the call — inspect the response's Results.
+func (c *Client) ReportBatch(reqs []server.ReportRequest) (server.BatchReportResponse, error) {
+	var resp server.BatchReportResponse
+	err := c.post("/v1/report", reqs, &resp)
 	return resp, err
 }
 
@@ -221,42 +275,89 @@ func (c *Client) get(path string, out any) error {
 	}, "GET "+path, out)
 }
 
-// withRetry runs the request, retrying transport failures and 5xx
-// responses with exponential backoff when the client was built with
-// WithRetries.
+// withRetry runs the request, retrying transport failures, 5xx
+// responses and shed (429) requests with exponential backoff when the
+// client was built with WithRetries. A server Retry-After hint
+// replaces the computed backoff for that attempt; the circuit breaker
+// and retry budget (when configured) gate every attempt.
 func (c *Client) withRetry(do func() (*http.Response, error), label string, out any) error {
 	delay := c.backoff
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
+			if c.budget != nil && !c.budget.spend() {
+				return fmt.Errorf("client: %s: retry budget exhausted: %w", label, lastErr)
+			}
 			time.Sleep(delay)
 			delay *= 2
+		}
+		if c.breaker != nil {
+			if err := c.breaker.allow(); err != nil {
+				if lastErr != nil {
+					return fmt.Errorf("%w (last error: %w)", err, lastErr)
+				}
+				return err
+			}
 		}
 		resp, err := do()
 		if err != nil {
 			lastErr = fmt.Errorf("client: %s: %w", label, err)
+			c.recordOutcome(false)
 			continue
 		}
-		if resp.StatusCode >= 500 {
+		if retriableStatus(resp.StatusCode) {
+			if ra := retryAfter(resp); ra > 0 {
+				delay = ra
+			}
 			lastErr = decode(resp, out)
 			resp.Body.Close()
+			c.recordOutcome(false)
 			continue
 		}
 		err = decode(resp, out)
 		resp.Body.Close()
+		// The server answered and was not failing: a 4xx is the
+		// caller's problem, not the edge's health.
+		c.recordOutcome(true)
+		if c.budget != nil && err == nil {
+			c.budget.earn()
+		}
 		return err
 	}
 	return lastErr
 }
 
+// retriableStatus: server faults and shedding; never other 4xx.
+func retriableStatus(code int) bool {
+	return code >= 500 || code == http.StatusTooManyRequests
+}
+
+func (c *Client) recordOutcome(success bool) {
+	if c.breaker != nil {
+		c.breaker.record(success)
+	}
+}
+
+// decode parses a response: 200 bodies into out, everything else into
+// a typed *APIError carrying the v1 envelope's code and retryability
+// (code "unknown" when the body was not an envelope).
 func decode(resp *http.Response, out any) error {
 	if resp.StatusCode != http.StatusOK {
-		var apiErr server.ErrorResponse
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("client: edge returned %d: %s", resp.StatusCode, apiErr.Error)
+		apiErr := &APIError{
+			Status:     resp.StatusCode,
+			Code:       "unknown",
+			Message:    fmt.Sprintf("status %d", resp.StatusCode),
+			Retryable:  retriableStatus(resp.StatusCode),
+			RetryAfter: retryAfter(resp),
 		}
-		return fmt.Errorf("client: edge returned %d", resp.StatusCode)
+		var env server.ErrorResponse
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+			apiErr.Code = env.Error.Code
+			apiErr.Message = env.Error.Message
+			apiErr.Retryable = env.Error.Retryable
+		}
+		return apiErr
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("client: decode: %w", err)

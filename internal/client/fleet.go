@@ -1,0 +1,56 @@
+package client
+
+import (
+	"fmt"
+
+	"lpvs/internal/device"
+	"lpvs/internal/server"
+)
+
+// Fleet groups device clients of one edge daemon so the per-slot
+// report step costs one batched POST /v1/report round-trip instead of
+// one per device. Decisions, playback and observations stay per-client
+// — only reporting aggregates.
+type Fleet struct {
+	clients []*Client
+}
+
+// NewFleet builds a fleet from clients of the same edge daemon. The
+// batch rides the first client's transport, retry, budget and breaker
+// configuration.
+func NewFleet(clients ...*Client) (*Fleet, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("client: empty fleet")
+	}
+	base := clients[0].base
+	for _, c := range clients {
+		if c == nil {
+			return nil, fmt.Errorf("client: nil client in fleet")
+		}
+		if c.base != base {
+			return nil, fmt.Errorf("client: fleet spans edges %q and %q", base, c.base)
+		}
+	}
+	return &Fleet{clients: clients}, nil
+}
+
+// Clients returns the fleet members.
+func (f *Fleet) Clients() []*Client { return f.clients }
+
+// Report batches the slot reports of every member whose device is
+// currently watching (idle or dead devices have nothing to request)
+// into one round-trip. Per-item rejections do not error the call —
+// they are returned in the response's Results.
+func (f *Fleet) Report() (server.BatchReportResponse, error) {
+	reqs := make([]server.ReportRequest, 0, len(f.clients))
+	for _, c := range f.clients {
+		if c.dev.State != device.Watching {
+			continue
+		}
+		reqs = append(reqs, c.ReportRequest())
+	}
+	if len(reqs) == 0 {
+		return server.BatchReportResponse{}, nil
+	}
+	return f.clients[0].ReportBatch(reqs)
+}

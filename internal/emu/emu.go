@@ -81,6 +81,11 @@ type Config struct {
 	// caches (DESIGN.md §11), forcing every slot down the cold path.
 	// Decisions are byte-identical either way.
 	DisableIncremental bool
+	// SchedDeadline bounds each slot's scheduling wall time; on expiry
+	// the LPVS scheduler degrades to its anytime shortcuts (DESIGN.md
+	// §12) and the slot is flagged in SlotStat. Zero means unbounded.
+	// Only applies to the LPVS scheduler (serial or pooled).
+	SchedDeadline time.Duration
 	// FixedGamma, when positive, disables Bayesian learning and plans
 	// with this constant reduction ratio (ablation).
 	FixedGamma float64
@@ -190,6 +195,9 @@ func (c Config) normalized() (Config, error) {
 	if c.Workers < 0 {
 		return c, fmt.Errorf("emu: negative worker count %d", c.Workers)
 	}
+	if c.SchedDeadline < 0 {
+		return c, fmt.Errorf("emu: negative scheduling deadline %v", c.SchedDeadline)
+	}
 	return c, nil
 }
 
@@ -232,6 +240,9 @@ type RunResult struct {
 	SelectedPerSlot []int
 	// Timeline records per-slot aggregates for post-hoc analysis.
 	Timeline []SlotStat
+	// DegradedSlots counts slots whose decision was degraded by the
+	// scheduling deadline (Config.SchedDeadline).
+	DegradedSlots int
 	// PredErrSum / PredErrSamples accumulate the absolute error between
 	// the scheduler's compacted energy forecast for a slot and the
 	// realised end-of-slot battery fraction, for devices that played the
@@ -269,6 +280,11 @@ type SlotStat struct {
 	CacheHits   int
 	CacheMisses int
 	Replayed    bool
+	// Degraded marks a slot whose decision hit the scheduling deadline
+	// and took the anytime shortcuts; DegradedReason says which
+	// (DESIGN.md §12).
+	Degraded       bool
+	DegradedReason string
 }
 
 // EnergySavingRatio is the paper's Fig. 7/8a metric.
@@ -548,9 +564,14 @@ func (e *Emulator) Run() (*RunResult, error) {
 		schedSec, schedCPUSec := 0.0, 0.0
 		if len(reqs) > 0 {
 			schedCtx, ssp := span.Child(slotCtx, "schedule")
+			cancel := context.CancelFunc(func() {})
+			if e.cfg.SchedDeadline > 0 && (e.pool != nil || lpvsSched != nil) {
+				schedCtx, cancel = context.WithTimeout(schedCtx, e.cfg.SchedDeadline)
+			}
 			if e.pool != nil {
 				pres, err := e.pool.DecideCtx(schedCtx, []scheduler.VC{{ID: "vc", Requests: reqs}})
 				if err != nil {
+					cancel()
 					ssp.End()
 					slotSp.End()
 					return nil, fmt.Errorf("emu: slot %d: %w", slot, err)
@@ -566,6 +587,7 @@ func (e *Emulator) Run() (*RunResult, error) {
 					decision, err = e.policy.Schedule(reqs)
 				}
 				if err != nil {
+					cancel()
 					ssp.End()
 					slotSp.End()
 					return nil, fmt.Errorf("emu: slot %d: %w", slot, err)
@@ -573,6 +595,7 @@ func (e *Emulator) Run() (*RunResult, error) {
 				schedSec = time.Since(start).Seconds()
 				schedCPUSec = schedSec
 			}
+			cancel()
 			ssp.SetInt("selected", decision.Selected)
 			ssp.End()
 			res.SchedSeconds += schedSec
@@ -610,19 +633,24 @@ func (e *Emulator) Run() (*RunResult, error) {
 		// Anxiety census after the slot: every owner, watching or not,
 		// feels their battery level.
 		stat := SlotStat{
-			Slot:        slot,
-			Selected:    decision.Selected,
-			Eligible:    decision.Eligible,
-			Swaps:       decision.Swaps,
-			SchedSec:    schedSec,
-			SchedCPUSec: schedCPUSec,
-			CompactSec:  decision.CompactSeconds,
-			Phase1Sec:   decision.Phase1Seconds,
-			Phase2Sec:   decision.Phase2Seconds,
-			PlaySec:     playSec,
-			CacheHits:   decision.PlanCacheHits,
-			CacheMisses: decision.PlanCacheMisses,
-			Replayed:    decision.Replayed,
+			Slot:           slot,
+			Selected:       decision.Selected,
+			Eligible:       decision.Eligible,
+			Swaps:          decision.Swaps,
+			SchedSec:       schedSec,
+			SchedCPUSec:    schedCPUSec,
+			CompactSec:     decision.CompactSeconds,
+			Phase1Sec:      decision.Phase1Seconds,
+			Phase2Sec:      decision.Phase2Seconds,
+			PlaySec:        playSec,
+			CacheHits:      decision.PlanCacheHits,
+			CacheMisses:    decision.PlanCacheMisses,
+			Replayed:       decision.Replayed,
+			Degraded:       decision.Degraded.Any(),
+			DegradedReason: decision.Degraded.Reason(),
+		}
+		if stat.Degraded {
+			res.DegradedSlots++
 		}
 		for _, d := range e.devices {
 			anx := e.cfg.Anxiety.Anxiety(d.EnergyFrac())

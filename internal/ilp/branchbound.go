@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Solution is the result of a 0/1 solver.
@@ -20,6 +21,12 @@ type Solution struct {
 	// WarmUsed reports that a WarmStart seed survived the acceptance
 	// rules and the returned solution came from the warm-seeded search.
 	WarmUsed bool
+	// Degraded reports that the Deadline expired before the search could
+	// finish and the always-feasible greedy solution was returned instead
+	// of the (timing-dependent, hence non-deterministic) search incumbent.
+	// A degraded solution is a pure function of the problem: re-running
+	// Greedy on the same problem reproduces it bit for bit.
+	Degraded bool
 }
 
 // BBConfig tunes the branch-and-bound solver.
@@ -39,6 +46,14 @@ type BBConfig struct {
 	// argument). Length must equal the problem size or the seed is
 	// ignored.
 	WarmStart []bool
+	// Deadline, when non-zero, bounds the search wall clock (the anytime
+	// mode): if it expires mid-search the solver abandons the tree and
+	// returns the deterministic greedy solution with Solution.Degraded
+	// set, never the partial incumbent — a timing-dependent incumbent
+	// would make equal problems yield unequal solutions, breaking the
+	// audit-replay contract. A search that completes before the deadline
+	// returns exactly what an unbounded search would.
+	Deadline time.Time
 }
 
 // DefaultMaxNodes bounds the search effort; random LPVS instances
@@ -48,6 +63,11 @@ const DefaultMaxNodes = 200_000
 // boundTol is the bound-pruning slack: a subtree is abandoned when its
 // upper bound does not beat the incumbent by more than this.
 const boundTol = 1e-9
+
+// deadlineCheckMask throttles the wall-clock polling of the anytime
+// mode: an armed deadline is checked once every deadlineCheckMask+1
+// nodes, so the per-node overhead is a mask-and-branch.
+const deadlineCheckMask = 0x3FF
 
 // bbScratch is the per-call search state of BranchBound and Greedy,
 // recycled through a sync.Pool so hot schedulers (one Phase-1 solve per
@@ -172,10 +192,14 @@ func BranchBound(p *Problem, cfg BBConfig) (Solution, error) {
 		suffix[k] = suffix[k+1] + p.Values[order[k]]
 	}
 
+	hasDeadline := !cfg.Deadline.IsZero()
+
 	// search runs one full DFS from the given incumbent and reports the
 	// final incumbent value, the node count, and whether the node limit
-	// was hit. bestX holds the final incumbent assignment.
-	search := func(seedX []bool, seedValue float64) (best float64, nodes int, hitLimit bool) {
+	// was hit or the deadline expired. bestX holds the final incumbent
+	// assignment (meaningless when expired: the caller discards it for
+	// the greedy solution).
+	search := func(seedX []bool, seedValue float64) (best float64, nodes int, hitLimit, expired bool) {
 		copy(bestX, seedX)
 		best = seedValue
 		for j, c := range p.Constraints {
@@ -186,12 +210,16 @@ func BranchBound(p *Problem, cfg BBConfig) (Solution, error) {
 		}
 		var dfs func(k int, value float64)
 		dfs = func(k int, value float64) {
-			if hitLimit {
+			if hitLimit || expired {
 				return
 			}
 			nodes++
 			if nodes > maxNodes {
 				hitLimit = true
+				return
+			}
+			if hasDeadline && nodes&deadlineCheckMask == 0 && time.Now().After(cfg.Deadline) {
+				expired = true
 				return
 			}
 			if value > best {
@@ -239,13 +267,27 @@ func BranchBound(p *Problem, cfg BBConfig) (Solution, error) {
 			dfs(k+1, value)
 		}
 		dfs(0, 0)
-		return best, nodes, hitLimit
+		return best, nodes, hitLimit, expired
+	}
+
+	// degrade abandons the search outcome for the deterministic greedy
+	// solution — the anytime fallback. bestX is recycled as the result
+	// buffer (it never escaped: every return below copies or overwrites).
+	degrade := func(totalNodes int) (Solution, error) {
+		copy(bestX, greedyX)
+		return Solution{X: bestX, Value: greedyValue, Optimal: false, Nodes: totalNodes, Degraded: true}, nil
 	}
 
 	totalNodes := 0
+	if hasDeadline && !time.Now().Before(cfg.Deadline) {
+		return degrade(0)
+	}
 	if warmValue, ok := warmSeedValue(p, cfg.WarmStart, order, greedyValue); ok {
-		best, nodes, hit := search(cfg.WarmStart, warmValue)
+		best, nodes, hit, expired := search(cfg.WarmStart, warmValue)
 		totalNodes += nodes
+		if expired {
+			return degrade(totalNodes)
+		}
 		// The warm result is kept only when the search strictly improved
 		// beyond the seed without exhausting the node budget. A seed that
 		// survives as the incumbent may be one of several assignments
@@ -257,8 +299,11 @@ func BranchBound(p *Problem, cfg BBConfig) (Solution, error) {
 			return Solution{X: bestX, Value: best, Optimal: true, Nodes: totalNodes, WarmUsed: true}, nil
 		}
 	}
-	best, nodes, hit := search(greedyX, greedyValue)
+	best, nodes, hit, expired := search(greedyX, greedyValue)
 	totalNodes += nodes
+	if expired {
+		return degrade(totalNodes)
+	}
 	return Solution{X: bestX, Value: best, Optimal: !hit, Nodes: totalNodes}, nil
 }
 

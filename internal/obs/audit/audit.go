@@ -75,11 +75,38 @@ type Record struct {
 	// DecisionCanonical is the logged decision in the scheduler's
 	// canonical byte encoding (Decision.Canonical) — the replay target.
 	DecisionCanonical string `json:"decision_canonical"`
+	// Degraded records the anytime-mode shortcuts the tick took under a
+	// scheduling deadline (DESIGN.md §12), absent on a full solve. The
+	// degraded paths are pure functions of (config, requests,
+	// degradation), so replay forces the same shortcuts instead of
+	// racing a wall clock. Optional, so schema version 1 is preserved:
+	// pre-anytime records decode unchanged and old readers never see the
+	// field on full solves.
+	Degraded *DegradedRecord `json:"degraded,omitempty"`
 	// Verdicts explains every device's outcome, sorted by device ID.
 	Verdicts []VerdictRecord `json:"verdicts"`
 	// Spans summarises the tick's stage timings (from the span tracer
 	// or the decision's timing fields). Informational.
 	Spans []StageSpan `json:"spans,omitempty"`
+}
+
+// DegradedRecord mirrors scheduler.Degradation: which anytime-mode
+// shortcuts a deadline forced on the tick.
+type DegradedRecord struct {
+	// Phase1Greedy: the Phase-1 branch-and-bound expired and the greedy
+	// solution was adopted.
+	Phase1Greedy bool `json:"phase1_greedy,omitempty"`
+	// Phase2Skipped: the deadline was already spent before the swap
+	// pass, which was skipped entirely.
+	Phase2Skipped bool `json:"phase2_skipped,omitempty"`
+}
+
+// Degradation converts back to the scheduler's type.
+func (d *DegradedRecord) Degradation() scheduler.Degradation {
+	if d == nil {
+		return scheduler.Degradation{}
+	}
+	return scheduler.Degradation{Phase1Greedy: d.Phase1Greedy, Phase2Skipped: d.Phase2Skipped}
 }
 
 // StageSpan is one stage's timing inside the tick.
@@ -347,6 +374,12 @@ func NewRecord(slot int, vcID string, cfg scheduler.Config, reqs []scheduler.Req
 		Verdicts:          make([]VerdictRecord, 0, len(dec.Verdicts)),
 	}
 	rec.ConfigHash = rec.Config.Hash()
+	if dec.Degraded.Any() {
+		rec.Degraded = &DegradedRecord{
+			Phase1Greedy:  dec.Degraded.Phase1Greedy,
+			Phase2Skipped: dec.Degraded.Phase2Skipped,
+		}
+	}
 	for i := range reqs {
 		rec.Requests[i] = newRequestRecord(&reqs[i])
 	}

@@ -58,7 +58,15 @@ func (r *Record) Replay() (*ReplayResult, error) {
 			return nil, err
 		}
 	}
-	dec, err := s.Schedule(reqs)
+	var dec scheduler.Decision
+	if r.Degraded != nil {
+		// A degraded tick replays under the recorded shortcuts, not the
+		// wall clock: forcing the same degradation reproduces the logged
+		// bytes deterministically on any machine, however fast.
+		dec, err = s.ScheduleDegraded(reqs, r.Degraded.Degradation())
+	} else {
+		dec, err = s.Schedule(reqs)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("audit: replay: schedule: %w", err)
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"lpvs/internal/edge"
 	"lpvs/internal/obs/span"
@@ -276,5 +277,53 @@ func churnVCSet(vcs []VC, churnPct, it int) {
 				reqs[j].Gamma = 0.2 + 0.25*float64((it*13+j*7)%89)/88
 			}
 		}
+	}
+}
+
+// BenchmarkScheduleDeadline sweeps the anytime budget on one cluster
+// sized into the exact-Phase-1 region, where the branch-and-bound solve
+// dominates and the deadline has something to cut. As the budget drops
+// below the full solve time the scheduler falls back to the recorded
+// greedy/skip shortcuts (DESIGN.md §12) and latency tracks the budget
+// instead of the instance. degraded/op reports how often the sweep
+// actually degraded (0 = the budget was generous, 1 = every call).
+// The recorded results live in BENCH_resilience.json.
+func BenchmarkScheduleDeadline(b *testing.B) {
+	server, err := edge.NewServer(60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := benchCluster(b, 200)
+	for _, bc := range []struct {
+		name   string
+		budget time.Duration
+	}{
+		{"unbounded", 0},
+		{"50ms", 50 * time.Millisecond},
+		{"5ms", 5 * time.Millisecond},
+		{"1ms", time.Millisecond},
+		{"100us", 100 * time.Microsecond},
+	} {
+		b.Run("deadline="+bc.name, func(b *testing.B) {
+			s := mustScheduler(b, Config{Server: server, Lambda: 1, DisableIncremental: true})
+			degraded := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if bc.budget > 0 {
+					ctx, cancel = context.WithTimeout(ctx, bc.budget)
+				}
+				dec, err := s.ScheduleCtx(ctx, reqs)
+				cancel()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if dec.Degraded.Any() {
+					degraded++
+				}
+			}
+			b.ReportMetric(float64(degraded)/float64(b.N), "degraded/op")
+		})
 	}
 }

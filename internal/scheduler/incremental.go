@@ -297,11 +297,21 @@ func (st *slotState) commit(reqs []Request, plans []*plan, misses []int) (evicte
 
 // finish records the call's outcome: lifetime counters, the decision
 // for whole-set replay, and the Phase-1 picks as the next warm seed.
-// Caller holds mu.
+// A degraded decision is never stored for replay: replaying it into a
+// later, unpressured slot would leak deadline-shaped bytes into a tick
+// the cold path would have solved in full. The warm seed is still
+// taken — warm starts are decision-neutral by construction, so a
+// degraded seed cannot change later decisions. Caller holds mu.
 func (st *slotState) finish(dec *Decision, phase1Picks []*plan) {
 	st.hits += uint64(dec.PlanCacheHits)
 	st.misses += uint64(dec.PlanCacheMisses)
-	if st.allCache {
+	if dec.Degraded.Any() {
+		// commit already recorded the whole-set key; drop it so the next
+		// identical slot re-solves instead of replaying degraded bytes.
+		st.prevN = 0
+		st.prevKey = st.prevKey[:0]
+		st.prevDec = nil
+	} else if st.allCache {
 		if st.prevDec == nil {
 			st.prevDec = &Decision{}
 		}

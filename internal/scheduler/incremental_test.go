@@ -315,7 +315,7 @@ func TestConfigGuardResetsState(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := mustScheduler(t, Config{Lambda: 3})
-	dec, err := b.scheduleWith(context.Background(), reqs, a.state)
+	dec, err := b.scheduleWith(context.Background(), reqs, a.state, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

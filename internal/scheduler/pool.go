@@ -271,7 +271,7 @@ func (p *Pool) solveVC(ctx context.Context, vc VC, worker int) (VCDecision, erro
 	sp.SetStr("vc", vc.ID)
 	sp.SetInt("worker", worker)
 	start := time.Now()
-	dec, err := p.sched.scheduleWith(vcCtx, vc.Requests, p.stateFor(&vc))
+	dec, err := p.sched.scheduleWith(vcCtx, vc.Requests, p.stateFor(&vc), nil)
 	sp.End()
 	if err != nil {
 		return VCDecision{}, err
@@ -314,6 +314,12 @@ func (d Decision) Canonical() []byte {
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "selected=%d eligible=%d swaps=%d optimal=%t phase1=%.17g objective=%.17g\n",
 		d.Selected, d.Eligible, d.Swaps, d.OptimalPhase1, d.Phase1Value, d.Objective)
+	// Appended only for degraded decisions so the historical encoding —
+	// and every audit record written before anytime mode existed — is
+	// byte-preserved.
+	if d.Degraded.Any() {
+		fmt.Fprintf(&b, "degraded=phase1:%t phase2:%t\n", d.Degraded.Phase1Greedy, d.Degraded.Phase2Skipped)
+	}
 	for _, id := range ids {
 		fmt.Fprintf(&b, "%s=%t\n", id, d.Transform[id])
 	}

@@ -184,6 +184,36 @@ type Verdict struct {
 	SavingFrac float64 `json:"saving_frac"`
 }
 
+// Degradation records which anytime-mode shortcuts a decision was
+// produced under (DESIGN.md §12). The zero value means none: the
+// decision is exactly what the unbounded cold path computes. Each flag
+// names a deterministic divergence, so a decision plus its Degradation
+// replays byte-for-byte: Phase1Greedy forces the Phase-1 knapsack to the
+// greedy solution (what the deadline-expired branch-and-bound returns),
+// Phase2Skipped omits the anxiety-swapping pass entirely.
+type Degradation struct {
+	Phase1Greedy  bool `json:"phase1_greedy,omitempty"`
+	Phase2Skipped bool `json:"phase2_skipped,omitempty"`
+}
+
+// Any reports whether any degradation applies.
+func (d Degradation) Any() bool { return d.Phase1Greedy || d.Phase2Skipped }
+
+// Reason renders the degradation as a stable machine-readable string
+// ("" when none) — the value surfaced in TickResponse and /v1/status.
+func (d Degradation) Reason() string {
+	switch {
+	case d.Phase1Greedy && d.Phase2Skipped:
+		return "deadline:phase1-greedy+phase2-skipped"
+	case d.Phase1Greedy:
+		return "deadline:phase1-greedy"
+	case d.Phase2Skipped:
+		return "deadline:phase2-skipped"
+	default:
+		return ""
+	}
+}
+
 // Decision is the scheduling outcome for one slot.
 type Decision struct {
 	// Transform maps device ID to x_n.
@@ -234,6 +264,13 @@ type Decision struct {
 	// Replayed reports that the whole decision was served from the
 	// previous slot (the full ordered request set was byte-identical).
 	Replayed bool
+	// Degraded records the anytime-mode shortcuts this decision was
+	// produced under (zero value: none). Unlike the fields above it IS
+	// part of Canonical() — a degraded decision has different bytes by
+	// construction — but only when set, so undegraded decisions keep
+	// their historical encoding and the existing audit corpus replays
+	// unchanged.
+	Degraded Degradation
 }
 
 // Config parameterises the scheduler.
@@ -566,24 +603,54 @@ func (s *Scheduler) Schedule(reqs []Request) (Decision, error) {
 	return s.ScheduleCtx(context.Background(), reqs)
 }
 
-// ScheduleCtx is Schedule with span tracing: when ctx carries an active
-// span (internal/obs/span), each stage — information compacting, the
-// Phase-1 knapsack, Phase-2 swapping — opens a child span whose
-// duration matches the Decision's timing fields. With no active span
-// the only cost is three context lookups; decisions are identical
-// either way. A fully replayed slot (identical request set, see
-// DESIGN.md §11) opens no stage spans: no stage ran.
+// ScheduleCtx is Schedule with span tracing and deadline awareness.
+//
+// Tracing: when ctx carries an active span (internal/obs/span), each
+// stage — information compacting, the Phase-1 knapsack, Phase-2
+// swapping — opens a child span whose duration matches the Decision's
+// timing fields. With no active span the only cost is three context
+// lookups; decisions are identical either way. A fully replayed slot
+// (identical request set, see DESIGN.md §11) opens no stage spans: no
+// stage ran.
+//
+// Deadline: when ctx carries a deadline, the call runs in anytime mode
+// (DESIGN.md §12): the Phase-1 branch-and-bound is wall-clock-bounded
+// and falls back to the deterministic greedy solution on expiry, and an
+// already-expired deadline skips the Phase-2 swap pass. The resulting
+// decision is always feasible and capacity-respecting; the shortcuts
+// taken are recorded in Decision.Degraded so audit replay can apply
+// exactly the same ones. A ctx without a deadline (or one generous
+// enough that no stage expires) yields bytes identical to Schedule.
+// Context *cancellation* is deliberately ignored: a half-honoured
+// cancel would produce timing-dependent decisions.
 func (s *Scheduler) ScheduleCtx(ctx context.Context, reqs []Request) (Decision, error) {
-	return s.scheduleWith(ctx, reqs, s.state)
+	return s.scheduleWith(ctx, reqs, s.state, nil)
+}
+
+// ScheduleDegraded re-runs the stateless cold path with the given
+// degradations forced, regardless of wall clock. It exists for audit
+// replay: a record of a deadline-degraded tick carries its Degradation,
+// and replaying under the same forced shortcuts reproduces the logged
+// bytes deterministically — the degraded paths themselves are pure
+// functions of (config, requests, degradation).
+func (s *Scheduler) ScheduleDegraded(reqs []Request, deg Degradation) (Decision, error) {
+	return s.scheduleWith(context.Background(), reqs, nil, &deg)
 }
 
 // scheduleWith is the scheduling engine behind Schedule/ScheduleCtx,
-// parameterised by the cross-slot state to use: the scheduler's own for
-// the public entry points, a per-VC state for pool workers (so workers
-// never contend on one mutex), or nil for the stateless cold path.
-func (s *Scheduler) scheduleWith(ctx context.Context, reqs []Request, st *slotState) (Decision, error) {
+// parameterised by the cross-slot state to use — the scheduler's own
+// for the public entry points, a per-VC state for pool workers (so
+// workers never contend on one mutex), or nil for the stateless cold
+// path — and by an optional forced Degradation (audit replay of a
+// degraded tick; implies st == nil and disables live deadline checks).
+func (s *Scheduler) scheduleWith(ctx context.Context, reqs []Request, st *slotState, forced *Degradation) (Decision, error) {
 	if len(reqs) == 0 {
 		return Decision{Transform: map[string]bool{}, Verdicts: map[string]Verdict{}}, nil
+	}
+	deadline, hasDeadline := ctx.Deadline()
+	if forced != nil {
+		// Replay mode: degradations come from the record, never the clock.
+		hasDeadline = false
 	}
 	var misses []int
 	hits := 0
@@ -648,13 +715,19 @@ func (s *Scheduler) scheduleWith(ctx context.Context, reqs []Request, st *slotSt
 
 	_, p1sp := span.Child(ctx, "phase1")
 	phase1Start := time.Now()
-	selected, phase1Val, optimal, p1 := s.phase1(eligible, st, hits, len(misses))
+	var p1deadline time.Time
+	if hasDeadline {
+		p1deadline = deadline
+	}
+	forceGreedy := forced != nil && forced.Phase1Greedy
+	selected, phase1Val, optimal, p1 := s.phase1(eligible, st, hits, len(misses), p1deadline, forceGreedy)
 	dec.Phase1Seconds = time.Since(phase1Start).Seconds()
 	dec.Phase1Value = phase1Val
 	dec.OptimalPhase1 = optimal
 	dec.Phase1Nodes = p1.nodes
 	dec.Phase1Warm = p1.warm
 	dec.Phase1Cached = p1.cached
+	dec.Degraded.Phase1Greedy = p1.degraded
 	for _, p := range selected {
 		dec.Transform[p.req.DeviceID] = true
 	}
@@ -664,14 +737,24 @@ func (s *Scheduler) scheduleWith(ctx context.Context, reqs []Request, st *slotSt
 
 	var swapIn, swapOut map[string]bool
 	if !s.cfg.DisableSwap && s.cfg.Lambda > 0 {
-		_, p2sp := span.Child(ctx, "phase2")
-		swapIn = make(map[string]bool)
-		swapOut = make(map[string]bool)
-		phase2Start := time.Now()
-		dec.Swaps = s.phase2(eligible, dec.Transform, swapIn, swapOut)
-		dec.Phase2Seconds = time.Since(phase2Start).Seconds()
-		p2sp.SetInt("swaps", dec.Swaps)
-		p2sp.End()
+		// Anytime mode: a spent deadline skips the swap pass outright —
+		// running a partial number of passes would be timing-dependent,
+		// whereas "skipped entirely" is a replayable degradation.
+		switch {
+		case forced != nil && forced.Phase2Skipped:
+			dec.Degraded.Phase2Skipped = true
+		case hasDeadline && !time.Now().Before(deadline):
+			dec.Degraded.Phase2Skipped = true
+		default:
+			_, p2sp := span.Child(ctx, "phase2")
+			swapIn = make(map[string]bool)
+			swapOut = make(map[string]bool)
+			phase2Start := time.Now()
+			dec.Swaps = s.phase2(eligible, dec.Transform, swapIn, swapOut)
+			dec.Phase2Seconds = time.Since(phase2Start).Seconds()
+			p2sp.SetInt("swaps", dec.Swaps)
+			p2sp.End()
+		}
 	}
 
 	for _, on := range dec.Transform {
@@ -727,9 +810,10 @@ func (s *Scheduler) verdicts(plans []*plan, x map[string]bool, swapIn, swapOut m
 // phase1Info reports how the Phase-1 solve went, for observability
 // only (none of it feeds the decision bytes).
 type phase1Info struct {
-	nodes  int  // branch-and-bound nodes (0: greedy or cached)
-	warm   bool // the adopted solution came from a warm-seeded search
-	cached bool // problem byte-identical to previous slot; solve skipped
+	nodes    int  // branch-and-bound nodes (0: greedy or cached)
+	warm     bool // the adopted solution came from a warm-seeded search
+	cached   bool // problem byte-identical to previous slot; solve skipped
+	degraded bool // deadline expired: greedy returned instead of the search result
 }
 
 // phase1 solves the energy-only selection (14) as a 0/1 knapsack over
@@ -738,20 +822,31 @@ type phase1Info struct {
 // slot's solution when the knapsack problem is byte-identical, and a
 // warm-start seed otherwise. hits/misses are the call's plan-cache
 // counts, gating the warm-start attempt.
-func (s *Scheduler) phase1(eligible []*plan, st *slotState, hits, misses int) (chosen []*plan, value float64, optimal bool, info phase1Info) {
+//
+// A non-zero deadline puts the branch-and-bound in anytime mode: on
+// expiry the always-feasible greedy solution is adopted and the result
+// is flagged degraded. forceGreedy reproduces that outcome
+// unconditionally (audit replay of a degraded decision). Degraded
+// solutions never enter the problem cache — a later unpressured slot
+// with the same problem must re-solve exactly.
+func (s *Scheduler) phase1(eligible []*plan, st *slotState, hits, misses int, deadline time.Time, forceGreedy bool) (chosen []*plan, value float64, optimal bool, info phase1Info) {
 	values := make([]float64, len(eligible))
 	for i, p := range eligible {
 		values[i] = p.saving
 	}
 
 	var sol ilp.Solution
-	if st != nil && st.probLookup(eligible, values) {
+	if !forceGreedy && st != nil && st.probLookup(eligible, values) {
 		sol = st.prevSol
 		info.cached = true
 	} else {
 		prob := problemWithCapacity(s, eligible, values)
-		if len(eligible) <= s.cfg.ExactThreshold {
-			bb := ilp.BBConfig{MaxNodes: s.cfg.MaxNodes}
+		switch {
+		case forceGreedy:
+			sol = ilp.Greedy(prob)
+			sol.Degraded = true
+		case len(eligible) <= s.cfg.ExactThreshold:
+			bb := ilp.BBConfig{MaxNodes: s.cfg.MaxNodes, Deadline: deadline}
 			// A warm start pays only when the slot is mostly cached (the
 			// projected seed is then likely still near-optimal); at high
 			// churn the mandatory cold fallback for non-improving seeds
@@ -768,14 +863,15 @@ func (s *Scheduler) phase1(eligible []*plan, st *slotState, hits, misses int) (c
 				// error here indicates a programming bug.
 				panic(fmt.Sprintf("scheduler: phase-1 solver: %v", err))
 			}
-		} else {
+		default:
 			sol = ilp.Greedy(prob)
 		}
-		if st != nil {
+		if st != nil && !sol.Degraded {
 			st.probStore(sol)
 		}
 		info.nodes = sol.Nodes
 		info.warm = sol.WarmUsed
+		info.degraded = sol.Degraded
 	}
 	for i, on := range sol.X {
 		if on {

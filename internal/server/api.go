@@ -98,6 +98,12 @@ type TickStats struct {
 	Phase1Nodes    int  `json:"phase1_nodes"`
 	Phase1Warm     bool `json:"phase1_warm"`
 	Replayed       bool `json:"replayed"`
+	// Degraded reports that the scheduling deadline expired and the tick
+	// fell back to the anytime shortcuts (DESIGN.md §12);
+	// DegradedReason says which ("deadline:phase1-greedy",
+	// "deadline:phase2-skipped", or both).
+	Degraded       bool   `json:"degraded"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 // TickResponse summarises a scheduling round. The flat counters are
@@ -108,6 +114,7 @@ type TickResponse struct {
 	Eligible int       `json:"eligible"`
 	Selected int       `json:"selected"`
 	Swaps    int       `json:"swaps"`
+	Degraded bool      `json:"degraded"`
 	Sched    TickStats `json:"sched"`
 }
 
@@ -214,9 +221,31 @@ type StatusResponse struct {
 	PlanCacheMisses    uint64  `json:"plan_cache_misses"`
 	PlanCacheEvictions uint64  `json:"plan_cache_evictions"`
 	PlanCacheHitRate   float64 `json:"plan_cache_hit_rate"`
+	// Resilience settings and lifetime counters (DESIGN.md §12):
+	// SchedDeadlineSec is the per-tick scheduling budget (0 =
+	// unbounded); MaxInflight the admission bound (0 = gate disabled);
+	// DegradedTicks / ShedRequests count deadline-degraded ticks and
+	// load-shed requests since daemon start.
+	SchedDeadlineSec float64 `json:"sched_deadline_sec"`
+	MaxInflight      int     `json:"max_inflight"`
+	DegradedTicks    uint64  `json:"degraded_ticks"`
+	ShedRequests     uint64  `json:"shed_requests"`
 }
 
-// ErrorResponse is the uniform error body.
-type ErrorResponse struct {
-	Error string `json:"error"`
+// BatchReportResponse summarises one batch report: how many items were
+// staged for the next tick and each item's outcome, in input order.
+type BatchReportResponse struct {
+	Slot     int                 `json:"slot"`
+	Accepted int                 `json:"accepted"`
+	Rejected int                 `json:"rejected"`
+	Results  []BatchReportResult `json:"results"`
+}
+
+// BatchReportResult is one batch item's outcome. Error is nil for
+// accepted items and carries the same envelope body a single-report
+// rejection would have returned.
+type BatchReportResult struct {
+	DeviceID string     `json:"device_id"`
+	Accepted bool       `json:"accepted"`
+	Error    *ErrorBody `json:"error,omitempty"`
 }

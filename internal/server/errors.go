@@ -1,0 +1,100 @@
+package server
+
+import "net/http"
+
+// This file defines the v1 error envelope: every non-2xx response body
+// is {"error":{"code","message","retryable"}}. Code is a stable
+// machine-readable string from the set below (add new codes rather
+// than renaming — clients switch on them); Message is prose for
+// humans; Retryable tells a client whether repeating the identical
+// request can ever succeed (transient overload / server faults) or is
+// pointless (the request itself is wrong).
+
+// Error codes of the v1 API.
+const (
+	// CodeBadRequest: the request body or parameters failed validation.
+	CodeBadRequest = "bad_request"
+	// CodeUnknownDevice: the device ID has never reported to this edge.
+	CodeUnknownDevice = "unknown_device"
+	// CodeUnknownChannel: the report named a stream the site does not
+	// serve.
+	CodeUnknownChannel = "unknown_channel"
+	// CodeNotFound: the resource (chunk index, route) does not exist.
+	CodeNotFound = "not_found"
+	// CodeNotScheduled: the device exists but has not been through a
+	// scheduling tick yet, so there is no verdict to explain.
+	CodeNotScheduled = "not_scheduled"
+	// CodePayloadTooLarge: the request body exceeded the daemon's cap.
+	CodePayloadTooLarge = "payload_too_large"
+	// CodeMethodNotAllowed: the route exists but not for this method;
+	// the Allow header lists the supported ones.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeOverloaded: admission control shed the request; retry after
+	// the Retry-After delay.
+	CodeOverloaded = "overloaded"
+	// CodeInternal: the daemon failed; the request may succeed later.
+	CodeInternal = "internal"
+)
+
+// ErrorBody is the envelope payload.
+type ErrorBody struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+}
+
+// ErrorResponse is the uniform error body of every endpoint.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// retryable classifies a status: overload and server faults are worth
+// retrying, client errors never are.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// writeError writes the envelope for one error.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeErrorMsg(w, status, code, err.Error())
+}
+
+// writeErrorMsg is writeError with a pre-rendered message.
+func writeErrorMsg(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: ErrorBody{
+		Code:      code,
+		Message:   msg,
+		Retryable: retryable(status),
+	}})
+}
+
+// deviceParam extracts the required ?device= query parameter; a
+// missing one is a 400 (the request is malformed), distinct from the
+// 404 an unknown-but-present ID earns.
+func deviceParam(w http.ResponseWriter, r *http.Request) (string, bool) {
+	id := r.URL.Query().Get("device")
+	if id == "" {
+		writeErrorMsg(w, http.StatusBadRequest, CodeBadRequest, "missing device parameter")
+		return "", false
+	}
+	return id, true
+}
+
+// apiError carries a status and code alongside the message, so deep
+// helpers can classify failures and handlers render them uniformly.
+type apiError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *apiError) Error() string { return e.Message }
+
+// write renders the apiError as its envelope.
+func (e *apiError) write(w http.ResponseWriter) {
+	writeErrorMsg(w, e.Status, e.Code, e.Message)
+}
+
+func errBadRequest(msg string) *apiError {
+	return &apiError{Status: http.StatusBadRequest, Code: CodeBadRequest, Message: msg}
+}

@@ -42,6 +42,11 @@ type serverMetrics struct {
 	coldNodes      *obs.Gauge
 	replays        *obs.Counter
 
+	// Resilience telemetry (DESIGN.md §12).
+	degraded *obs.Counter
+	shed     *obs.Counter
+	panics   *obs.Counter
+
 	// Bayesian-estimator telemetry, refreshed at each tick.
 	gammaSigmaMean  *obs.Gauge
 	gammaDrift      *obs.Gauge
@@ -97,6 +102,13 @@ func newServerMetrics(s *Server) *serverMetrics {
 		replays: reg.Counter("lpvs_sched_replays_total",
 			"Ticks whose whole decision was replayed from the previous slot."),
 
+		degraded: reg.Counter("lpvs_sched_degraded_total",
+			"Ticks whose scheduling deadline expired, degrading to the anytime shortcuts."),
+		shed: reg.Counter("lpvs_shed_total",
+			"Requests shed by admission control with 429 + Retry-After."),
+		panics: reg.Counter("lpvs_panics_total",
+			"Handler panics converted to envelope 500s by the recovery middleware."),
+
 		gammaSigmaMean: reg.Gauge("lpvs_gamma_sigma_mean",
 			"Mean posterior standard deviation of the per-device gamma estimators at the last tick."),
 		gammaDrift: reg.Gauge("lpvs_gamma_mean_drift",
@@ -107,6 +119,12 @@ func newServerMetrics(s *Server) *serverMetrics {
 
 	reg.GaugeFunc("lpvs_pool_workers", "Scheduling pool fan-out the daemon runs with.", func() float64 {
 		return float64(s.pool.Workers())
+	})
+	reg.GaugeFunc("lpvs_inflight", "Requests currently admitted through the heavy-route gate (0 when the gate is disabled).", func() float64 {
+		if s.gate == nil {
+			return 0
+		}
+		return float64(s.gate.inflight())
 	})
 	reg.GaugeFunc("lpvs_slot", "Current scheduling slot.", func() float64 {
 		s.mu.Lock()
@@ -206,6 +224,9 @@ func (s *Server) observeTick(stats TickStats) {
 	}
 	if stats.Replayed {
 		m.replays.Inc()
+	}
+	if stats.Degraded {
+		m.degraded.Inc()
 	}
 
 	gammaMean, sigmaMean := s.gammaStatsLocked()

@@ -1,12 +1,17 @@
 package server
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lpvs/internal/bayes"
@@ -57,6 +62,19 @@ type Config struct {
 	// Decisions are byte-identical either way; this switch exists for
 	// benchmarking and as an operational escape hatch.
 	DisableIncremental bool
+	// SchedDeadline bounds one tick's scheduling wall time (DESIGN.md
+	// §12): on expiry the scheduler degrades to its always-feasible
+	// anytime shortcuts and the decision is flagged Degraded. Zero means
+	// unbounded (decisions byte-identical to the pre-deadline path).
+	SchedDeadline time.Duration
+	// MaxInflight bounds concurrently admitted heavy requests
+	// (report/tick/observe); beyond it requests are shed with 429 +
+	// Retry-After. Zero means DefaultMaxInflight; negative disables the
+	// gate.
+	MaxInflight int
+	// MaxBodyBytes caps one POST body (413 beyond). Zero means
+	// DefaultMaxBodyBytes.
+	MaxBodyBytes int64
 }
 
 // deviceState is the daemon's per-device bookkeeping.
@@ -85,6 +103,14 @@ type Server struct {
 	tracer  *span.Tracer
 	audit   *audit.Log // nil when auditing is off
 	started time.Time
+
+	// Resilience state (DESIGN.md §12). gate is nil when admission
+	// control is disabled; shed/degraded are lifetime counters mirrored
+	// in /v1/status (atomics: shedding happens outside s.mu).
+	gate     *gate
+	maxBody  int64
+	shed     atomic.Uint64
+	degraded atomic.Uint64
 
 	mu       sync.Mutex
 	slot     int
@@ -167,6 +193,16 @@ func New(cfg Config) (*Server, error) {
 		started:   time.Now(),
 		pending:   make(map[string]scheduler.Request),
 		devices:   make(map[string]*deviceState),
+		maxBody:   cfg.MaxBodyBytes,
+	}
+	if s.maxBody == 0 {
+		s.maxBody = DefaultMaxBodyBytes
+	}
+	switch {
+	case cfg.MaxInflight == 0:
+		s.gate = newGate(DefaultMaxInflight)
+	case cfg.MaxInflight > 0:
+		s.gate = newGate(cfg.MaxInflight)
 	}
 	if cfg.AuditDir != "" {
 		alog, err := audit.Open(cfg.AuditDir)
@@ -190,28 +226,59 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Handler returns the HTTP routes. Every route is wrapped in the
-// observability middleware, which records per-endpoint request counts,
-// error counts and latency histograms under the route pattern.
+// route is one v1 endpoint: its method, path, handler and resilience
+// treatment.
+type route struct {
+	method string
+	path   string
+	h      http.HandlerFunc
+	// gated routes pass admission control (heavy mutations); probes stay
+	// ungated so a saturated daemon remains observable.
+	gated bool
+}
+
+// Handler returns the HTTP routes. Every route runs the middleware
+// chain observability → panic recovery → (admission gate) → (body
+// cap) → handler; wrong-method requests get an envelope 405 with the
+// Allow header, and unknown paths an envelope 404.
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	routes := map[string]http.HandlerFunc{
-		"POST /v1/report":  s.handleReport,
-		"POST /v1/tick":    s.handleTick,
-		"GET /v1/decision": s.handleDecision,
-		"GET /v1/chunk":    s.handleChunk,
-		"GET /v1/playlist": s.handlePlaylist,
-		"POST /v1/observe": s.handleObserve,
-		"GET /v1/explain":  s.handleExplain,
-		"GET /v1/status":   s.handleStatus,
-		"GET /metrics":     s.handleMetrics,
-		"GET /healthz": func(w http.ResponseWriter, _ *http.Request) {
+	routes := []route{
+		{method: "POST", path: "/v1/report", h: s.handleReport, gated: true},
+		{method: "POST", path: "/v1/tick", h: s.handleTick, gated: true},
+		{method: "GET", path: "/v1/decision", h: s.handleDecision},
+		{method: "GET", path: "/v1/chunk", h: s.handleChunk},
+		{method: "GET", path: "/v1/playlist", h: s.handlePlaylist},
+		{method: "POST", path: "/v1/observe", h: s.handleObserve, gated: true},
+		{method: "GET", path: "/v1/explain", h: s.handleExplain},
+		{method: "GET", path: "/v1/status", h: s.handleStatus},
+		{method: "GET", path: "/metrics", h: s.handleMetrics},
+		{method: "GET", path: "/healthz", h: func(w http.ResponseWriter, _ *http.Request) {
 			w.WriteHeader(http.StatusOK)
-		},
+		}},
 	}
-	for pattern, h := range routes {
-		mux.Handle(pattern, s.metrics.http.Instrument(pattern, h))
+	mux := http.NewServeMux()
+	allow := map[string][]string{}
+	for _, rt := range routes {
+		var h http.Handler = rt.h
+		if rt.method == "POST" {
+			h = s.capBody(h)
+		}
+		if rt.gated && s.gate != nil {
+			h = s.admit(h)
+		}
+		pattern := rt.method + " " + rt.path
+		mux.Handle(pattern, s.metrics.http.Instrument(pattern, s.recoverPanics(h)))
+		allow[rt.path] = append(allow[rt.path], rt.method)
 	}
+	// Bare-path fallbacks: a registered path with an unregistered method
+	// is 405 + Allow, not the mux's plain-text default.
+	for path, methods := range allow {
+		pattern := path
+		mux.Handle(pattern, s.metrics.http.Instrument(pattern, methodNotAllowed(methods)))
+	}
+	mux.Handle("/", s.metrics.http.Instrument("fallback", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeErrorMsg(w, http.StatusNotFound, CodeNotFound, "no such route: "+r.URL.Path)
+	})))
 	return mux
 }
 
@@ -231,34 +298,95 @@ func (s *Server) slotWindow(channel string, slot int) []video.Chunk {
 	return stream.Chunks[start : start+s.chunksPer]
 }
 
-func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	var req ReportRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
-		return
-	}
-	spec, err := req.Spec()
+// readBody drains a capped request body, classifying overflow as 413.
+func readBody(r *http.Request) ([]byte, *apiError) {
+	body, err := io.ReadAll(r.Body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, &apiError{Status: http.StatusRequestEntityTooLarge, Code: CodePayloadTooLarge,
+				Message: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)}
+		}
+		return nil, errBadRequest("read body: " + err.Error())
+	}
+	return body, nil
+}
+
+// handleReport accepts one device report, or — when the body is a JSON
+// array — a batch, cutting a fleet's round-trips per slot from N to 1.
+// A batch is applied item by item: valid reports are accepted even
+// when siblings fail, and the per-item outcomes are returned.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	body, aerr := readBody(r)
+	if aerr != nil {
+		aerr.write(w)
 		return
 	}
-
+	if trimmed := bytes.TrimLeft(body, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '[' {
+		s.handleReportBatch(w, trimmed)
+		return
+	}
+	var req ReportRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErrorMsg(w, http.StatusBadRequest, CodeBadRequest, "decode: "+err.Error())
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if aerr := s.acceptReportLocked(req); aerr != nil {
+		aerr.write(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReportResponse{Slot: s.slot, Accepted: true})
+}
+
+// handleReportBatch applies a JSON array of reports under one lock
+// acquisition and returns per-item outcomes (200 even on partial
+// failure — the Results say which items need fixing).
+func (s *Server) handleReportBatch(w http.ResponseWriter, body []byte) {
+	var reqs []ReportRequest
+	if err := json.Unmarshal(body, &reqs); err != nil {
+		writeErrorMsg(w, http.StatusBadRequest, CodeBadRequest, "decode batch: "+err.Error())
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := BatchReportResponse{
+		Slot:    s.slot,
+		Results: make([]BatchReportResult, len(reqs)),
+	}
+	for i, req := range reqs {
+		res := BatchReportResult{DeviceID: req.DeviceID, Accepted: true}
+		if aerr := s.acceptReportLocked(req); aerr != nil {
+			res.Accepted = false
+			res.Error = &ErrorBody{Code: aerr.Code, Message: aerr.Message, Retryable: retryable(aerr.Status)}
+			resp.Rejected++
+		} else {
+			resp.Accepted++
+		}
+		resp.Results[i] = res
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// acceptReportLocked validates and stages one report for the next
+// tick. Caller holds s.mu.
+func (s *Server) acceptReportLocked(req ReportRequest) *apiError {
+	spec, err := req.Spec()
+	if err != nil {
+		return errBadRequest(err.Error())
+	}
 	st, ok := s.devices[req.DeviceID]
 	if !ok {
 		st = &deviceState{estimator: bayes.NewGammaEstimator()}
-		s.devices[req.DeviceID] = st
 	}
-	st.spec = spec
+	channel := s.cfg.Stream.ID
 	if req.ChannelID != "" {
 		if _, ok := s.streams[req.ChannelID]; !ok {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown channel %q", req.ChannelID))
-			return
+			return &apiError{Status: http.StatusBadRequest, Code: CodeUnknownChannel,
+				Message: fmt.Sprintf("unknown channel %q", req.ChannelID)}
 		}
-		st.channel = req.ChannelID
-	} else {
-		st.channel = s.cfg.Stream.ID
+		channel = req.ChannelID
 	}
 	sreq := scheduler.Request{
 		DeviceID:         req.DeviceID,
@@ -266,19 +394,23 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		EnergyFrac:       req.EnergyFrac,
 		BatteryCapacityJ: req.BatteryCapacityJ,
 		BasePowerW:       req.BasePowerW,
-		Chunks:           s.slotWindow(st.channel, s.slot),
+		Chunks:           s.slotWindow(channel, s.slot),
 		Gamma:            st.estimator.Gamma(),
 	}
 	if err := sreq.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return errBadRequest(err.Error())
 	}
+	// Commit device state only after full validation so a rejected
+	// report leaves no trace.
+	s.devices[req.DeviceID] = st
+	st.spec = spec
+	st.channel = channel
 	s.pending[req.DeviceID] = sreq
 	s.metrics.reports.Inc()
 	s.log.Debug("report accepted",
 		"device", req.DeviceID, "channel", st.channel,
 		"energy_frac", req.EnergyFrac, "slot", s.slot)
-	writeJSON(w, http.StatusOK, ReportResponse{Slot: s.slot, Accepted: true})
+	return nil
 }
 
 func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
@@ -286,7 +418,15 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 
 	start := time.Now()
-	ctx, sp := s.tracer.Start(r.Context(), "tick")
+	tickCtx := r.Context()
+	if s.cfg.SchedDeadline > 0 {
+		// Anytime mode: the scheduler reads the deadline (never the
+		// cancellation) and degrades deterministically on expiry.
+		var cancel context.CancelFunc
+		tickCtx, cancel = context.WithTimeout(tickCtx, s.cfg.SchedDeadline)
+		defer cancel()
+	}
+	ctx, sp := s.tracer.Start(tickCtx, "tick")
 	sp.SetInt("slot", s.slot)
 	reqs := make([]scheduler.Request, 0, len(s.pending))
 	for _, r := range s.pending {
@@ -307,7 +447,7 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		sp.End()
 		s.log.Error("tick failed", "slot", s.slot, "reports", len(reqs), "err", err)
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
 	dec := pres.Decision()
@@ -355,6 +495,11 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 		Phase1Nodes:    dec.Phase1Nodes,
 		Phase1Warm:     dec.Phase1Warm,
 		Replayed:       dec.Replayed,
+		Degraded:       dec.Degraded.Any(),
+		DegradedReason: dec.Degraded.Reason(),
+	}
+	if stats.Degraded {
+		s.degraded.Add(1)
 	}
 	s.lastTick = stats
 	s.observeTick(stats)
@@ -369,6 +514,7 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 		Eligible: dec.Eligible,
 		Selected: dec.Selected,
 		Swaps:    dec.Swaps,
+		Degraded: stats.Degraded,
 		Sched:    stats,
 	}
 	s.pending = make(map[string]scheduler.Request)
@@ -377,12 +523,15 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
-	id := r.URL.Query().Get("device")
+	id, ok := deviceParam(w, r)
+	if !ok {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, ok := s.devices[id]
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown device %q", id))
+		writeError(w, http.StatusNotFound, CodeUnknownDevice, fmt.Errorf("unknown device %q", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, DecisionResponse{
@@ -394,11 +543,14 @@ func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
-	id := r.URL.Query().Get("device")
+	id, ok := deviceParam(w, r)
+	if !ok {
+		return
+	}
 	idxStr := r.URL.Query().Get("index")
 	idx, err := strconv.Atoi(idxStr)
 	if err != nil || idx < 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad chunk index %q", idxStr))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad chunk index %q", idxStr))
 		return
 	}
 
@@ -406,19 +558,19 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	st, ok := s.devices[id]
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown device %q", id))
+		writeError(w, http.StatusNotFound, CodeUnknownDevice, fmt.Errorf("unknown device %q", id))
 		return
 	}
 	window := s.slotWindow(st.channel, st.slot)
 	if idx >= len(window) {
-		writeError(w, http.StatusNotFound, fmt.Errorf("chunk %d beyond slot window (%d)", idx, len(window)))
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("chunk %d beyond slot window (%d)", idx, len(window)))
 		return
 	}
 	chunk := window[idx]
 	s.metrics.chunksServed.Inc()
 	plainW, err := video.PowerRate(st.spec, chunk)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
 	resp := ChunkResponse{
@@ -437,7 +589,7 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		strat := transform.Default(st.spec.Type)
 		res, err := strat.Apply(st.spec, chunk.Stats, s.cfg.Tolerance)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, http.StatusInternalServerError, CodeInternal, err)
 			return
 		}
 		resp.Transformed = true
@@ -453,12 +605,15 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePlaylist(w http.ResponseWriter, r *http.Request) {
-	id := r.URL.Query().Get("device")
+	id, ok := deviceParam(w, r)
+	if !ok {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, ok := s.devices[id]
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown device %q", id))
+		writeError(w, http.StatusNotFound, CodeUnknownDevice, fmt.Errorf("unknown device %q", id))
 		return
 	}
 	window := s.slotWindow(st.channel, st.slot)
@@ -476,9 +631,14 @@ func (s *Server) handlePlaylist(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	body, aerr := readBody(r)
+	if aerr != nil {
+		aerr.write(w)
+		return
+	}
 	var req ObserveRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErrorMsg(w, http.StatusBadRequest, CodeBadRequest, "decode: "+err.Error())
 		return
 	}
 	s.mu.Lock()
@@ -488,7 +648,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	sp.SetStr("device", req.DeviceID)
 	st, ok := s.devices[req.DeviceID]
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown device %q", req.DeviceID))
+		writeError(w, http.StatusNotFound, CodeUnknownDevice, fmt.Errorf("unknown device %q", req.DeviceID))
 		return
 	}
 	_, bsp := span.Child(ctx, "bayes-update")
@@ -497,7 +657,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	bsp.SetInt("observations", st.estimator.Observations())
 	bsp.End()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	s.metrics.observations.Inc()
@@ -511,16 +671,19 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	id := r.URL.Query().Get("device")
+	id, ok := deviceParam(w, r)
+	if !ok {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, ok := s.devices[id]
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown device %q", id))
+		writeError(w, http.StatusNotFound, CodeUnknownDevice, fmt.Errorf("unknown device %q", id))
 		return
 	}
 	if !st.hasVerdict {
-		writeError(w, http.StatusNotFound, fmt.Errorf("device %q has not been scheduled yet", id))
+		writeError(w, http.StatusNotFound, CodeNotScheduled, fmt.Errorf("device %q has not been scheduled yet", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, ExplainResponse{
@@ -569,6 +732,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	resp.PlanCacheMisses = cs.Misses
 	resp.PlanCacheEvictions = cs.Evictions
 	resp.PlanCacheHitRate = cs.HitRate()
+	resp.SchedDeadlineSec = s.cfg.SchedDeadline.Seconds()
+	if s.gate != nil {
+		resp.MaxInflight = cap(s.gate.sem)
+	}
+	resp.DegradedTicks = s.degraded.Load()
+	resp.ShedRequests = s.shed.Load()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -578,8 +747,4 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	// Encoding failures after the header is written can only be logged;
 	// with in-memory values they cannot happen.
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, ErrorResponse{Error: err.Error()})
 }

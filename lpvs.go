@@ -226,6 +226,9 @@ type (
 	EdgeDaemon = server.Server
 	// DeviceClient is the device side of the edge protocol.
 	DeviceClient = client.Client
+	// ClientFleet batches the per-slot report step of many co-located
+	// device clients into one round-trip.
+	ClientFleet = client.Fleet
 )
 
 // NewEdgeDaemon builds the HTTP edge daemon.
@@ -235,6 +238,12 @@ func NewEdgeDaemon(cfg EdgeDaemonConfig) (*EdgeDaemon, error) { return server.Ne
 // default HTTP client.
 func NewDeviceClient(baseURL string, dev *Device, httpClient *http.Client) (*DeviceClient, error) {
 	return client.New(baseURL, dev, httpClient)
+}
+
+// NewClientFleet groups device clients of one edge daemon for batched
+// reporting (one POST /v1/report per slot for the whole group).
+func NewClientFleet(clients ...*DeviceClient) (*ClientFleet, error) {
+	return client.NewFleet(clients...)
 }
 
 // NewDeviceFleet generates n random devices, mirroring the paper's
