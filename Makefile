@@ -7,7 +7,7 @@ GO ?= go
 # Per-target budget for `make fuzz-smoke`.
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet vet-extra fmt check bench bench-smoke fuzz-smoke audit-replay chaos-smoke
+.PHONY: all build test race vet vet-extra fmt check bench bench-smoke fuzz-smoke audit-replay chaos-smoke slo-smoke
 
 all: build
 
@@ -44,7 +44,7 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: fmt vet vet-extra build race audit-replay chaos-smoke bench-smoke
+check: fmt vet vet-extra build race audit-replay chaos-smoke slo-smoke bench-smoke
 
 # chaos-smoke drives the resilience stack end to end: the retrying /
 # breaker-guarded client against a real daemon wrapped in the seeded
@@ -52,6 +52,17 @@ check: fmt vet vet-extra build race audit-replay chaos-smoke bench-smoke
 chaos-smoke:
 	$(GO) test -count=1 ./internal/chaos/
 	$(GO) test -count=1 ./internal/client/ -run 'Chaotic|PartialFailure|CircuitBreaker|RetryBudget|RetryAfter|TypedAPIError'
+
+# slo-smoke drives the fleet-health stack end to end: the SLO
+# burn-rate engine, runtime self-telemetry, the per-VC fleet endpoints
+# and label-budget tests, the lpvs-top dashboard against a live
+# daemon, and one emulator run whose report must carry SLO verdicts.
+slo-smoke:
+	$(GO) test -count=1 ./internal/obs/slo/ ./internal/obs/runtimecollector/ ./cmd/lpvs-top/
+	$(GO) test -count=1 ./internal/server/ -run 'Fleet|SLO|Readyz|VCLabelBudget'
+	@out="$$($(GO) run ./cmd/lpvs-emu -seed 7 -n 12 -slots 4 -capacity 4)"; \
+	echo "$$out" | grep -q "slo slot-latency" || { \
+		echo "emulator report missing SLO verdict lines:"; echo "$$out"; exit 1; }
 
 # audit-replay gates the determinism contract end to end: run a short
 # audited emulator session, then re-run every logged decision through

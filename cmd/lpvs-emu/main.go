@@ -113,6 +113,17 @@ func main() {
 		fmt.Printf("degraded slots:     %d of %d (deadline %v)\n",
 			cmp.Treated.DegradedSlots, cmp.Treated.SlotsRun, *deadline)
 	}
+	for _, st := range cmp.Treated.SLO {
+		verdict := "ok"
+		if st.Alarming {
+			verdict = "ALARM"
+		}
+		fmt.Printf("slo %-16s %s  bad %.0f/%.0f  budget left %.0f%%\n",
+			st.Name+":", verdict, st.BadEvents, st.TotalEvents, 100*st.BudgetRemaining)
+	}
+	if cmp.Treated.SLOAlarms > 0 {
+		fmt.Printf("slo alarms fired:   %d\n", cmp.Treated.SLOAlarms)
+	}
 
 	if *timeline {
 		fmt.Println("\nslot  watching  selected  mean-energy  mean-anxiety")

@@ -1,0 +1,219 @@
+// Command lpvs-top is a live terminal dashboard for an LPVS edge
+// daemon: it polls /v1/status, /v1/fleet, /v1/slo and /metrics and
+// renders a refreshing per-VC table with SLO burn state and the
+// daemon's runtime self-telemetry — `top` for a video-scheduling edge.
+//
+// Usage:
+//
+//	lpvs-top -addr http://localhost:8080            # refresh every 2s
+//	lpvs-top -addr http://localhost:8080 -once      # one frame, no ANSI
+//	lpvs-top -interval 500ms
+//
+// The dashboard is read-only: it only hits the daemon's ungated probe
+// endpoints, so it stays usable while the daemon sheds load.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"lpvs/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "base URL of the lpvsd daemon")
+		interval = flag.Duration("interval", 2*time.Second, "refresh interval")
+		once     = flag.Bool("once", false, "render a single frame without ANSI clearing and exit")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, *addr, *interval, *once); err != nil {
+		fmt.Fprintln(os.Stderr, "lpvs-top:", err)
+		os.Exit(1)
+	}
+}
+
+// run drives the poll/render loop; with once it renders exactly one
+// frame (no screen clearing), which is also the integration-test mode.
+func run(ctx context.Context, out io.Writer, addr string, interval time.Duration, once bool) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	for {
+		frame, err := fetchFrame(client, strings.TrimRight(addr, "/"))
+		if err != nil {
+			if once {
+				return err
+			}
+			fmt.Fprintf(out, "lpvs-top: %v (retrying in %v)\n", err, interval)
+		} else {
+			if !once {
+				fmt.Fprint(out, "\x1b[2J\x1b[H") // clear, home
+			}
+			render(out, frame)
+			if once {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(interval):
+		}
+	}
+}
+
+// frame is one dashboard snapshot.
+type frame struct {
+	at      time.Time
+	status  server.StatusResponse
+	fleet   server.FleetResponse
+	slo     server.SLOResponse
+	runtime map[string]float64 // lpvs_go_* gauges from /metrics
+}
+
+func fetchFrame(client *http.Client, base string) (*frame, error) {
+	f := &frame{at: time.Now(), runtime: map[string]float64{}}
+	if err := getJSON(client, base+"/v1/status", &f.status); err != nil {
+		return nil, err
+	}
+	if err := getJSON(client, base+"/v1/fleet", &f.fleet); err != nil {
+		return nil, err
+	}
+	if err := getJSON(client, base+"/v1/slo", &f.slo); err != nil {
+		return nil, err
+	}
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, "lpvs_go_") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err == nil {
+			f.runtime[name] = v
+		}
+	}
+	return f, nil
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func render(out io.Writer, f *frame) {
+	st := f.status
+	uptime := time.Duration(st.UptimeMS) * time.Millisecond
+	fmt.Fprintf(out, "lpvs-top  %s  up %s  slot %d  workers %d\n",
+		f.at.Format("15:04:05"), uptime.Round(time.Second), st.Slot, st.Workers)
+	fmt.Fprintf(out, "devices %d  pending %d  selected %d  degraded %d  shed %d  cache-hit %.0f%%\n",
+		st.Devices, st.PendingReports, st.LastSelected,
+		st.DegradedTicks, st.ShedRequests, 100*st.PlanCacheHitRate)
+	if len(f.runtime) > 0 {
+		fmt.Fprintf(out, "go: heap %s  goroutines %.0f  gc-p99 %s  sched-p99 %s\n",
+			bytesHuman(f.runtime["lpvs_go_heap_alloc_bytes"]),
+			f.runtime["lpvs_go_goroutines"],
+			secondsHuman(f.runtime["lpvs_go_gc_pause_p99_seconds"]),
+			secondsHuman(f.runtime["lpvs_go_sched_latency_p99_seconds"]))
+	}
+
+	fmt.Fprintf(out, "\nSLO                 STATE  BURN-FAST  BURN-SLOW  BUDGET-LEFT\n")
+	sorted := f.slo.Objectives
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, o := range sorted {
+		state := "ok"
+		if o.Alarming {
+			state = "ALARM"
+		}
+		fast, slow := 0.0, 0.0
+		if len(o.Windows) == 2 {
+			fast, slow = o.Windows[0].BurnRate, o.Windows[1].BurnRate
+		}
+		fmt.Fprintf(out, "%-19s %-6s %9.2f  %9.2f  %10.0f%%\n",
+			o.Name, state, fast, slow, 100*o.BudgetRemaining)
+	}
+
+	fmt.Fprintf(out, "\nCHANNEL        DEV  PEND  ADM  ELIG  SEL  TCHUNKS  GAMMA  DRIFT\n")
+	for _, c := range f.fleet.Channels {
+		fmt.Fprintf(out, "%-12s %5d %5d %4d %5d %4d %8d  %.3f  %.3f\n",
+			clip(c.Channel, 12), c.Devices, c.PendingReports, c.Admitted,
+			c.Eligible, c.Selected, c.TransformedChunks, c.GammaMean, c.GammaDrift)
+	}
+
+	fmt.Fprintf(out, "\nSTREAM         TICKS  REPLAY  DEGR  HIT-RATE  LAST-MS  LAST-REQ\n")
+	for _, s := range f.fleet.Streams {
+		fmt.Fprintf(out, "%-12s %6d  %6d %5d %8.0f%% %8.2f %9d\n",
+			clip(s.Key, 12), s.Ticks, s.Replays, s.DegradedTicks,
+			100*s.CacheHitRate(), 1000*s.LastWallSeconds, s.LastRequests)
+	}
+	if f.fleet.VCLabelBudget == 0 {
+		fmt.Fprintf(out, "\nper-VC metric series off (-vc-label-budget 0)\n")
+	} else if f.fleet.SeriesDropped > 0 {
+		fmt.Fprintf(out, "\nseries dropped over label budget: %d\n", f.fleet.SeriesDropped)
+	}
+}
+
+// clip truncates a label to n runes for column alignment.
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func bytesHuman(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
+}
+
+func secondsHuman(s float64) string {
+	switch {
+	case s <= 0:
+		return "0"
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.1fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lpvs/internal/obs/runtimecollector"
+	"lpvs/internal/server"
+	"lpvs/internal/stats"
+	"lpvs/internal/video"
+)
+
+// TestRenderOneFrameAgainstLiveDaemon drives the real dashboard code
+// path end to end: a live in-process daemon with per-VC telemetry on,
+// one report + tick, runtime self-telemetry sampled once, then run()
+// in -once mode must fetch every endpoint and render a full frame.
+func TestRenderOneFrameAgainstLiveDaemon(t *testing.T) {
+	stream, err := video.Generate(stats.NewRNG(1), video.DefaultGenConfig("live", video.Gaming, 90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Stream:        stream,
+		ServerStreams: -1,
+		Lambda:        1,
+		VCLabelBudget: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtimecollector.New(srv.Registry()).Sample()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	report := `{"device_id":"d1","display_type":"OLED","width":1920,"height":1080,` +
+		`"diagonal_inch":6,"brightness":0.6,"energy_frac":0.3,` +
+		`"battery_capacity_j":50000,"base_power_w":0.4}`
+	for _, req := range []struct{ path, body string }{
+		{"/v1/report", report},
+		{"/v1/tick", "{}"},
+	} {
+		resp, err := http.Post(ts.URL+req.path, "application/json", strings.NewReader(req.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: HTTP %d", req.path, resp.StatusCode)
+		}
+	}
+
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, ts.URL, time.Second, true); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"lpvs-top",     // header
+		"devices 1",    // status line reflects the report
+		"tick-latency", // SLO table rows
+		"degraded-ticks",
+		"shed-requests",
+		"CHANNEL", // per-channel table with the live channel
+		"live",
+		"STREAM", // per-stream table with the edge stream
+		"edge",
+		"go: heap", // runtime self-telemetry line
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("frame missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "\x1b[2J") {
+		t.Error("-once frame must not emit ANSI clear sequences")
+	}
+}
+
+// TestOnceFailsFastOnDeadDaemon keeps the error path honest: -once
+// against nothing must return the transport error, not loop.
+func TestOnceFailsFastOnDeadDaemon(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), &out, "http://127.0.0.1:1", time.Second, true)
+	if err == nil {
+		t.Fatal("run -once against a dead daemon returned nil")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"lpvs/internal/obs"
+	"lpvs/internal/obs/runtimecollector"
 	"lpvs/internal/server"
 	"lpvs/internal/stats"
 	"lpvs/internal/video"
@@ -60,6 +61,10 @@ func main() {
 		traceSeed     = flag.Int64("trace-seed", 0, "seed for trace/span IDs (0 = default)")
 		schedDeadline = flag.Duration("sched-deadline", 0, "per-tick scheduling wall-clock budget; on expiry the tick degrades to the anytime shortcuts (0 = unbounded)")
 		maxInflight   = flag.Int("max-inflight", server.DefaultMaxInflight, "admitted heavy requests before 429 load shedding (negative = no gate)")
+		vcBudget      = flag.Int("vc-label-budget", 64, "per-family cap on per-VC labeled metric series (0 = no per-VC series, negative = uncapped)")
+		sloLatency    = flag.Duration("slo-tick-latency", server.DefaultSLOTickLatency, "tick wall-time budget behind the tick-latency SLO")
+		sloInterval   = flag.Duration("slo-interval", 5*time.Second, "background SLO burn-rate evaluation interval")
+		runtimeEvery  = flag.Duration("runtime-metrics-interval", 10*time.Second, "runtime self-telemetry sampling interval (0 = off)")
 		showVersion   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -101,6 +106,8 @@ func main() {
 		DisableIncremental: !*incremental,
 		SchedDeadline:      *schedDeadline,
 		MaxInflight:        *maxInflight,
+		VCLabelBudget:      *vcBudget,
+		SLOTickLatency:     *sloLatency,
 	})
 	if err != nil {
 		fatal(err)
@@ -124,6 +131,13 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Fleet-health background loops (DESIGN.md §13): runtime
+	// self-telemetry into /metrics and the SLO burn-rate evaluator.
+	if *runtimeEvery > 0 {
+		go runtimecollector.New(srv.Registry()).Run(ctx, *runtimeEvery)
+	}
+	go srv.SLO().Run(ctx.Done(), *sloInterval)
 
 	if !*manualTick {
 		go func() {
@@ -161,6 +175,9 @@ func main() {
 	go func() {
 		<-ctx.Done()
 		logger.Info("shutting down")
+		// Flip readiness first so load balancers drain this instance
+		// while in-flight requests finish; /healthz stays 200 throughout.
+		srv.SetReady(false)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -31,6 +31,7 @@ import (
 	"lpvs/internal/display"
 	"lpvs/internal/edge"
 	"lpvs/internal/obs/audit"
+	"lpvs/internal/obs/slo"
 	"lpvs/internal/obs/span"
 	"lpvs/internal/scheduler"
 	"lpvs/internal/stats"
@@ -127,6 +128,12 @@ type Config struct {
 	// Records are only written when the deciding policy is the LPVS
 	// scheduler (serial or pooled); baselines are not auditable.
 	AuditDir string
+	// SLOSlotLatency is the scheduling wall-time budget per slot behind
+	// the emulator's slot-latency SLO (slower slots count as bad
+	// events); zero means 250ms. The SLO engine runs on a synthetic
+	// clock advancing SlotSec per slot, so campaign reports state SLO
+	// compliance with the same burn-rate code that pages on the daemon.
+	SLOSlotLatency time.Duration
 	// Tracer, when non-nil, traces each slot as a span tree: slot →
 	// gather / schedule (→ vc → compact / phase1 / phase2) / play /
 	// bayes-update. Decisions are identical with tracing on or off.
@@ -250,6 +257,12 @@ type RunResult struct {
 	// (Eqs. (3), (5), (12)) against the emulated ground truth.
 	PredErrSum     float64
 	PredErrSamples int
+	// SLO holds the final burn-rate states of the run's scheduling
+	// objectives, evaluated once per slot on a synthetic clock that
+	// advances SlotSec per slot; SLOAlarms counts alarm firings across
+	// the run (DESIGN.md §13).
+	SLO       []slo.State
+	SLOAlarms int
 }
 
 // SlotStat is one slot's aggregate snapshot, taken after playback.
@@ -551,6 +564,43 @@ func (e *Emulator) Run() (*RunResult, error) {
 	// log replays.
 	lpvsSched, _ := e.policy.(*scheduler.Scheduler)
 
+	// SLO evaluation on a synthetic clock: one reading per slot, the
+	// clock advancing SlotSec each time. Pure observation over already-
+	// final slot stats — it cannot influence a decision.
+	sloLatency := e.cfg.SLOSlotLatency
+	if sloLatency <= 0 {
+		sloLatency = 250 * time.Millisecond
+	}
+	sloClock := time.Unix(0, 0)
+	var sloSlow, sloDegraded, sloTotal float64
+	slotDur := time.Duration(e.cfg.SlotSec * float64(time.Second))
+	sloEng, err := slo.NewEngine(slo.Config{
+		FastWindow: 2 * slotDur,
+		SlowWindow: 10 * slotDur,
+		Now:        func() time.Time { return sloClock },
+		OnTransition: func(st slo.State) {
+			if st.Alarming {
+				res.SLOAlarms++
+			}
+		},
+	},
+		slo.Objective{
+			Name:        "slot-latency",
+			Description: "Slot scheduling must finish within " + sloLatency.String() + ".",
+			Target:      0.99,
+			Source:      func() (float64, float64) { return sloSlow, sloTotal },
+		},
+		slo.Objective{
+			Name:        "degraded-slots",
+			Description: "Slots must not degrade to the anytime deadline shortcuts.",
+			Target:      0.99,
+			Source:      func() (float64, float64) { return sloDegraded, sloTotal },
+		},
+	)
+	if err != nil {
+		return nil, fmt.Errorf("emu: slo engine: %w", err)
+	}
+
 	for slot := 0; slot < e.cfg.Slots; slot++ {
 		windows := e.slotWindows(slot)
 
@@ -675,6 +725,15 @@ func (e *Emulator) Run() (*RunResult, error) {
 		}
 		res.Timeline = append(res.Timeline, stat)
 		res.SlotsRun++
+		sloTotal++
+		if stat.SchedSec > sloLatency.Seconds() {
+			sloSlow++
+		}
+		if stat.Degraded {
+			sloDegraded++
+		}
+		sloClock = time.Unix(0, 0).Add(time.Duration(slot+1) * slotDur)
+		sloEng.Evaluate()
 		slotSp.SetInt("watching", stat.Watching)
 		slotSp.SetInt("selected", stat.Selected)
 		slotSp.End()
@@ -682,6 +741,8 @@ func (e *Emulator) Run() (*RunResult, error) {
 			e.cfg.Progress(e.policy.Name(), stat)
 		}
 	}
+
+	res.SLO = sloEng.Snapshot()
 
 	for i, d := range e.devices {
 		d.FinishStream()

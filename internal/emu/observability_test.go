@@ -4,8 +4,10 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"lpvs/internal/obs/audit"
+	"lpvs/internal/obs/slo"
 	"lpvs/internal/obs/span"
 	"lpvs/internal/scheduler"
 )
@@ -211,5 +213,69 @@ func TestIncrementalAuditLogMatchesCold(t *testing.T) {
 	}
 	if len(diverged) != 0 {
 		t.Fatalf("incremental records %v diverged on replay", diverged)
+	}
+}
+
+func TestRunEvaluatesSLO(t *testing.T) {
+	e, err := New(baseConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SLO) != 2 {
+		t.Fatalf("slo states = %+v, want 2 objectives", res.SLO)
+	}
+	names := map[string]bool{}
+	for _, st := range res.SLO {
+		names[st.Name] = true
+		if st.TotalEvents != float64(res.SlotsRun) {
+			t.Errorf("objective %s saw %v events, want %d", st.Name, st.TotalEvents, res.SlotsRun)
+		}
+		if len(st.Windows) != 2 {
+			t.Errorf("objective %s windows = %+v", st.Name, st.Windows)
+		}
+	}
+	if !names["slot-latency"] || !names["degraded-slots"] {
+		t.Fatalf("objective names = %v", names)
+	}
+	// No deadline configured: no slot can degrade, so that objective's
+	// budget must be untouched and nothing may alarm.
+	for _, st := range res.SLO {
+		if st.Name == "degraded-slots" && (st.BadEvents != 0 || st.Alarming) {
+			t.Fatalf("degraded-slots state = %+v", st)
+		}
+	}
+}
+
+func TestSLOAlarmsOnSustainedSlowSlots(t *testing.T) {
+	cfg := baseConfig()
+	// A 1ns latency budget makes every slot a bad event, so both burn
+	// windows must breach and the alarm must fire exactly once.
+	cfg.SLOSlotLatency = time.Nanosecond
+	e, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lat *slo.State
+	for i := range res.SLO {
+		if res.SLO[i].Name == "slot-latency" {
+			lat = &res.SLO[i]
+		}
+	}
+	if lat == nil {
+		t.Fatal("slot-latency objective missing")
+	}
+	if !lat.Alarming || lat.BadEvents != float64(res.SlotsRun) {
+		t.Fatalf("slot-latency state = %+v", lat)
+	}
+	if res.SLOAlarms != 1 {
+		t.Fatalf("slo alarms = %d, want 1", res.SLOAlarms)
 	}
 }

@@ -40,6 +40,11 @@ const (
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+
+	// seriesBudget caps the labelled series each family may hold; 0
+	// means unlimited. dropped counts writes refused by the budget.
+	seriesBudget atomic.Int64
+	dropped      atomic.Uint64
 }
 
 // NewRegistry returns an empty registry.
@@ -47,8 +52,31 @@ func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*family)}
 }
 
+// SetSeriesBudget caps the number of labelled series any one family may
+// create (its cardinality budget). Zero or negative removes the cap.
+// Label values seen after a family is full are not stored: the write
+// lands in a detached throwaway series and DroppedSeries is
+// incremented, so a misbehaving label source can inflate a counter but
+// never the scrape size or the registry's memory.
+func (r *Registry) SetSeriesBudget(n int) {
+	if n < 0 {
+		n = 0
+	}
+	r.seriesBudget.Store(int64(n))
+}
+
+// SeriesBudget reports the per-family cardinality budget (0 =
+// unlimited).
+func (r *Registry) SeriesBudget() int { return int(r.seriesBudget.Load()) }
+
+// DroppedSeries reports how many metric writes were refused a new
+// series by the cardinality budget. Expose it as
+// lpvs_series_dropped_total so overflow is visible, not silent.
+func (r *Registry) DroppedSeries() uint64 { return r.dropped.Load() }
+
 // family is one named metric with all its labelled series.
 type family struct {
+	reg     *Registry // owning registry (cardinality budget, drop counter)
 	name    string
 	help    string
 	typ     string
@@ -105,6 +133,7 @@ func (r *Registry) register(name, help, typ string, labels []string, buckets []f
 		return f
 	}
 	f := &family{
+		reg:     r,
 		name:    name,
 		help:    help,
 		typ:     typ,
@@ -145,6 +174,16 @@ func (f *family) getSeries(labelVals []string) *series {
 		s = &series{labelVals: append([]string(nil), labelVals...)}
 		if f.typ == TypeHistogram {
 			s.bucketCounts = make([]atomic.Uint64, len(f.buckets))
+		}
+		// Cardinality budget: a full family refuses new labelled series.
+		// The caller still gets a working handle — writes just land in a
+		// detached series that is never scraped — and the refusal is
+		// counted so overflow shows up as lpvs_series_dropped_total
+		// instead of an unbounded exposition.
+		if budget := f.reg.seriesBudget.Load(); budget > 0 && len(f.labels) > 0 &&
+			int64(len(f.series)) >= budget {
+			f.reg.dropped.Add(1)
+			return s
 		}
 		f.series[key] = s
 	}

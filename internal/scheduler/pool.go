@@ -107,10 +107,51 @@ type Pool struct {
 
 	// states holds one incremental scheduling stream per VC state key
 	// (nil map entries never occur; the whole map stays empty when
-	// incremental mode is off). mu guards only the map — each stream
-	// has its own internal lock.
+	// incremental mode is off). mu guards the map and vcstats — each
+	// stream has its own internal lock.
 	mu     sync.Mutex
 	states map[string]*slotState
+	// vcstats accumulates per-stream health telemetry (DESIGN.md §13).
+	// Pure observation: nothing here feeds back into scheduling, so
+	// decisions stay byte-identical with or without readers.
+	vcstats map[string]*VCStat
+}
+
+// VCStat is the accumulated health of one scheduling stream (VC state
+// key) across ticks — the per-VC rows behind the daemon's /v1/fleet
+// endpoint and the lpvs-top dashboard.
+type VCStat struct {
+	// Key is the stream's state key (VC.StateKey, or the VC ID when
+	// unset).
+	Key string `json:"key"`
+	// Ticks counts solved ticks; Replays those served verbatim from the
+	// previous slot; DegradedTicks those that hit the scheduling
+	// deadline.
+	Ticks         uint64 `json:"ticks"`
+	Replays       uint64 `json:"replays"`
+	DegradedTicks uint64 `json:"degraded_ticks"`
+	// CacheHits/CacheMisses/CacheEvictions sum the incremental
+	// plan-cache traffic of this stream's decisions.
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	// WallSecondsTotal accumulates solve wall time; LastWallSeconds is
+	// the most recent tick's.
+	WallSecondsTotal float64 `json:"wall_seconds_total"`
+	LastWallSeconds  float64 `json:"last_wall_seconds"`
+	// LastRequests/LastEligible/LastSelected snapshot the most recent
+	// tick's funnel.
+	LastRequests int `json:"last_requests"`
+	LastEligible int `json:"last_eligible"`
+	LastSelected int `json:"last_selected"`
+}
+
+// CacheHitRate is the stream's lifetime plan-cache hit fraction.
+func (s VCStat) CacheHitRate() float64 {
+	if s.CacheHits+s.CacheMisses == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
 }
 
 // NewPool builds the sharded engine. The scheduler config is validated
@@ -132,7 +173,12 @@ func NewPool(cfg Config, pc PoolConfig) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Pool{sched: s, workers: workers, states: make(map[string]*slotState)}, nil
+	return &Pool{
+		sched:   s,
+		workers: workers,
+		states:  make(map[string]*slotState),
+		vcstats: make(map[string]*VCStat),
+	}, nil
 }
 
 // stateFor returns the incremental stream for a VC, creating it on
@@ -276,12 +322,56 @@ func (p *Pool) solveVC(ctx context.Context, vc VC, worker int) (VCDecision, erro
 	if err != nil {
 		return VCDecision{}, err
 	}
+	wall := time.Since(start).Seconds()
+	p.recordVC(&vc, dec, wall)
 	return VCDecision{
 		VC:          vc.ID,
 		Decision:    dec,
-		WallSeconds: time.Since(start).Seconds(),
+		WallSeconds: wall,
 		Worker:      worker,
 	}, nil
+}
+
+// recordVC folds one solved tick into the stream's health accumulator.
+// Observation only — it runs after the decision is final.
+func (p *Pool) recordVC(vc *VC, dec Decision, wall float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := vc.stateKey()
+	st, ok := p.vcstats[key]
+	if !ok {
+		st = &VCStat{Key: key}
+		p.vcstats[key] = st
+	}
+	st.Ticks++
+	if dec.Replayed {
+		st.Replays++
+	}
+	if dec.Degraded.Any() {
+		st.DegradedTicks++
+	}
+	st.CacheHits += uint64(dec.PlanCacheHits)
+	st.CacheMisses += uint64(dec.PlanCacheMisses)
+	st.CacheEvictions += uint64(dec.PlanCacheEvictions)
+	st.WallSecondsTotal += wall
+	st.LastWallSeconds = wall
+	st.LastRequests = len(vc.Requests)
+	st.LastEligible = dec.Eligible
+	st.LastSelected = dec.Selected
+}
+
+// VCStats snapshots every scheduling stream's accumulated health,
+// sorted by state key. The returned slice is a copy; mutating it does
+// not touch the pool.
+func (p *Pool) VCStats() []VCStat {
+	p.mu.Lock()
+	out := make([]VCStat, 0, len(p.vcstats))
+	for _, st := range p.vcstats {
+		out = append(out, *st)
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	return out
 }
 
 // orderVCs returns the VCs sorted by ID (a copy; the caller's slice is

@@ -435,3 +435,83 @@ func TestPoolTimingFields(t *testing.T) {
 		t.Fatalf("CPUSeconds %v != per-VC sum %v", res.CPUSeconds, sum)
 	}
 }
+
+// TestPoolVCStats checks the per-stream health accumulator: one row
+// per state key, tick counts and funnel snapshots matching the
+// decisions, and cache traffic consistent with CacheStats.
+func TestPoolVCStats(t *testing.T) {
+	vcs := makeVCSet(t, 3, 25, 7)
+	pool, err := NewPool(Config{Lambda: 1}, PoolConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ticks = 4
+	var last *PoolResult
+	for i := 0; i < ticks; i++ {
+		last, err = pool.Decide(vcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := pool.VCStats()
+	if len(stats) != len(vcs) {
+		t.Fatalf("VCStats rows = %d, want %d", len(stats), len(vcs))
+	}
+	var hits, misses uint64
+	for i, st := range stats {
+		if i > 0 && stats[i-1].Key >= st.Key {
+			t.Fatalf("VCStats not key-ordered: %q before %q", stats[i-1].Key, st.Key)
+		}
+		if st.Ticks != ticks {
+			t.Fatalf("stream %s ticks = %d, want %d", st.Key, st.Ticks, ticks)
+		}
+		if st.WallSecondsTotal < st.LastWallSeconds || st.LastWallSeconds < 0 {
+			t.Fatalf("stream %s wall accounting: %+v", st.Key, st)
+		}
+		var dec *VCDecision
+		for j := range last.VCs {
+			if last.VCs[j].VC == st.Key {
+				dec = &last.VCs[j]
+			}
+		}
+		if dec == nil {
+			t.Fatalf("stream %s has no matching decision", st.Key)
+		}
+		if st.LastSelected != dec.Decision.Selected || st.LastEligible != dec.Decision.Eligible {
+			t.Fatalf("stream %s funnel snapshot %+v != decision %+v", st.Key, st, dec.Decision)
+		}
+		if st.LastRequests != 25 {
+			t.Fatalf("stream %s requests = %d", st.Key, st.LastRequests)
+		}
+		// Unchanged inputs: every tick after the first replays.
+		if st.Replays != ticks-1 {
+			t.Fatalf("stream %s replays = %d, want %d", st.Key, st.Replays, ticks-1)
+		}
+		hits += st.CacheHits
+		misses += st.CacheMisses
+	}
+	cs := pool.CacheStats()
+	if hits != cs.Hits || misses != cs.Misses {
+		t.Fatalf("VCStats cache sums (%d/%d) != CacheStats (%d/%d)", hits, misses, cs.Hits, cs.Misses)
+	}
+	// A distinct StateKey with a per-tick ID lands in one stream.
+	vc := VC{ID: "slot-9", StateKey: "edge", Requests: vcs[0].Requests}
+	if _, err := pool.Decide([]VC{vc}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, st := range pool.VCStats() {
+		if st.Key == "edge" {
+			found = true
+			if st.Ticks != 1 {
+				t.Fatalf("edge stream ticks = %d", st.Ticks)
+			}
+		}
+		if st.Key == "slot-9" {
+			t.Fatal("per-tick VC ID leaked into stream stats")
+		}
+	}
+	if !found {
+		t.Fatal("state-keyed stream missing from VCStats")
+	}
+}

@@ -13,11 +13,16 @@
 //	POST /v1/observe   device feeds back the realised power reduction
 //	GET  /v1/explain   ?device=ID -> why the device was (not) selected
 //	GET  /v1/status    cluster-wide counters
+//	GET  /v1/fleet     per-channel and per-stream health rollup
+//	GET  /v1/slo       SLO burn-rate states
 //	GET  /healthz      liveness
+//	GET  /readyz       readiness (503 while draining)
 package server
 
 import (
 	"lpvs/internal/display"
+	"lpvs/internal/obs/slo"
+	"lpvs/internal/scheduler"
 )
 
 // ReportRequest is a device's slot report (information gathering).
@@ -202,10 +207,11 @@ type StatusResponse struct {
 	StreamChunks    int     `json:"stream_chunks"`
 	// Workers is the scheduling pool fan-out the daemon runs with.
 	Workers int `json:"workers"`
-	// StartUnixSec/UptimeSec report when the daemon started and how long
-	// it has been up.
+	// StartUnixSec reports when the daemon started; UptimeMS how long it
+	// has been up, in integer milliseconds from the monotonic clock (a
+	// wall-clock step — NTP, DST — cannot move it).
 	StartUnixSec float64 `json:"start_unix_sec"`
-	UptimeSec    float64 `json:"uptime_sec"`
+	UptimeMS     int64   `json:"uptime_ms"`
 	// AuditPath is the decision audit log file ("" = auditing off);
 	// TraceSample is the span-tracing sampling probability (0 = off).
 	AuditPath   string  `json:"audit_path,omitempty"`
@@ -230,6 +236,51 @@ type StatusResponse struct {
 	MaxInflight      int     `json:"max_inflight"`
 	DegradedTicks    uint64  `json:"degraded_ticks"`
 	ShedRequests     uint64  `json:"shed_requests"`
+}
+
+// FleetResponse is the /v1/fleet health rollup: one row per channel
+// (the server-layer VC) and one per scheduling stream (the pool-layer
+// VC), plus the labeled-series cardinality accounting.
+type FleetResponse struct {
+	Slot int `json:"slot"`
+	// VCLabelBudget echoes the configured per-family labeled-series cap
+	// (0 = per-VC series disabled, negative = uncapped); SeriesDropped
+	// counts labeled series the registry refused over that budget.
+	VCLabelBudget int              `json:"vc_label_budget"`
+	SeriesDropped uint64           `json:"series_dropped"`
+	Channels      []ChannelSummary `json:"channels"`
+	// Streams is the scheduler pool's per-stream accumulated health
+	// (one entry per VC state key).
+	Streams []scheduler.VCStat `json:"streams"`
+}
+
+// ChannelSummary is one channel's fleet-health row. Devices and
+// PendingReports are live; the remaining funnel fields snapshot the
+// last tick.
+type ChannelSummary struct {
+	Channel           string  `json:"channel"`
+	Devices           int     `json:"devices"`
+	PendingReports    int     `json:"pending_reports"`
+	Admitted          int     `json:"admitted"`
+	Eligible          int     `json:"eligible"`
+	Selected          int     `json:"selected"`
+	TransformedChunks uint64  `json:"transformed_chunks"`
+	GammaMean         float64 `json:"gamma_mean"`
+	GammaDrift        float64 `json:"gamma_drift"`
+}
+
+// SLOResponse is the /v1/slo body: every objective's fresh burn-rate
+// evaluation (the handler evaluates on demand, so polling sharpens the
+// windows beyond the background sampling interval).
+type SLOResponse struct {
+	EvalUnixSec float64     `json:"eval_unix_sec"`
+	Objectives  []slo.State `json:"objectives"`
+}
+
+// ReadyResponse is the /readyz body; Reason says why when not ready.
+type ReadyResponse struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
 }
 
 // BatchReportResponse summarises one batch report: how many items were

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"lpvs/internal/scheduler"
+	"lpvs/internal/stats"
+	"lpvs/internal/video"
+)
+
+// benchTickServer builds a two-channel daemon with nDev staged device
+// reports and returns the server plus a snapshot of the pending batch,
+// so iterations can refill the (tick-consumed) queue off the timer.
+func benchTickServer(b *testing.B, budget, nDev int) (*Server, map[string]scheduler.Request) {
+	b.Helper()
+	extra, err := video.Generate(stats.NewRNG(2), video.DefaultGenConfig("music", video.Music, 60))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(Config{
+		Stream:        testStream(b),
+		ExtraStreams:  []*video.Video{extra},
+		ServerStreams: -1,
+		Lambda:        1,
+		VCLabelBudget: budget,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.mu.Lock()
+	for i := 0; i < nDev; i++ {
+		req := validReport(deviceID(i))
+		req.EnergyFrac = 0.05 + 0.9*float64(i)/float64(nDev)
+		if i%2 == 1 {
+			req.ChannelID = "music"
+		}
+		if apiErr := s.acceptReportLocked(req); apiErr != nil {
+			s.mu.Unlock()
+			b.Fatalf("stage report %d: %v", i, apiErr.Message)
+		}
+	}
+	saved := make(map[string]scheduler.Request, len(s.pending))
+	for k, v := range s.pending {
+		saved[k] = v
+	}
+	s.mu.Unlock()
+	return s, saved
+}
+
+func deviceID(i int) string {
+	// Fixed-width IDs keep the scheduler's sort order stable across runs.
+	const digits = "0123456789"
+	buf := []byte("dev-00000")
+	for p := len(buf) - 1; i > 0; p-- {
+		buf[p] = digits[i%10]
+		i /= 10
+	}
+	return string(buf)
+}
+
+// BenchmarkFleetTick measures a full 10k-device tick with per-VC fleet
+// telemetry off (budget 0: the zero-overhead path — metrics.vc is nil
+// and no labeled series exist) versus on (budget 64: every per-VC
+// family labeled and the fleet aggregation live). The recorded figures
+// live in BENCH_observability.json; the contract is budget0 within
+// noise of the pre-telemetry tick and budget64 within ~5% of budget0.
+func BenchmarkFleetTick(b *testing.B) {
+	const nDev = 10_000
+	for _, bc := range []struct {
+		name   string
+		budget int
+	}{
+		{"budget0", 0},
+		{"budget64", 64},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			s, saved := benchTickServer(b, bc.budget, nDev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s.mu.Lock()
+				for k, v := range saved {
+					s.pending[k] = v
+				}
+				s.mu.Unlock()
+				b.StartTimer()
+				rec := httptest.NewRecorder()
+				s.handleTick(rec, httptest.NewRequest("POST", "/v1/tick", nil))
+				if rec.Code != 200 {
+					b.Fatalf("tick: HTTP %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+		})
+	}
+}

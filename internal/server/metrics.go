@@ -43,9 +43,14 @@ type serverMetrics struct {
 	replays        *obs.Counter
 
 	// Resilience telemetry (DESIGN.md §12).
-	degraded *obs.Counter
-	shed     *obs.Counter
-	panics   *obs.Counter
+	degraded  *obs.Counter
+	shed      *obs.Counter
+	shedRoute *obs.CounterVec
+	panics    *obs.Counter
+
+	// Per-VC fleet telemetry (DESIGN.md §13); nil when
+	// Config.VCLabelBudget is 0.
+	vc *vcMetrics
 
 	// Bayesian-estimator telemetry, refreshed at each tick.
 	gammaSigmaMean  *obs.Gauge
@@ -106,6 +111,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Ticks whose scheduling deadline expired, degrading to the anytime shortcuts."),
 		shed: reg.Counter("lpvs_shed_total",
 			"Requests shed by admission control with 429 + Retry-After."),
+		shedRoute: reg.CounterVec("lpvs_shed_route_total",
+			"Requests shed by admission control, by route.", "route"),
 		panics: reg.Counter("lpvs_panics_total",
 			"Handler panics converted to envelope 500s by the recovery middleware."),
 
@@ -117,6 +124,13 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Absolute change of the mean posterior sigma between the last two ticks."),
 	}
 
+	if s.cfg.VCLabelBudget != 0 {
+		m.vc = newVCMetrics(reg)
+	}
+	reg.CounterFunc("lpvs_series_dropped_total",
+		"Labeled series the registry refused over the cardinality budget.", func() float64 {
+			return float64(reg.DroppedSeries())
+		})
 	reg.GaugeFunc("lpvs_pool_workers", "Scheduling pool fan-out the daemon runs with.", func() float64 {
 		return float64(s.pool.Workers())
 	})
@@ -227,6 +241,12 @@ func (s *Server) observeTick(stats TickStats) {
 	}
 	if stats.Degraded {
 		m.degraded.Inc()
+	}
+	// SLO sources (fleet.go): lifetime tick counters, kept as atomics so
+	// burn-rate evaluation reads them without s.mu.
+	s.tickTotal.Add(1)
+	if stats.DurationSec > s.sloLatency.Seconds() {
+		s.tickSlow.Add(1)
 	}
 
 	gammaMean, sigmaMean := s.gammaStatsLocked()

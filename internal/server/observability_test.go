@@ -110,7 +110,7 @@ func TestStatusReportsObservabilityConfig(t *testing.T) {
 	if resp := getJSON(t, ts.URL+"/v1/status", &st); resp.StatusCode != http.StatusOK {
 		t.Fatalf("status: %d", resp.StatusCode)
 	}
-	if st.StartUnixSec <= 0 || st.UptimeSec < 0 {
+	if st.StartUnixSec <= 0 || st.UptimeMS < 0 {
 		t.Fatalf("missing start time: %+v", st)
 	}
 	if st.TraceSample != 1 {

@@ -78,18 +78,22 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 }
 
 // admit gates a heavy route: over the in-flight bound the request is
-// shed with 429 + Retry-After rather than queued.
-func (s *Server) admit(next http.Handler) http.Handler {
+// shed with 429 + Retry-After rather than queued. Admissions and sheds
+// feed the shed-requests SLO; sheds are also counted per route (bounded
+// label set: only the fixed gated routes reach here).
+func (s *Server) admit(next http.Handler, routePath string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !s.gate.tryAcquire() {
 			s.shed.Add(1)
 			s.metrics.shed.Inc()
+			s.metrics.shedRoute.With(routePath).Inc()
 			w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
 			writeErrorMsg(w, http.StatusTooManyRequests, CodeOverloaded,
 				fmt.Sprintf("edge at capacity (%d in flight); retry after %ds", cap(s.gate.sem), retryAfterSeconds))
 			return
 		}
 		defer s.gate.release()
+		s.admitted.Add(1)
 		next.ServeHTTP(w, r)
 	})
 }

@@ -19,6 +19,7 @@ import (
 	"lpvs/internal/edge"
 	"lpvs/internal/obs"
 	"lpvs/internal/obs/audit"
+	"lpvs/internal/obs/slo"
 	"lpvs/internal/obs/span"
 	"lpvs/internal/scheduler"
 	"lpvs/internal/transform"
@@ -75,6 +76,17 @@ type Config struct {
 	// MaxBodyBytes caps one POST body (413 beyond). Zero means
 	// DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// VCLabelBudget enables the per-VC labeled metric series (lpvs_vc_*,
+	// by channel and scheduling stream) and caps the registry's labeled
+	// cardinality at that many series per family; overflow is refused
+	// and counted in lpvs_series_dropped_total. 0 (the default) disables
+	// per-VC series entirely — the zero-overhead path; negative enables
+	// them without a cap.
+	VCLabelBudget int
+	// SLOTickLatency is the tick wall-time budget behind the
+	// tick-latency SLO: slower ticks count as bad events. Zero means
+	// DefaultSLOTickLatency.
+	SLOTickLatency time.Duration
 }
 
 // deviceState is the daemon's per-device bookkeeping.
@@ -112,6 +124,16 @@ type Server struct {
 	shed     atomic.Uint64
 	degraded atomic.Uint64
 
+	// Fleet-health state (DESIGN.md §13). The SLO sources read only the
+	// atomics, so burn-rate evaluation never waits on s.mu; ready backs
+	// the /readyz probe.
+	slo        *slo.Engine
+	sloLatency time.Duration
+	ready      atomic.Bool
+	tickTotal  atomic.Uint64
+	tickSlow   atomic.Uint64
+	admitted   atomic.Uint64
+
 	mu       sync.Mutex
 	slot     int
 	pending  map[string]scheduler.Request
@@ -119,6 +141,10 @@ type Server struct {
 	lastSel  int
 	lastTick TickStats
 	tickSeen bool
+	// fleet accumulates per-channel health; prevVC holds the last pool
+	// stream snapshot per state key so stream counters emit as deltas.
+	fleet  map[string]*channelStat
+	prevVC map[string]scheduler.VCStat
 	// prevGammaMean/prevSigmaMean hold the cluster telemetry of the
 	// previous tick, from which the drift gauges are derived.
 	prevGammaMean, prevSigmaMean float64
@@ -193,6 +219,8 @@ func New(cfg Config) (*Server, error) {
 		started:   time.Now(),
 		pending:   make(map[string]scheduler.Request),
 		devices:   make(map[string]*deviceState),
+		fleet:     make(map[string]*channelStat),
+		prevVC:    make(map[string]scheduler.VCStat),
 		maxBody:   cfg.MaxBodyBytes,
 	}
 	if s.maxBody == 0 {
@@ -212,6 +240,16 @@ func New(cfg Config) (*Server, error) {
 		s.audit = alog
 	}
 	s.metrics = newServerMetrics(s)
+	if cfg.VCLabelBudget > 0 {
+		s.metrics.reg.SetSeriesBudget(cfg.VCLabelBudget)
+	}
+	eng, err := s.newSLOEngine()
+	if err != nil {
+		return nil, fmt.Errorf("server: slo engine: %w", err)
+	}
+	s.slo = eng
+	s.slo.Register(s.metrics.reg)
+	s.ready.Store(true)
 	return s, nil
 }
 
@@ -251,10 +289,13 @@ func (s *Server) Handler() http.Handler {
 		{method: "POST", path: "/v1/observe", h: s.handleObserve, gated: true},
 		{method: "GET", path: "/v1/explain", h: s.handleExplain},
 		{method: "GET", path: "/v1/status", h: s.handleStatus},
+		{method: "GET", path: "/v1/fleet", h: s.handleFleet},
+		{method: "GET", path: "/v1/slo", h: s.handleSLO},
 		{method: "GET", path: "/metrics", h: s.handleMetrics},
 		{method: "GET", path: "/healthz", h: func(w http.ResponseWriter, _ *http.Request) {
 			w.WriteHeader(http.StatusOK)
 		}},
+		{method: "GET", path: "/readyz", h: s.handleReadyz},
 	}
 	mux := http.NewServeMux()
 	allow := map[string][]string{}
@@ -264,7 +305,7 @@ func (s *Server) Handler() http.Handler {
 			h = s.capBody(h)
 		}
 		if rt.gated && s.gate != nil {
-			h = s.admit(h)
+			h = s.admit(h, rt.path)
 		}
 		pattern := rt.method + " " + rt.path
 		mux.Handle(pattern, s.metrics.http.Instrument(pattern, s.recoverPanics(h)))
@@ -503,6 +544,7 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 	}
 	s.lastTick = stats
 	s.observeTick(stats)
+	s.fleetTickLocked(reqs, dec)
 	s.log.Info("tick",
 		"slot", stats.Slot, "reports", stats.Reports,
 		"eligible", stats.Eligible, "selected", stats.Selected,
@@ -594,6 +636,12 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Transformed = true
 		s.metrics.transformed.Inc()
+		if fs := s.fleet[st.channel]; fs != nil {
+			fs.transformed++
+		}
+		if vm := s.metrics.vc; vm != nil {
+			vm.chunksTransformed.With(st.channel).Inc()
+		}
 		resp.BrightnessScale = res.BrightnessScale
 		resp.MeanLuma = res.Stats.MeanLuma
 		resp.PeakLuma = res.Stats.PeakLuma
@@ -712,7 +760,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		StreamChunks:   len(s.cfg.Stream.Chunks),
 		Workers:        s.pool.Workers(),
 		StartUnixSec:   float64(s.started.UnixNano()) / 1e9,
-		UptimeSec:      time.Since(s.started).Seconds(),
+		UptimeMS:       time.Since(s.started).Milliseconds(),
 		TraceSample:    s.cfg.TraceSample,
 	}
 	if s.audit != nil {
