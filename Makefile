@@ -7,7 +7,7 @@ GO ?= go
 # Per-target budget for `make fuzz-smoke`.
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet vet-extra fmt check bench bench-smoke fuzz-smoke audit-replay chaos-smoke slo-smoke
+.PHONY: all build test race vet vet-extra fmt check bench bench-smoke fuzz-smoke audit-replay chaos-smoke slo-smoke snapshot-smoke
 
 all: build
 
@@ -44,7 +44,7 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: fmt vet vet-extra build race audit-replay chaos-smoke slo-smoke bench-smoke
+check: fmt vet vet-extra build race audit-replay chaos-smoke slo-smoke snapshot-smoke bench-smoke
 
 # chaos-smoke drives the resilience stack end to end: the retrying /
 # breaker-guarded client against a real daemon wrapped in the seeded
@@ -63,6 +63,21 @@ slo-smoke:
 	@out="$$($(GO) run ./cmd/lpvs-emu -seed 7 -n 12 -slots 4 -capacity 4)"; \
 	echo "$$out" | grep -q "slo slot-latency" || { \
 		echo "emulator report missing SLO verdict lines:"; echo "$$out"; exit 1; }
+
+# snapshot-smoke drives the durable-state stack (DESIGN.md §14) end to
+# end: the codec/corruption tests, the daemon kill-and-restart
+# differential, the emulator checkpoint tests, then a real write →
+# kill → resume session whose combined audit log must replay
+# byte-identically and recover into a loadable snapshot.
+snapshot-smoke:
+	$(GO) test -count=1 ./internal/persist/
+	$(GO) test -count=1 ./internal/server/ -run 'Snapshot|Restart|Restore'
+	$(GO) test -count=1 ./internal/emu/ -run 'Checkpoint|Resume'
+	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/lpvs-emu -seed 11 -n 16 -slots 6 -capacity 4 -audit-dir "$$dir/audit" -stop-after 3 -checkpoint "$$dir/ckpt.lpvs" >/dev/null && \
+	$(GO) run ./cmd/lpvs-emu -seed 11 -n 16 -slots 6 -capacity 4 -audit-dir "$$dir/audit" -resume "$$dir/ckpt.lpvs" >/dev/null && \
+	$(GO) run ./cmd/lpvs-audit replay "$$dir/audit" && \
+	$(GO) run ./cmd/lpvs-audit recover -out "$$dir/recovered.lpvs" "$$dir/audit"
 
 # audit-replay gates the determinism contract end to end: run a short
 # audited emulator session, then re-run every logged decision through

@@ -8,10 +8,18 @@
 //	                                         byte-compare the decisions
 //	lpvs-audit explain -device ID [-slot N] <audit.jsonl | dir>
 //	                                         print a device's verdict
+//	lpvs-audit recover -out snapshot.lpvs <audit.jsonl | dir>
+//	                                         rebuild a durable-state
+//	                                         snapshot from the log
 //
 // replay exits non-zero on any divergence, so `make audit-replay` can
 // gate CI on the scheduler's determinism contract: a logged decision
 // must be reproducible bit for bit from its own record.
+//
+// recover is the offline arm of the DESIGN.md §14 recovery ladder: it
+// replays every record for integrity (skip with -no-verify), then
+// synthesizes an approximate snapshot — last-known gamma per device as
+// a concentrated posterior — that lpvsd can warm-boot from.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"path/filepath"
 
 	"lpvs/internal/obs/audit"
+	"lpvs/internal/persist"
 )
 
 func main() {
@@ -34,6 +43,8 @@ func main() {
 		err = runReplay(os.Args[2:])
 	case "explain":
 		err = runExplain(os.Args[2:])
+	case "recover":
+		err = runRecover(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -51,7 +62,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   lpvs-audit replay [-v] <audit.jsonl | dir>
-  lpvs-audit explain -device ID [-slot N] <audit.jsonl | dir>`)
+  lpvs-audit explain -device ID [-slot N] <audit.jsonl | dir>
+  lpvs-audit recover -out snapshot.lpvs [-no-verify] <audit.jsonl | dir>`)
 }
 
 // logPath accepts either the JSONL file itself or the audit directory
@@ -106,6 +118,54 @@ func runReplay(args []string) error {
 		return fmt.Errorf("replay: %d of %d records diverged", diverged, len(recs))
 	}
 	fmt.Printf("replayed %d records from %s: all byte-identical\n", len(recs), path)
+	return nil
+}
+
+func runRecover(args []string) error {
+	fs := flag.NewFlagSet("recover", flag.ExitOnError)
+	out := fs.String("out", "", "write the recovered snapshot here (required)")
+	noVerify := fs.Bool("no-verify", false, "skip replaying every record before recovering")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("recover: -out is required")
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("recover: want exactly one audit log path, got %d", fs.NArg())
+	}
+	path, err := logPath(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	recs, err := audit.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("recover: %s holds no records", path)
+	}
+	if !*noVerify {
+		for i, rec := range recs {
+			res, err := rec.Replay()
+			if err != nil {
+				return fmt.Errorf("record %d (slot %d, vc %s): %w", i, rec.Slot, rec.VC, err)
+			}
+			if !res.Match {
+				return fmt.Errorf("record %d (slot %d, vc %s) diverged on replay; refusing to recover from a tampered log\n%s",
+					i, rec.Slot, rec.VC, res.Diff())
+			}
+		}
+	}
+	snap, err := persist.RecoverFromAudit(recs)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("recovered %d devices at slot %d from %d records into %s\n",
+		len(snap.Devices), snap.Slot, len(recs), *out)
 	return nil
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"lpvs"
 	"lpvs/internal/obs"
+	"lpvs/internal/persist"
 )
 
 func main() {
@@ -44,6 +45,9 @@ func main() {
 		auditDir = flag.String("audit-dir", "", "append per-slot decision audit records to DIR/audit.jsonl (lpvs policy only; replayable with lpvs-audit)")
 		incr     = flag.Bool("incremental", true, "reuse cross-slot scheduling caches (decisions are identical either way)")
 		deadline = flag.Duration("sched-deadline", 0, "per-slot scheduling wall-clock budget; expired slots degrade to the anytime shortcuts (lpvs policy only; 0 = unbounded)")
+		stopN    = flag.Int("stop-after", 0, "run only the first N slots and checkpoint (requires -checkpoint; lpvs policy only)")
+		ckptPath = flag.String("checkpoint", "", "write the partial run's checkpoint to this file (requires -stop-after)")
+		resume   = flag.String("resume", "", "resume a checkpointed run from this file and finish it (lpvs policy only)")
 	)
 	flag.Parse()
 
@@ -82,6 +86,13 @@ func main() {
 				"mean_energy", st.MeanEnergyFrac, "mean_anxiety", st.MeanAnxiety,
 				"sched_ms", st.SchedSec*1000)
 		}
+	}
+
+	if *stopN > 0 || *ckptPath != "" || *resume != "" {
+		if err := runCheckpointMode(cfg, *policy, *stopN, *ckptPath, *resume); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	var cmp *lpvs.Comparison
@@ -165,6 +176,68 @@ func main() {
 		}
 		fmt.Printf("comparison written to %s\n", *jsonOut)
 	}
+}
+
+// runCheckpointMode handles the durable-state flags (DESIGN.md §14):
+// -stop-after N -checkpoint FILE freezes a partial treated run;
+// -resume FILE finishes it in a fresh process. A resumed run prints
+// single-run stats (no paired baseline: the comparison would have to
+// re-run the baseline from slot zero, defeating the point of resuming).
+func runCheckpointMode(cfg lpvs.EmulationConfig, policy string, stopAfter int, ckptPath, resumePath string) error {
+	if policy != "lpvs" {
+		return fmt.Errorf("checkpoint/resume supports only the lpvs policy, got %q", policy)
+	}
+	if resumePath != "" && (stopAfter > 0 || ckptPath != "") {
+		return fmt.Errorf("-resume cannot be combined with -stop-after or -checkpoint")
+	}
+	if resumePath == "" && (stopAfter <= 0 || ckptPath == "") {
+		return fmt.Errorf("-stop-after and -checkpoint must be used together")
+	}
+	cfg.StopAfter = stopAfter
+	em, err := lpvs.NewEmulator(cfg, nil)
+	if err != nil {
+		return err
+	}
+	if resumePath != "" {
+		ck, err := persist.LoadEmuCheckpoint(resumePath)
+		if err != nil {
+			return err
+		}
+		if err := em.Restore(ck); err != nil {
+			return err
+		}
+	}
+	res, err := em.Run()
+	if err != nil {
+		return err
+	}
+	if ckptPath != "" {
+		ck, err := em.Checkpoint(res)
+		if err != nil {
+			return err
+		}
+		if err := ck.WriteFile(ckptPath); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint written to %s (%d slots run, next slot %d)\n",
+			ckptPath, res.SlotsRun, ck.NextSlot)
+		return nil
+	}
+	fmt.Printf("policy:             %s (resumed)\n", res.Policy)
+	fmt.Printf("cluster:            %d devices, %d slots (%.0f min)\n",
+		len(res.FinalState), res.SlotsRun, float64(res.SlotsRun)*5)
+	fmt.Printf("energy saving:      %.2f%%\n", 100*res.EnergySavingRatio())
+	fmt.Printf("mean anxiety:       %.4f\n", res.MeanAnxiety())
+	fmt.Printf("scheduler time:     %.3f s over %d slots\n", res.SchedSeconds, res.SlotsRun)
+	for _, st := range res.SLO {
+		verdict := "ok"
+		if st.Alarming {
+			verdict = "ALARM"
+		}
+		fmt.Printf("slo %-16s %s  bad %.0f/%.0f  budget left %.0f%%\n",
+			st.Name+":", verdict, st.BadEvents, st.TotalEvents, 100*st.BudgetRemaining)
+	}
+	return nil
 }
 
 func parseGenre(name string) (lpvs.VideoGenre, error) {

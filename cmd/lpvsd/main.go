@@ -65,6 +65,8 @@ func main() {
 		sloLatency    = flag.Duration("slo-tick-latency", server.DefaultSLOTickLatency, "tick wall-time budget behind the tick-latency SLO")
 		sloInterval   = flag.Duration("slo-interval", 5*time.Second, "background SLO burn-rate evaluation interval")
 		runtimeEvery  = flag.Duration("runtime-metrics-interval", 10*time.Second, "runtime self-telemetry sampling interval (0 = off)")
+		snapshotDir   = flag.String("snapshot-dir", "", "persist durable state to DIR/snapshot.lpvs and restore from it on boot (see DESIGN.md §14)")
+		snapshotEvery = flag.Duration("snapshot-interval", time.Minute, "background snapshot cadence when -snapshot-dir is set (0 = only on shutdown)")
 		showVersion   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -108,6 +110,8 @@ func main() {
 		MaxInflight:        *maxInflight,
 		VCLabelBudget:      *vcBudget,
 		SLOTickLatency:     *sloLatency,
+		SnapshotDir:        *snapshotDir,
+		SnapshotInterval:   *snapshotEvery,
 	})
 	if err != nil {
 		fatal(err)
@@ -138,6 +142,26 @@ func main() {
 		go runtimecollector.New(srv.Registry()).Run(ctx, *runtimeEvery)
 	}
 	go srv.SLO().Run(ctx.Done(), *sloInterval)
+
+	// Periodic durable-state snapshots (DESIGN.md §14). The final
+	// snapshot is taken by the shutdown goroutine after drain, so a
+	// clean restart warm-boots from the freshest possible state.
+	if *snapshotDir != "" && *snapshotEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(*snapshotEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+				}
+				if err := srv.SaveSnapshot(); err != nil {
+					logger.Warn("snapshot", "err", err)
+				}
+			}
+		}()
+	}
 
 	if !*manualTick {
 		go func() {
@@ -172,7 +196,12 @@ func main() {
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
+	// ListenAndServe returns ErrServerClosed as soon as Shutdown
+	// begins, so main must wait for this goroutine — otherwise the
+	// process exits racing the drain and the final snapshot.
+	shutdownDone := make(chan struct{})
 	go func() {
+		defer close(shutdownDone)
 		<-ctx.Done()
 		logger.Info("shutting down")
 		// Flip readiness first so load balancers drain this instance
@@ -183,17 +212,26 @@ func main() {
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			logger.Error("shutdown", "err", err)
 		}
+		// Snapshot after drain so the on-disk state reflects every
+		// admitted report.
+		if *snapshotDir != "" {
+			if err := srv.SaveSnapshot(); err != nil {
+				logger.Error("final snapshot", "err", err)
+			}
+		}
 	}()
 
 	logger.Info("lpvsd listening",
 		"addr", *addr, "version", version, "capacity", *capacity,
 		"lambda", *lambda, "slot_sec", *slotSec, "workers", *workers,
 		"pprof", *enablePprof, "audit_dir", *auditDir,
+		"snapshot_dir", *snapshotDir,
 		"trace_sample", *traceSample,
 		"sched_deadline", *schedDeadline, "max_inflight", *maxInflight)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
+	<-shutdownDone
 }
 
 func parseGenre(name string) (video.Genre, error) {

@@ -143,8 +143,10 @@ func (e *GammaEstimator) Uncertainty() float64 {
 	return math.Sqrt(stats.TruncNormalVar(e.mean, e.sigma, e.lo, e.hi))
 }
 
-// Snapshot is a telemetry view of one estimator's posterior, cheap to
-// aggregate across a cluster for metrics exposition.
+// Snapshot is a view of one estimator's posterior: cheap to aggregate
+// across a cluster for metrics exposition, and — because it carries
+// every persistent parameter — sufficient to rebuild the estimator
+// bit-for-bit via FromSnapshot (durable state, DESIGN.md §14).
 type Snapshot struct {
 	// Gamma is the scheduler-facing truncated posterior expectation.
 	Gamma float64
@@ -155,6 +157,10 @@ type Snapshot struct {
 	Uncertainty float64
 	// Observations counts the conjugate updates folded in so far.
 	Observations int
+	// ObsSigma is the observation noise level the updates use.
+	ObsSigma float64
+	// Lo and Hi are the physical support bounds of the ratio.
+	Lo, Hi float64
 }
 
 // Snapshot captures the estimator's current posterior state.
@@ -165,5 +171,42 @@ func (e *GammaEstimator) Snapshot() Snapshot {
 		Sigma:        e.sigma,
 		Uncertainty:  e.Uncertainty(),
 		Observations: e.nObs,
+		ObsSigma:     e.obsSigma,
+		Lo:           e.lo,
+		Hi:           e.hi,
 	}
+}
+
+// FromSnapshot rebuilds an estimator from a captured posterior — the
+// restore half of the durable-state path (DESIGN.md §14). The five
+// persistent parameters (Mean, Sigma, ObsSigma, Lo, Hi) plus the
+// observation count determine the estimator exactly; the derived
+// Gamma and Uncertainty fields are ignored and recomputed on demand.
+// Snapshots that could not have come from a valid estimator are
+// rejected so a corrupted restore fails closed instead of poisoning
+// future decisions.
+func FromSnapshot(s Snapshot) (*GammaEstimator, error) {
+	if math.IsNaN(s.Mean) || math.IsInf(s.Mean, 0) {
+		return nil, fmt.Errorf("bayes: snapshot mean %v", s.Mean)
+	}
+	if !(s.Sigma > 0) || math.IsInf(s.Sigma, 0) {
+		return nil, fmt.Errorf("bayes: snapshot sigma %v", s.Sigma)
+	}
+	if !(s.ObsSigma > 0) || math.IsInf(s.ObsSigma, 0) {
+		return nil, fmt.Errorf("bayes: snapshot observation sigma %v", s.ObsSigma)
+	}
+	if math.IsNaN(s.Lo) || math.IsInf(s.Lo, 0) || math.IsNaN(s.Hi) || math.IsInf(s.Hi, 0) || s.Lo >= s.Hi {
+		return nil, fmt.Errorf("bayes: snapshot bounds [%v, %v]", s.Lo, s.Hi)
+	}
+	if s.Observations < 0 {
+		return nil, fmt.Errorf("bayes: snapshot observation count %d", s.Observations)
+	}
+	return &GammaEstimator{
+		mean:     s.Mean,
+		sigma:    s.Sigma,
+		obsSigma: s.ObsSigma,
+		lo:       s.Lo,
+		hi:       s.Hi,
+		nObs:     s.Observations,
+	}, nil
 }

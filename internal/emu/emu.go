@@ -128,6 +128,11 @@ type Config struct {
 	// Records are only written when the deciding policy is the LPVS
 	// scheduler (serial or pooled); baselines are not auditable.
 	AuditDir string
+	// StopAfter, when positive, ends the run after that many total
+	// slots — before stream finalisation — so the caller can
+	// Checkpoint() the emulator and resume it in a later process
+	// (durable state, DESIGN.md §14). Zero runs all Slots.
+	StopAfter int
 	// SLOSlotLatency is the scheduling wall-time budget per slot behind
 	// the emulator's slot-latency SLO (slower slots count as bad
 	// events); zero means 250ms. The SLO engine runs on a synthetic
@@ -204,6 +209,9 @@ func (c Config) normalized() (Config, error) {
 	}
 	if c.SchedDeadline < 0 {
 		return c, fmt.Errorf("emu: negative scheduling deadline %v", c.SchedDeadline)
+	}
+	if c.StopAfter < 0 || c.StopAfter > c.Slots {
+		return c, fmt.Errorf("emu: stop-after %d outside [0, %d]", c.StopAfter, c.Slots)
 	}
 	return c, nil
 }
@@ -383,6 +391,12 @@ type Emulator struct {
 	// display type — not on the individual device — so one transform per
 	// (stream, chunk, type) serves the whole cluster.
 	frameCache map[frameKey]transform.Result
+
+	// Durable-state cursor (DESIGN.md §14): nextSlot is the first slot
+	// the next Run call executes; resume carries the accumulated partial
+	// result installed by Restore.
+	nextSlot int
+	resume   *RunResult
 }
 
 // frameKey identifies a memoised per-pixel transform.
@@ -538,17 +552,35 @@ func SchedulerConfig(cfg Config) (scheduler.Config, error) {
 	}, nil
 }
 
-// Run executes the emulation and returns the aggregated result.
+// Run executes the emulation — all Slots, or only up to
+// Config.StopAfter, or the remaining slots after a Restore — and
+// returns the aggregated result.
 func (e *Emulator) Run() (*RunResult, error) {
-	res := &RunResult{
-		Policy:          e.policy.Name(),
-		TPVMin:          make([]float64, len(e.devices)),
-		LowBatteryStart: make([]bool, len(e.devices)),
-		EverServed:      make([]bool, len(e.devices)),
-		FinalState:      make([]device.State, len(e.devices)),
+	startSlot := e.nextSlot
+	endSlot := e.cfg.Slots
+	if e.cfg.StopAfter > 0 && e.cfg.StopAfter < endSlot {
+		endSlot = e.cfg.StopAfter
 	}
-	for i, d := range e.devices {
-		res.LowBatteryStart[i] = d.LowBattery()
+	if startSlot >= endSlot {
+		return nil, fmt.Errorf("emu: nothing to run (at slot %d, end %d)", startSlot, endSlot)
+	}
+	var res *RunResult
+	if e.resume != nil {
+		// Continuing a restored run: the accumulators carry on exactly
+		// where the checkpointed process left them.
+		res = e.resume
+		e.resume = nil
+	} else {
+		res = &RunResult{
+			Policy:          e.policy.Name(),
+			TPVMin:          make([]float64, len(e.devices)),
+			LowBatteryStart: make([]bool, len(e.devices)),
+			EverServed:      make([]bool, len(e.devices)),
+			FinalState:      make([]device.State, len(e.devices)),
+		}
+		for i, d := range e.devices {
+			res.LowBatteryStart[i] = d.LowBattery()
+		}
 	}
 	var auditLog *audit.Log
 	if e.cfg.AuditDir != "" {
@@ -571,9 +603,12 @@ func (e *Emulator) Run() (*RunResult, error) {
 	if sloLatency <= 0 {
 		sloLatency = 250 * time.Millisecond
 	}
-	sloClock := time.Unix(0, 0)
 	var sloSlow, sloDegraded, sloTotal float64
 	slotDur := time.Duration(e.cfg.SlotSec * float64(time.Second))
+	// On a resumed run the SLO windows restart at the checkpoint slot —
+	// burn-rate state is observation, not decision input, and is not
+	// persisted (DESIGN.md §14).
+	sloClock := time.Unix(0, 0).Add(time.Duration(startSlot) * slotDur)
 	sloEng, err := slo.NewEngine(slo.Config{
 		FastWindow: 2 * slotDur,
 		SlowWindow: 10 * slotDur,
@@ -601,7 +636,7 @@ func (e *Emulator) Run() (*RunResult, error) {
 		return nil, fmt.Errorf("emu: slo engine: %w", err)
 	}
 
-	for slot := 0; slot < e.cfg.Slots; slot++ {
+	for slot := startSlot; slot < endSlot; slot++ {
 		windows := e.slotWindows(slot)
 
 		slotCtx, slotSp := e.cfg.Tracer.Start(context.Background(), "slot")
@@ -743,7 +778,14 @@ func (e *Emulator) Run() (*RunResult, error) {
 	}
 
 	res.SLO = sloEng.Snapshot()
+	e.nextSlot = endSlot
 
+	if endSlot < e.cfg.Slots {
+		// Partial run (Config.StopAfter): stream finalisation and the
+		// final per-device fills wait for the resuming process; the
+		// caller checkpoints the emulator now (Checkpoint).
+		return res, nil
+	}
 	for i, d := range e.devices {
 		d.FinishStream()
 		res.FinalState[i] = d.State

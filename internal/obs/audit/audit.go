@@ -133,9 +133,9 @@ type AnxietyRecord struct {
 	Warning          float64 `json:"warning,omitempty"`
 }
 
-// newAnxietyRecord classifies a model; nil means the scheduler default
+// NewAnxietyRecord classifies a model; nil means the scheduler default
 // (canonical).
-func newAnxietyRecord(m anxiety.Model) AnxietyRecord {
+func NewAnxietyRecord(m anxiety.Model) AnxietyRecord {
 	switch a := m.(type) {
 	case nil:
 		c := anxiety.NewCanonical()
@@ -145,7 +145,7 @@ func newAnxietyRecord(m anxiety.Model) AnxietyRecord {
 		return AnxietyRecord{Kind: "canonical", AnxietyAtWarning: a.AnxietyAtWarning,
 			ConvexPower: a.ConvexPower, ConcavePower: a.ConcavePower}
 	case *anxiety.Rescaled:
-		base := newAnxietyRecord(a.Base)
+		base := NewAnxietyRecord(a.Base)
 		if base.Kind == "canonical" {
 			base.Kind = "rescaled"
 			base.Warning = a.Warning
@@ -202,7 +202,7 @@ func NewConfigRecord(cfg scheduler.Config) ConfigRecord {
 		MaxNodes:       cfg.MaxNodes,
 		DisableSwap:    cfg.DisableSwap,
 		MaxSwapPasses:  cfg.MaxSwapPasses,
-		Anxiety:        newAnxietyRecord(cfg.Anxiety),
+		Anxiety:        NewAnxietyRecord(cfg.Anxiety),
 	}
 	if cfg.Server != nil {
 		rec.ComputeCapacity = cfg.Server.ComputeCapacity
@@ -292,7 +292,7 @@ func newRequestRecord(r *scheduler.Request) RequestRecord {
 		Chunks:           make([]ChunkRecord, len(r.Chunks)),
 	}
 	if r.Anxiety != nil {
-		a := newAnxietyRecord(r.Anxiety)
+		a := NewAnxietyRecord(r.Anxiety)
 		rec.Anxiety = &a
 	}
 	for i, c := range r.Chunks {

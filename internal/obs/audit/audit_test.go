@@ -223,7 +223,7 @@ func TestAnxietyRecordRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, m := range []anxiety.Model{nil, canonical, rescaled} {
-		rec := newAnxietyRecord(m)
+		rec := NewAnxietyRecord(m)
 		back, err := rec.Model()
 		if err != nil {
 			t.Fatalf("%+v: %v", rec, err)
@@ -238,7 +238,7 @@ func TestAnxietyRecordRoundTrip(t *testing.T) {
 			}
 		}
 	}
-	custom := newAnxietyRecord(customModel{})
+	custom := NewAnxietyRecord(customModel{})
 	if custom.Kind != "custom" {
 		t.Fatalf("custom model classified as %q", custom.Kind)
 	}

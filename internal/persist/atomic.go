@@ -1,0 +1,32 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path via a same-directory temp file,
+// fsync, and rename, so a crash mid-write can never leave a torn file
+// at path: readers observe either the previous complete snapshot or
+// the new one, never a prefix.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if err := errors.Join(werr, serr, cerr); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+
+	"lpvs/internal/bayes"
+	"lpvs/internal/display"
+)
+
+// Emulator-checkpoint payload identity.
+const (
+	// EmuKind names the lpvs-emu mid-run checkpoint payload.
+	EmuKind = "lpvs-emu-checkpoint"
+	// EmuVersion is the payload schema version.
+	EmuVersion = 1
+)
+
+// EmuDevice is one emulated device's full state — static generation
+// parameters and dynamic play state alike. Carrying the static fields
+// too makes resume independent of how the fleet was generated (the
+// survey-driven give-up sampler is a function and cannot be
+// fingerprinted): the resuming process regenerates a fleet and then
+// overwrites it wholesale from the checkpoint.
+type EmuDevice struct {
+	ID         string
+	Display    display.Spec
+	CapacityJ  float64
+	LevelJ     float64
+	BasePowerW float64
+	GiveUpFrac float64
+	// State is the device.State value (watching / gave up / dead /
+	// finished).
+	State      int
+	WatchedSec float64
+	Estimator  bayes.Snapshot
+}
+
+// RNGState pins one deterministic stream's exact position
+// (stats.RNG.State / stats.RestoreRNG).
+type RNGState struct {
+	Seed  int64
+	Draws uint64
+}
+
+// EmuCheckpoint freezes an emulator between slots so a later process
+// can resume the run and finish with results identical to an
+// uninterrupted one (modulo wall-clock timing and the restarted SLO
+// windows; see DESIGN.md §14).
+type EmuCheckpoint struct {
+	// ConfigHash fingerprints the workload-defining configuration;
+	// Restore refuses a checkpoint hashed under a different config, so
+	// a drifted resume cold-starts instead of silently diverging.
+	ConfigHash string
+	// NextSlot is the first slot the resumed run executes.
+	NextSlot int
+	// Devices carries the fleet, in generation order.
+	Devices []EmuDevice
+	// CacheRNG is the edge-cache sampling stream's position — the only
+	// random stream the emulator consumes during Run.
+	CacheRNG RNGState
+	// Result is the partial run's accumulated RunResult as JSON. The
+	// emulator owns that type; persist treats it as opaque bytes.
+	Result []byte
+}
+
+// Encode frames the checkpoint as a checksummed container.
+func (c *EmuCheckpoint) Encode() []byte {
+	var e Enc
+	e.String(c.ConfigHash)
+	e.Int64(int64(c.NextSlot))
+	e.Uint64(uint64(len(c.Devices)))
+	for i := range c.Devices {
+		d := &c.Devices[i]
+		e.String(d.ID)
+		encDisplay(&e, d.Display)
+		e.Float64(d.CapacityJ)
+		e.Float64(d.LevelJ)
+		e.Float64(d.BasePowerW)
+		e.Float64(d.GiveUpFrac)
+		e.Int64(int64(d.State))
+		e.Float64(d.WatchedSec)
+		encEstimator(&e, d.Estimator)
+	}
+	e.Int64(c.CacheRNG.Seed)
+	e.Uint64(c.CacheRNG.Draws)
+	e.Bytes(c.Result)
+	return EncodeContainer(EmuKind, EmuVersion, e.Data())
+}
+
+// DecodeEmuCheckpoint parses a checkpoint container, failing closed on
+// any structural defect.
+func DecodeEmuCheckpoint(data []byte) (*EmuCheckpoint, error) {
+	payload, err := DecodeContainer(data, EmuKind, EmuVersion)
+	if err != nil {
+		return nil, err
+	}
+	d := NewDec(payload)
+	c := &EmuCheckpoint{
+		ConfigHash: d.String(),
+		NextSlot:   int(d.Int64()),
+	}
+	if n := d.Count(8); n > 0 {
+		c.Devices = make([]EmuDevice, n)
+		for i := range c.Devices {
+			dev := &c.Devices[i]
+			dev.ID = d.String()
+			dev.Display = decDisplay(d)
+			dev.CapacityJ = d.Float64()
+			dev.LevelJ = d.Float64()
+			dev.BasePowerW = d.Float64()
+			dev.GiveUpFrac = d.Float64()
+			dev.State = int(d.Int64())
+			dev.WatchedSec = d.Float64()
+			dev.Estimator = decEstimator(d)
+		}
+	}
+	c.CacheRNG.Seed = d.Int64()
+	c.CacheRNG.Draws = d.Uint64()
+	c.Result = d.Bytes()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, d.Remaining())
+	}
+	return c, nil
+}
+
+// WriteFile encodes the checkpoint and writes it atomically.
+func (c *EmuCheckpoint) WriteFile(path string) error {
+	return WriteFileAtomic(path, c.Encode())
+}
+
+// LoadEmuCheckpoint reads and decodes a checkpoint file.
+func LoadEmuCheckpoint(path string) (*EmuCheckpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeEmuCheckpoint(data)
+}

@@ -1,0 +1,166 @@
+package scheduler
+
+import (
+	"bytes"
+	"testing"
+
+	"lpvs/internal/edge"
+)
+
+// evolve mutates the VC set's battery levels deterministically so a
+// second slot poses a related-but-different problem, the way a live
+// fleet's does.
+func evolveVCs(vcs []VC) []VC {
+	out := make([]VC, len(vcs))
+	for v := range vcs {
+		reqs := append([]Request(nil), vcs[v].Requests...)
+		for i := range reqs {
+			reqs[i].EnergyFrac *= 0.97
+			if reqs[i].EnergyFrac < 0.02 {
+				reqs[i].EnergyFrac = 0.02
+			}
+		}
+		out[v] = VC{ID: vcs[v].ID, StateKey: vcs[v].StateKey, Requests: reqs}
+	}
+	return out
+}
+
+// TestStreamStatesRoundTrip: a pool warm-seeded from another pool's
+// persisted stream states must make byte-identical slot decisions —
+// the restore is decision-neutral by construction.
+func TestStreamStatesRoundTrip(t *testing.T) {
+	srv, err := edge.NewServer(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Lambda: 1, Server: srv}
+	vcs := makeVCSet(t, 3, 12, 101)
+
+	poolA, err := NewPool(cfg, PoolConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := poolA.Decide(vcs); err != nil {
+		t.Fatal(err)
+	}
+	states := poolA.StreamStates()
+	if len(states) == 0 {
+		t.Fatal("no persistable stream states after a decided slot")
+	}
+	for i := 1; i < len(states); i++ {
+		if states[i-1].Key >= states[i].Key {
+			t.Fatal("stream states not sorted by key")
+		}
+	}
+	for _, st := range states {
+		if len(st.ConfigSig) == 0 {
+			t.Fatalf("stream %s has no config signature", st.Key)
+		}
+	}
+
+	next := evolveVCs(vcs)
+	wantRes, err := poolA.Decide(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srvB, err := edge.NewServer(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolB, err := NewPool(Config{Lambda: 1, Server: srvB}, PoolConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := poolB.RestoreStreamStates(states); n != len(states) {
+		t.Fatalf("restored %d of %d stream states", n, len(states))
+	}
+	gotRes, err := poolB.Decide(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotRes.VCs) != len(wantRes.VCs) {
+		t.Fatal("VC counts differ")
+	}
+	for i := range wantRes.VCs {
+		w, g := &wantRes.VCs[i], &gotRes.VCs[i]
+		if w.VC != g.VC {
+			t.Fatalf("VC order differs: %s vs %s", w.VC, g.VC)
+		}
+		if !bytes.Equal(w.Decision.Canonical(), g.Decision.Canonical()) {
+			t.Fatalf("vc %s: warm-restored decision diverged from the continuing pool's", w.VC)
+		}
+	}
+}
+
+// TestRestoreStreamStatesSkips: mismatched signatures, empty seeds and
+// already-live keys are skipped, never adopted.
+func TestRestoreStreamStatesSkips(t *testing.T) {
+	vcs := makeVCSet(t, 1, 8, 33)
+	poolA, err := NewPool(Config{Lambda: 1}, PoolConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := poolA.Decide(vcs); err != nil {
+		t.Fatal(err)
+	}
+	states := poolA.StreamStates()
+	if len(states) == 0 {
+		t.Fatal("no stream states to test with")
+	}
+
+	// Different lambda → different config signature → skip.
+	poolB, err := NewPool(Config{Lambda: 2}, PoolConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := poolB.RestoreStreamStates(states); n != 0 {
+		t.Fatalf("adopted %d states across a config change", n)
+	}
+
+	// Tampered signature → skip.
+	poolC, err := NewPool(Config{Lambda: 1}, PoolConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]StreamState(nil), states...)
+	for i := range bad {
+		bad[i].ConfigSig = append([]byte{0xFF}, bad[i].ConfigSig...)
+	}
+	if n := poolC.RestoreStreamStates(bad); n != 0 {
+		t.Fatalf("adopted %d states with tampered signatures", n)
+	}
+
+	// Empty seed / empty key → skip.
+	if n := poolC.RestoreStreamStates([]StreamState{
+		{Key: "x", ConfigSig: poolC.Scheduler().ConfigSig()},
+		{Key: "", ConfigSig: poolC.Scheduler().ConfigSig(), WarmSelected: []string{"a"}},
+	}); n != 0 {
+		t.Fatalf("adopted %d degenerate states", n)
+	}
+
+	// Matching signature → adopt; a second restore of the same key is a
+	// no-op because the key is already live.
+	if n := poolC.RestoreStreamStates(states); n != len(states) {
+		t.Fatalf("adopted %d of %d valid states", n, len(states))
+	}
+	if n := poolC.RestoreStreamStates(states); n != 0 {
+		t.Fatalf("re-adopted %d already-live keys", n)
+	}
+}
+
+// TestConfigSigCopies: the exposed signature is a defensive copy.
+func TestConfigSigCopies(t *testing.T) {
+	s, err := New(Config{Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := s.ConfigSig()
+	if len(sig) == 0 {
+		t.Fatal("default config must be fingerprintable")
+	}
+	sig[0] ^= 0xFF
+	if bytes.Equal(sig, s.ConfigSig()) {
+		t.Fatal("mutating the returned signature reached the scheduler")
+	}
+}

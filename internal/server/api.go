@@ -236,6 +236,19 @@ type StatusResponse struct {
 	MaxInflight      int     `json:"max_inflight"`
 	DegradedTicks    uint64  `json:"degraded_ticks"`
 	ShedRequests     uint64  `json:"shed_requests"`
+	// Durable state (DESIGN.md §14). SnapshotPath is the snapshot file
+	// ("" = durable state off); RestorePath records which recovery path
+	// boot took ("snapshot", "audit", or "cold", "" when durable state
+	// is off) with RestoreDetail the human-readable account. The
+	// remaining fields mirror the lpvs_snapshot_* metrics.
+	SnapshotPath        string  `json:"snapshot_path,omitempty"`
+	SnapshotIntervalSec float64 `json:"snapshot_interval_sec,omitempty"`
+	RestorePath         string  `json:"restore_path,omitempty"`
+	RestoreDetail       string  `json:"restore_detail,omitempty"`
+	SnapshotWrites      uint64  `json:"snapshot_writes"`
+	SnapshotErrors      uint64  `json:"snapshot_errors"`
+	SnapshotLastUnixSec int64   `json:"snapshot_last_unix_sec"`
+	SnapshotLastBytes   int64   `json:"snapshot_last_bytes"`
 }
 
 // FleetResponse is the /v1/fleet health rollup: one row per channel

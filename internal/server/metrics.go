@@ -2,6 +2,7 @@ package server
 
 import (
 	"net/http"
+	"time"
 
 	"lpvs/internal/obs"
 )
@@ -46,7 +47,11 @@ type serverMetrics struct {
 	degraded  *obs.Counter
 	shed      *obs.Counter
 	shedRoute *obs.CounterVec
-	panics    *obs.Counter
+
+	// Durable-state telemetry (DESIGN.md §14); the lpvs_snapshot_*
+	// counter/gauge funcs read the server's atomics directly.
+	snapRestore *obs.CounterVec
+	panics      *obs.Counter
 
 	// Per-VC fleet telemetry (DESIGN.md §13); nil when
 	// Config.VCLabelBudget is 0.
@@ -115,6 +120,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Requests shed by admission control, by route.", "route"),
 		panics: reg.Counter("lpvs_panics_total",
 			"Handler panics converted to envelope 500s by the recovery middleware."),
+
+		snapRestore: reg.CounterVec("lpvs_snapshot_restore_total",
+			"Boot-time durable-state recoveries, by path taken (snapshot, audit, cold).", "path"),
 
 		gammaSigmaMean: reg.Gauge("lpvs_gamma_sigma_mean",
 			"Mean posterior standard deviation of the per-device gamma estimators at the last tick."),
@@ -189,6 +197,36 @@ func newServerMetrics(s *Server) *serverMetrics {
 				n += st.estimator.Observations()
 			}
 			return float64(n)
+		})
+	// Durable-state telemetry (DESIGN.md §14): all atomic-backed, so
+	// scrapes never contend with the background snapshot loop.
+	reg.CounterFunc("lpvs_snapshot_writes_total",
+		"Durable-state snapshots written successfully.", func() float64 {
+			return float64(s.snapWrites.Load())
+		})
+	reg.CounterFunc("lpvs_snapshot_errors_total",
+		"Snapshot writes that failed.", func() float64 {
+			return float64(s.snapErrors.Load())
+		})
+	reg.GaugeFunc("lpvs_snapshot_last_success_unix_seconds",
+		"Wall-clock time of the last successful snapshot write (0 = none yet).", func() float64 {
+			return float64(s.snapLastUnix.Load())
+		})
+	reg.GaugeFunc("lpvs_snapshot_size_bytes",
+		"Size of the last successfully written snapshot.", func() float64 {
+			return float64(s.snapLastBytes.Load())
+		})
+	reg.GaugeFunc("lpvs_snapshot_age_seconds",
+		"Seconds since the last successful snapshot write (0 = none yet).", func() float64 {
+			last := s.snapLastUnix.Load()
+			if last == 0 {
+				return 0
+			}
+			age := time.Since(time.Unix(last, 0)).Seconds()
+			if age < 0 {
+				return 0
+			}
+			return age
 		})
 	return m
 }

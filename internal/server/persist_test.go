@@ -1,0 +1,361 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lpvs/internal/obs/audit"
+	"lpvs/internal/persist"
+)
+
+// persistServer builds a server whose lifecycle the test controls —
+// unlike testServer, Close is explicit so a "kill" can be simulated.
+func persistServer(tb testing.TB, mutate func(*Config)) (*Server, *httptest.Server) {
+	tb.Helper()
+	cfg := Config{Stream: testStream(tb), ServerStreams: 6, Lambda: 1}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	return s, ts
+}
+
+// scriptReport is the deterministic per-(device, slot) report script
+// both the uninterrupted and the killed daemon replay.
+func scriptReport(i, slot int) ReportRequest {
+	r := validReport(fmt.Sprintf("dev-%02d", i))
+	if i%2 == 0 {
+		r.DisplayType = "LCD"
+	}
+	r.EnergyFrac = 0.9 - 0.06*float64(slot) - 0.02*float64(i%9)
+	if r.EnergyFrac < 0.05 {
+		r.EnergyFrac = 0.05
+	}
+	return r
+}
+
+// driveSlots replays the deterministic script for slots [from, to):
+// report every device, tick, then feed observations so the posteriors
+// keep moving between slots.
+func driveSlots(tb testing.TB, url string, nDev, from, to int) {
+	tb.Helper()
+	for slot := from; slot < to; slot++ {
+		for i := 0; i < nDev; i++ {
+			if resp := postJSON(tb, url+"/v1/report", scriptReport(i, slot), nil); resp.StatusCode != http.StatusOK {
+				tb.Fatalf("slot %d report %d: status %d", slot, i, resp.StatusCode)
+			}
+		}
+		if resp := postJSON(tb, url+"/v1/tick", struct{}{}, nil); resp.StatusCode != http.StatusOK {
+			tb.Fatalf("slot %d tick: status %d", slot, resp.StatusCode)
+		}
+		for i := 0; i < nDev; i += 3 {
+			obs := ObserveRequest{
+				DeviceID:  fmt.Sprintf("dev-%02d", i),
+				Reduction: 0.2 + 0.01*float64(i%10) + 0.005*float64(slot%8),
+			}
+			if resp := postJSON(tb, url+"/v1/observe", obs, nil); resp.StatusCode != http.StatusOK {
+				tb.Fatalf("slot %d observe %d: status %d", slot, i, resp.StatusCode)
+			}
+		}
+	}
+}
+
+func readAudit(tb testing.TB, dir string) []*audit.Record {
+	tb.Helper()
+	recs, err := audit.ReadFile(filepath.Join(dir, audit.FileName))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return recs
+}
+
+// TestKillAndRestartDifferential is the daemon's durable-state
+// contract (DESIGN.md §14): a daemon killed after a snapshot and
+// warm-restarted must go on making decisions byte-identical to one
+// that never died — across the serial, pooled and incremental
+// scheduling paths.
+func TestKillAndRestartDifferential(t *testing.T) {
+	const (
+		nDev   = 18
+		slots  = 8
+		killAt = 4
+	)
+	cases := map[string]func(*Config){
+		"serial":         func(c *Config) { c.Workers = 1 },
+		"pooled":         func(c *Config) { c.Workers = 4 },
+		"no-incremental": func(c *Config) { c.Workers = 1; c.DisableIncremental = true },
+	}
+	for name, variant := range cases {
+		t.Run(name, func(t *testing.T) {
+			auditA, auditB := t.TempDir(), t.TempDir()
+			snapDir := t.TempDir()
+
+			// The uninterrupted reference daemon.
+			sA, tsA := persistServer(t, func(c *Config) { variant(c); c.AuditDir = auditA })
+			driveSlots(t, tsA.URL, nDev, 0, slots)
+			tsA.Close()
+			if err := sA.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The killed daemon: same script, snapshot at the kill point.
+			sB, tsB := persistServer(t, func(c *Config) { variant(c); c.AuditDir = auditB; c.SnapshotDir = snapDir })
+			driveSlots(t, tsB.URL, nDev, 0, killAt)
+			if err := sB.SaveSnapshot(); err != nil {
+				t.Fatal(err)
+			}
+			tsB.Close()
+			if err := sB.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Warm restart; it must report ready and announce the snapshot
+			// restore path before serving.
+			sB2, tsB2 := persistServer(t, func(c *Config) { variant(c); c.AuditDir = auditB; c.SnapshotDir = snapDir })
+			defer sB2.Close()
+			defer tsB2.Close()
+			var st StatusResponse
+			getJSON(t, tsB2.URL+"/v1/status", &st)
+			if st.RestorePath != RestoreSnapshot {
+				t.Fatalf("restore path %q (%s), want %q", st.RestorePath, st.RestoreDetail, RestoreSnapshot)
+			}
+			if st.Slot != killAt || st.Devices != nDev {
+				t.Fatalf("restored at slot %d with %d devices, want slot %d with %d", st.Slot, st.Devices, killAt, nDev)
+			}
+			if resp, err := http.Get(tsB2.URL + "/readyz"); err != nil || resp.StatusCode != http.StatusOK {
+				t.Fatalf("restored daemon not ready: %v %v", resp, err)
+			}
+			driveSlots(t, tsB2.URL, nDev, killAt, slots)
+
+			recsA, recsB := readAudit(t, auditA), readAudit(t, auditB)
+			if len(recsA) != slots || len(recsB) != slots {
+				t.Fatalf("audit lengths %d / %d, want %d", len(recsA), len(recsB), slots)
+			}
+			for i := range recsA {
+				a, b := recsA[i], recsB[i]
+				if a.Slot != b.Slot {
+					t.Fatalf("record %d: slots %d vs %d", i, a.Slot, b.Slot)
+				}
+				if a.DecisionCanonical != b.DecisionCanonical {
+					t.Fatalf("slot %d: killed-and-restarted decision diverged from uninterrupted run", a.Slot)
+				}
+			}
+		})
+	}
+}
+
+// TestKillWithPendingReports: reports staged but not yet ticked at the
+// kill survive the restart, and the tick they feed matches the
+// uninterrupted daemon's byte for byte.
+func TestKillWithPendingReports(t *testing.T) {
+	const (
+		nDev   = 12
+		warmup = 3
+	)
+	auditA, auditB := t.TempDir(), t.TempDir()
+	snapDir := t.TempDir()
+
+	sA, tsA := persistServer(t, func(c *Config) { c.AuditDir = auditA })
+	driveSlots(t, tsA.URL, nDev, 0, warmup)
+	for i := 0; i < nDev; i++ {
+		postJSON(t, tsA.URL+"/v1/report", scriptReport(i, warmup), nil)
+	}
+	postJSON(t, tsA.URL+"/v1/tick", struct{}{}, nil)
+	tsA.Close()
+	sA.Close()
+
+	sB, tsB := persistServer(t, func(c *Config) { c.AuditDir = auditB; c.SnapshotDir = snapDir })
+	driveSlots(t, tsB.URL, nDev, 0, warmup)
+	for i := 0; i < nDev; i++ {
+		postJSON(t, tsB.URL+"/v1/report", scriptReport(i, warmup), nil)
+	}
+	// Kill with the slot's reports staged but undecided.
+	if err := sB.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	tsB.Close()
+	sB.Close()
+
+	sB2, tsB2 := persistServer(t, func(c *Config) { c.AuditDir = auditB; c.SnapshotDir = snapDir })
+	defer sB2.Close()
+	defer tsB2.Close()
+	var st StatusResponse
+	getJSON(t, tsB2.URL+"/v1/status", &st)
+	if st.PendingReports != nDev {
+		t.Fatalf("restored %d pending reports, want %d", st.PendingReports, nDev)
+	}
+	postJSON(t, tsB2.URL+"/v1/tick", struct{}{}, nil)
+
+	recsA, recsB := readAudit(t, auditA), readAudit(t, auditB)
+	if len(recsA) != warmup+1 || len(recsB) != warmup+1 {
+		t.Fatalf("audit lengths %d / %d", len(recsA), len(recsB))
+	}
+	lastA, lastB := recsA[len(recsA)-1], recsB[len(recsB)-1]
+	if lastA.DecisionCanonical != lastB.DecisionCanonical {
+		t.Fatal("tick fed from restored pending reports diverged")
+	}
+}
+
+// TestCorruptSnapshotFallsBackToAudit: a flipped byte in the snapshot
+// demotes boot to audit recovery — visible in /v1/status and the
+// restore counter — without a panic.
+func TestCorruptSnapshotFallsBackToAudit(t *testing.T) {
+	auditDir, snapDir := t.TempDir(), t.TempDir()
+	s, ts := persistServer(t, func(c *Config) { c.AuditDir = auditDir; c.SnapshotDir = snapDir })
+	driveSlots(t, ts.URL, 8, 0, 3)
+	if err := s.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	s.Close()
+
+	path := filepath.Join(snapDir, persist.SnapshotFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := persistServer(t, func(c *Config) { c.AuditDir = auditDir; c.SnapshotDir = snapDir })
+	defer s2.Close()
+	defer ts2.Close()
+	var st StatusResponse
+	getJSON(t, ts2.URL+"/v1/status", &st)
+	if st.RestorePath != RestoreAudit {
+		t.Fatalf("restore path %q (%s), want %q", st.RestorePath, st.RestoreDetail, RestoreAudit)
+	}
+	if st.Devices == 0 {
+		t.Fatal("audit recovery restored no devices")
+	}
+	if !strings.Contains(st.RestoreDetail, "snapshot:") {
+		t.Fatalf("restore detail %q does not say why the snapshot was skipped", st.RestoreDetail)
+	}
+	text := scrape(t, ts2.URL)
+	if v := metricValue(t, text, `lpvs_snapshot_restore_total{path="audit"}`); v != 1 {
+		t.Fatalf("restore counter = %v, want 1", v)
+	}
+	if resp, err := http.Get(ts2.URL + "/readyz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("daemon not ready after audit recovery: %v %v", resp, err)
+	}
+}
+
+// TestCorruptSnapshotFallsBackToCold: with no audit log either, boot
+// demotes all the way to a cold start — empty but alive.
+func TestCorruptSnapshotFallsBackToCold(t *testing.T) {
+	snapDir := t.TempDir()
+	s, ts := persistServer(t, func(c *Config) { c.SnapshotDir = snapDir })
+	driveSlots(t, ts.URL, 6, 0, 2)
+	if err := s.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	s.Close()
+
+	path := filepath.Join(snapDir, persist.SnapshotFile)
+	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, ts2 := persistServer(t, func(c *Config) { c.SnapshotDir = snapDir })
+	defer s2.Close()
+	defer ts2.Close()
+	var st StatusResponse
+	getJSON(t, ts2.URL+"/v1/status", &st)
+	if st.RestorePath != RestoreCold {
+		t.Fatalf("restore path %q, want %q", st.RestorePath, RestoreCold)
+	}
+	if st.Devices != 0 || st.Slot != 0 {
+		t.Fatalf("cold start carried state: slot %d, %d devices", st.Slot, st.Devices)
+	}
+	if resp, err := http.Get(ts2.URL + "/readyz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("daemon not ready after cold fallback: %v %v", resp, err)
+	}
+}
+
+// TestSnapshotStatusAndMetrics: SaveSnapshot is visible in /v1/status
+// and the lpvs_snapshot_* metric families.
+func TestSnapshotStatusAndMetrics(t *testing.T) {
+	snapDir := t.TempDir()
+	s, ts := persistServer(t, func(c *Config) { c.SnapshotDir = snapDir })
+	defer s.Close()
+	defer ts.Close()
+	driveSlots(t, ts.URL, 5, 0, 1)
+
+	var st StatusResponse
+	getJSON(t, ts.URL+"/v1/status", &st)
+	if st.SnapshotPath == "" || st.SnapshotWrites != 0 {
+		t.Fatalf("pre-save status %+v", st)
+	}
+	if err := s.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, ts.URL+"/v1/status", &st)
+	if st.SnapshotWrites != 1 || st.SnapshotErrors != 0 {
+		t.Fatalf("writes/errors = %d/%d, want 1/0", st.SnapshotWrites, st.SnapshotErrors)
+	}
+	if st.SnapshotLastBytes <= 0 || st.SnapshotLastUnixSec <= 0 {
+		t.Fatalf("last write not recorded: %+v", st)
+	}
+	text := scrape(t, ts.URL)
+	if v := metricValue(t, text, "lpvs_snapshot_writes_total"); v != 1 {
+		t.Fatalf("lpvs_snapshot_writes_total = %v, want 1", v)
+	}
+	if v := metricValue(t, text, "lpvs_snapshot_errors_total"); v != 0 {
+		t.Fatalf("lpvs_snapshot_errors_total = %v, want 0", v)
+	}
+	if v := metricValue(t, text, "lpvs_snapshot_size_bytes"); v != float64(st.SnapshotLastBytes) {
+		t.Fatalf("lpvs_snapshot_size_bytes = %v, want %d", v, st.SnapshotLastBytes)
+	}
+	if v := metricValue(t, text, "lpvs_snapshot_last_success_unix_seconds"); v <= 0 {
+		t.Fatalf("lpvs_snapshot_last_success_unix_seconds = %v", v)
+	}
+}
+
+// TestSnapshotRestoreKeepsPosteriors: learned gamma estimates survive
+// the restart exactly.
+func TestSnapshotRestoreKeepsPosteriors(t *testing.T) {
+	snapDir := t.TempDir()
+	s, ts := persistServer(t, func(c *Config) { c.SnapshotDir = snapDir })
+	driveSlots(t, ts.URL, 4, 0, 2)
+	var before DecisionResponse
+	getJSON(t, ts.URL+"/v1/decision?device=dev-00", &before)
+	if err := s.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	s.Close()
+
+	s2, ts2 := persistServer(t, func(c *Config) { c.SnapshotDir = snapDir })
+	defer s2.Close()
+	defer ts2.Close()
+	var after DecisionResponse
+	getJSON(t, ts2.URL+"/v1/decision?device=dev-00", &after)
+	if after.Gamma != before.Gamma || after.Transform != before.Transform {
+		t.Fatalf("decision changed across restart: %+v vs %+v", after, before)
+	}
+}
+
+// TestSaveSnapshotDisabled: without a snapshot dir the save refuses
+// and the status carries no snapshot path.
+func TestSaveSnapshotDisabled(t *testing.T) {
+	s, ts := testServer(t, -1)
+	if err := s.SaveSnapshot(); err == nil {
+		t.Fatal("SaveSnapshot without a snapshot dir must error")
+	}
+	var st StatusResponse
+	getJSON(t, ts.URL+"/v1/status", &st)
+	if st.SnapshotPath != "" || st.RestorePath != "" {
+		t.Fatalf("durable-state fields set while disabled: %+v", st)
+	}
+}

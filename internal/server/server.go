@@ -9,6 +9,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -87,6 +88,15 @@ type Config struct {
 	// tick-latency SLO: slower ticks count as bad events. Zero means
 	// DefaultSLOTickLatency.
 	SLOTickLatency time.Duration
+	// SnapshotDir, when non-empty, enables durable state (DESIGN.md
+	// §14): New restores SnapshotDir/snapshot.lpvs before the daemon
+	// reports ready — falling back to audit-log recovery and then a
+	// cold start — and SaveSnapshot writes there atomically.
+	SnapshotDir string
+	// SnapshotInterval is the period of the background SaveSnapshot
+	// loop (cmd/lpvsd owns the ticker); the server only surfaces it in
+	// /v1/status so operators can read the configured cadence.
+	SnapshotInterval time.Duration
 }
 
 // deviceState is the daemon's per-device bookkeeping.
@@ -133,6 +143,17 @@ type Server struct {
 	tickTotal  atomic.Uint64
 	tickSlow   atomic.Uint64
 	admitted   atomic.Uint64
+
+	// Durable state (DESIGN.md §14). restorePath/restoreDetail record
+	// which recovery path boot took and are written once in New; the
+	// counters are atomics because SaveSnapshot runs from a background
+	// loop while /v1/status and /metrics read them.
+	restorePath   string
+	restoreDetail string
+	snapWrites    atomic.Uint64
+	snapErrors    atomic.Uint64
+	snapLastUnix  atomic.Int64
+	snapLastBytes atomic.Int64
 
 	mu       sync.Mutex
 	slot     int
@@ -239,7 +260,19 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.audit = alog
 	}
+	if cfg.SnapshotDir != "" {
+		if err := os.MkdirAll(cfg.SnapshotDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: snapshot dir: %w", err)
+		}
+		// Restore before the metrics closures and /readyz can observe
+		// the state: a warm-restarted daemon is ready with its learned
+		// posteriors already in place.
+		s.loadDurableState()
+	}
 	s.metrics = newServerMetrics(s)
+	if s.restorePath != "" {
+		s.metrics.snapRestore.With(s.restorePath).Inc()
+	}
 	if cfg.VCLabelBudget > 0 {
 		s.metrics.reg.SetSeriesBudget(cfg.VCLabelBudget)
 	}
@@ -786,6 +819,16 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	}
 	resp.DegradedTicks = s.degraded.Load()
 	resp.ShedRequests = s.shed.Load()
+	if path := s.SnapshotPath(); path != "" {
+		resp.SnapshotPath = path
+		resp.SnapshotIntervalSec = s.cfg.SnapshotInterval.Seconds()
+	}
+	resp.RestorePath = s.restorePath
+	resp.RestoreDetail = s.restoreDetail
+	resp.SnapshotWrites = s.snapWrites.Load()
+	resp.SnapshotErrors = s.snapErrors.Load()
+	resp.SnapshotLastUnixSec = s.snapLastUnix.Load()
+	resp.SnapshotLastBytes = s.snapLastBytes.Load()
 	writeJSON(w, http.StatusOK, resp)
 }
 
