@@ -7,7 +7,7 @@ GO ?= go
 # Per-target budget for `make fuzz-smoke`.
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet vet-extra fmt check bench bench-smoke fuzz-smoke audit-replay chaos-smoke slo-smoke snapshot-smoke
+.PHONY: all build test race vet vet-extra fmt check bench bench-smoke fuzz-smoke audit-replay chaos-smoke slo-smoke snapshot-smoke flight-smoke
 
 all: build
 
@@ -44,7 +44,7 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: fmt vet vet-extra build race audit-replay chaos-smoke slo-smoke snapshot-smoke bench-smoke
+check: fmt vet vet-extra build race audit-replay chaos-smoke slo-smoke snapshot-smoke flight-smoke bench-smoke
 
 # chaos-smoke drives the resilience stack end to end: the retrying /
 # breaker-guarded client against a real daemon wrapped in the seeded
@@ -78,6 +78,22 @@ snapshot-smoke:
 	$(GO) run ./cmd/lpvs-emu -seed 11 -n 16 -slots 6 -capacity 4 -audit-dir "$$dir/audit" -resume "$$dir/ckpt.lpvs" >/dev/null && \
 	$(GO) run ./cmd/lpvs-audit replay "$$dir/audit" && \
 	$(GO) run ./cmd/lpvs-audit recover -out "$$dir/recovered.lpvs" "$$dir/audit"
+
+# flight-smoke drives the black-box forensics stack (DESIGN.md §15)
+# end to end: the metric-history and flight-recorder packages, the
+# daemon's /v1/history and /v1/incident endpoints including the
+# kill-and-inspect differential, the lpvs-flight CLI, then a real
+# emulator run with a 1ns slot-latency budget whose synthetic-clock
+# SLO alarm must write an incident bundle that lpvs-flight can list
+# and whose embedded audit records replay byte-identically.
+flight-smoke:
+	$(GO) test -count=1 ./internal/obs/history/ ./internal/obs/flight/ ./cmd/lpvs-flight/
+	$(GO) test -count=1 ./internal/server/ -run 'History|Incident|Flight|KillAndInspect|Forensics'
+	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/lpvs-emu -seed 7 -n 12 -slots 4 -capacity 4 -slo-slot-latency 1ns -audit-dir "$$dir/audit" -flight-dir "$$dir/flight" >/dev/null && \
+	ls "$$dir/flight"/incident-*.flight >/dev/null && \
+	$(GO) run ./cmd/lpvs-flight list "$$dir/flight" && \
+	$(GO) run ./cmd/lpvs-flight show "$$dir/flight" >/dev/null
 
 # audit-replay gates the determinism contract end to end: run a short
 # audited emulator session, then re-run every logged decision through

@@ -48,6 +48,8 @@ func main() {
 		stopN    = flag.Int("stop-after", 0, "run only the first N slots and checkpoint (requires -checkpoint; lpvs policy only)")
 		ckptPath = flag.String("checkpoint", "", "write the partial run's checkpoint to this file (requires -stop-after)")
 		resume   = flag.String("resume", "", "resume a checkpointed run from this file and finish it (lpvs policy only)")
+		sloLat   = flag.Duration("slo-slot-latency", 0, "slot scheduling wall-time budget behind the slot-latency SLO (0 = 250ms)")
+		flightD  = flag.String("flight-dir", "", "arm a flight recorder: write incident bundles on synthetic-clock SLO alarms to DIR (inspect with lpvs-flight)")
 	)
 	flag.Parse()
 
@@ -69,6 +71,8 @@ func main() {
 		AuditDir:            *auditDir,
 		DisableIncremental:  !*incr,
 		SchedDeadline:       *deadline,
+		SLOSlotLatency:      *sloLat,
+		FlightDir:           *flightD,
 	}
 	ds := lpvs.GenerateSurvey(lpvs.DefaultSurveyConfig())
 	cfg.Device.GiveUpSampler = lpvs.SurveyGiveUpSampler(ds)
@@ -134,6 +138,9 @@ func main() {
 	}
 	if cmp.Treated.SLOAlarms > 0 {
 		fmt.Printf("slo alarms fired:   %d\n", cmp.Treated.SLOAlarms)
+	}
+	if cmp.Treated.FlightBundles > 0 {
+		fmt.Printf("flight bundles:     %d\n", cmp.Treated.FlightBundles)
 	}
 
 	if *timeline {
@@ -236,6 +243,9 @@ func runCheckpointMode(cfg lpvs.EmulationConfig, policy string, stopAfter int, c
 		}
 		fmt.Printf("slo %-16s %s  bad %.0f/%.0f  budget left %.0f%%\n",
 			st.Name+":", verdict, st.BadEvents, st.TotalEvents, 100*st.BudgetRemaining)
+	}
+	if res.FlightBundles > 0 {
+		fmt.Printf("flight bundles:     %d\n", res.FlightBundles)
 	}
 	return nil
 }

@@ -1,0 +1,461 @@
+// Command lpvs-flight inspects flight-recorder incident bundles (the
+// versioned .flight files written by `lpvsd -flight-dir` or
+// `lpvs-emu -flight-dir`; see internal/obs/flight and DESIGN.md §15).
+//
+// Usage:
+//
+//	lpvs-flight list <dir>                   one line per bundle
+//	lpvs-flight show [-replay] [-v] <bundle.flight | dir>
+//	                                         dump one bundle: trigger,
+//	                                         SLO states, metric history,
+//	                                         span trees, audit tail
+//	lpvs-flight diff <a.flight> <b.flight>   compare two bundles
+//
+// show defaults to the newest bundle when given a directory. With
+// -replay (the default) every embedded audit record is re-run through
+// the deterministic scheduler and byte-compared against its logged
+// decision; any divergence exits non-zero, so a bundle proves not just
+// what the daemon decided but that the decision is reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"lpvs/internal/obs/audit"
+	"lpvs/internal/obs/flight"
+	"lpvs/internal/obs/history"
+	"lpvs/internal/obs/slo"
+	"lpvs/internal/obs/span"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = runList(os.Args[2:])
+	case "show":
+		err = runShow(os.Args[2:])
+	case "diff":
+		err = runDiff(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "lpvs-flight: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lpvs-flight:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  lpvs-flight list <dir>
+  lpvs-flight show [-replay=true] [-v] <bundle.flight | dir>
+  lpvs-flight diff <a.flight> <b.flight>`)
+}
+
+// bundlePath accepts either a .flight file or the incident directory;
+// a directory resolves to its newest bundle (name order is capture
+// order).
+func bundlePath(arg string) (string, error) {
+	info, err := os.Stat(arg)
+	if err != nil {
+		return "", err
+	}
+	if !info.IsDir() {
+		return arg, nil
+	}
+	paths, err := flight.ListBundles(arg)
+	if err != nil {
+		return "", err
+	}
+	if len(paths) == 0 {
+		return "", fmt.Errorf("%s holds no %s bundles", arg, flight.BundleExt)
+	}
+	return paths[len(paths)-1], nil
+}
+
+func runList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("list: want exactly one incident directory, got %d", fs.NArg())
+	}
+	paths, err := flight.ListBundles(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("list: %s holds no %s bundles", fs.Arg(0), flight.BundleExt)
+	}
+	fmt.Printf("%-28s %-10s %-9s %7s %6s %6s  %s\n",
+		"WRITTEN", "TRIGGER", "BINARY", "HISTORY", "SPANS", "AUDIT", "FILE")
+	for _, p := range paths {
+		b, err := flight.LoadBundle(p)
+		if err != nil {
+			fmt.Printf("%-28s %-10s %-9s %7s %6s %6s  %s\n",
+				"-", "corrupt", "-", "-", "-", "-", filepath.Base(p))
+			fmt.Fprintf(os.Stderr, "lpvs-flight: %s: %v\n", filepath.Base(p), err)
+			continue
+		}
+		fmt.Printf("%-28s %-10s %-9s %7d %6d %6d  %s\n",
+			fmtUnix(b.WrittenUnixSec), b.Trigger, b.Binary,
+			len(b.History), len(b.Spans), len(b.AuditRecords), filepath.Base(p))
+	}
+	return nil
+}
+
+func runShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	replay := fs.Bool("replay", true, "replay embedded audit records and byte-compare decisions")
+	verbose := fs.Bool("v", false, "also print profiles' sizes and every history point")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("show: want exactly one bundle path or incident directory, got %d", fs.NArg())
+	}
+	path, err := bundlePath(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := flight.LoadBundle(path)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("bundle:       %s\n", path)
+	fmt.Printf("written:      %s\n", fmtUnix(b.WrittenUnixSec))
+	fmt.Printf("trigger:      %s\n", b.Trigger)
+	if b.Reason != "" {
+		fmt.Printf("reason:       %s\n", b.Reason)
+	}
+	fmt.Printf("binary:       %s %s (%s)\n", b.Binary, b.Version, b.GoVersion)
+	if b.ConfigHash != "" {
+		fmt.Printf("config hash:  %s\n", b.ConfigHash)
+	}
+	if len(b.Meta) > 0 {
+		keys := make([]string, 0, len(b.Meta))
+		for k := range b.Meta {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("meta:         %s=%s\n", k, b.Meta[k])
+		}
+	}
+
+	if len(b.SLO) > 0 {
+		fmt.Printf("\nslo states (%d):\n", len(b.SLO))
+		for _, st := range b.SLO {
+			mark := "ok"
+			if st.Alarming {
+				mark = "ALARM"
+			}
+			fmt.Printf("  %-24s %-6s bad %.0f/%.0f  budget left %.0f%%",
+				st.Name, mark, st.BadEvents, st.TotalEvents, st.BudgetRemaining*100)
+			for _, w := range st.Windows {
+				fmt.Printf("  %s burn %.2f", w.Name, w.BurnRate)
+			}
+			fmt.Println()
+		}
+	}
+
+	if len(b.History) > 0 {
+		fmt.Printf("\nmetric history (%d series):\n", len(b.History))
+		for _, s := range b.History {
+			printSeries(s, *verbose)
+		}
+	}
+
+	if len(b.Spans) > 0 {
+		fmt.Printf("\nspans (%d captured, %d dropped):\n", len(b.Spans), b.SpansDropped)
+		printTraces(b.Spans)
+	}
+
+	if len(b.AuditRecords) > 0 {
+		fmt.Printf("\naudit tail (%d records):\n", len(b.AuditRecords))
+		if err := showAudit(b, *replay); err != nil {
+			return err
+		}
+	} else if *replay {
+		fmt.Printf("\naudit tail: empty (nothing to replay)\n")
+	}
+
+	if *verbose {
+		fmt.Printf("\nprofiles: goroutine %d bytes, heap %d bytes\n",
+			len(b.GoroutineProfile), len(b.HeapProfile))
+	}
+	return nil
+}
+
+// showAudit prints and optionally replays the bundle's audit tail.
+// Replays go through the same deterministic path as `lpvs-audit
+// replay`: decode the byte-exact line, re-run the scheduler, compare.
+func showAudit(b *flight.Bundle, replay bool) error {
+	diverged := 0
+	for i, raw := range b.AuditRecords {
+		rec, err := audit.Decode(append([]byte(nil), raw...))
+		if err != nil {
+			return fmt.Errorf("audit record %d: %w", i, err)
+		}
+		line := fmt.Sprintf("  record %d: slot %d, vc %s, %d devices",
+			i, rec.Slot, rec.VC, len(rec.Requests))
+		if !replay {
+			fmt.Println(line)
+			continue
+		}
+		res, err := rec.Replay()
+		if err != nil {
+			return fmt.Errorf("audit record %d (slot %d): %w", i, rec.Slot, err)
+		}
+		if res.Match {
+			fmt.Printf("%s: replay ok (byte-identical)\n", line)
+		} else {
+			diverged++
+			fmt.Printf("%s: REPLAY DIVERGED\n%s", line, res.Diff())
+		}
+	}
+	if diverged > 0 {
+		return fmt.Errorf("show: %d of %d audit records diverged on replay", diverged, len(b.AuditRecords))
+	}
+	return nil
+}
+
+// printSeries renders one history series with a unicode sparkline and
+// last value; -v also dumps every point.
+func printSeries(s history.Series, verbose bool) {
+	last := math.NaN()
+	if n := len(s.Points); n > 0 {
+		last = s.Points[n-1].Value
+	}
+	fmt.Printf("  %-44s %-5s %3d pts  %s  last %.4g\n",
+		s.Key(), s.Kind, len(s.Points), sparkline(s.Points), last)
+	if verbose {
+		for _, p := range s.Points {
+			fmt.Printf("      %s  %.6g\n", fmtUnix(float64(p.UnixMS)/1e3), p.Value)
+		}
+	}
+}
+
+// sparkBars are the eight block levels of the history sparklines
+// (shared vocabulary with lpvs-top).
+var sparkBars = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders the point values as eight-level bars, newest last,
+// scaled to the series' own min..max (a flat series renders low bars).
+func sparkline(pts []history.Point) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		lo = math.Min(lo, p.Value)
+		hi = math.Max(hi, p.Value)
+	}
+	var sb strings.Builder
+	for _, p := range pts {
+		idx := 0
+		if hi > lo {
+			idx = int((p.Value - lo) / (hi - lo) * float64(len(sparkBars)-1))
+		}
+		sb.WriteRune(sparkBars[idx])
+	}
+	return sb.String()
+}
+
+// printTraces groups the span ring by trace and renders each trace as
+// an indented tree, newest trace last.
+func printTraces(spans []span.Data) {
+	seen := make(map[string]bool)
+	var order []string
+	for _, d := range spans {
+		if !seen[d.TraceID] {
+			seen[d.TraceID] = true
+			order = append(order, d.TraceID)
+		}
+	}
+	for _, tid := range order {
+		fmt.Printf("  trace %s:\n", tid)
+		for _, root := range span.Tree(spans, tid) {
+			printNode(root, 2)
+		}
+	}
+}
+
+func printNode(n *span.Node, depth int) {
+	fmt.Printf("  %s%s (%.3fms", strings.Repeat("  ", depth), n.Name, n.DurationSec*1e3)
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf(", %s=%g", k, n.Attrs[k])
+	}
+	fmt.Println(")")
+	for _, c := range n.Children {
+		printNode(c, depth+1)
+	}
+}
+
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff: want exactly two bundle paths, got %d", fs.NArg())
+	}
+	a, err := flight.LoadBundle(fs.Arg(0))
+	if err != nil {
+		return fmt.Errorf("diff: %s: %w", fs.Arg(0), err)
+	}
+	b, err := flight.LoadBundle(fs.Arg(1))
+	if err != nil {
+		return fmt.Errorf("diff: %s: %w", fs.Arg(1), err)
+	}
+
+	diffs := 0
+	line := func(field, av, bv string) {
+		if av != bv {
+			diffs++
+			fmt.Printf("  %-14s %s -> %s\n", field+":", orDash(av), orDash(bv))
+		}
+	}
+	fmt.Printf("diff %s .. %s (%.1fs apart)\n",
+		filepath.Base(fs.Arg(0)), filepath.Base(fs.Arg(1)),
+		b.WrittenUnixSec-a.WrittenUnixSec)
+	line("trigger", a.Trigger, b.Trigger)
+	line("reason", a.Reason, b.Reason)
+	line("binary", a.Binary, b.Binary)
+	line("version", a.Version, b.Version)
+	line("go version", a.GoVersion, b.GoVersion)
+	line("config hash", a.ConfigHash, b.ConfigHash)
+	for _, k := range unionKeys(a.Meta, b.Meta) {
+		line("meta "+k, a.Meta[k], b.Meta[k])
+	}
+
+	// SLO states by objective name: alarming flips are the usual story
+	// ("the tick-latency alarm was firing in A and clear in B").
+	aSLO, bSLO := sloByName(a.SLO), sloByName(b.SLO)
+	for _, name := range unionKeys(aSLO, bSLO) {
+		as, aok := aSLO[name]
+		bs, bok := bSLO[name]
+		switch {
+		case !aok:
+			diffs++
+			fmt.Printf("  slo %s: only in %s\n", name, filepath.Base(fs.Arg(1)))
+		case !bok:
+			diffs++
+			fmt.Printf("  slo %s: only in %s\n", name, filepath.Base(fs.Arg(0)))
+		case as.Alarming != bs.Alarming:
+			diffs++
+			fmt.Printf("  slo %s: alarming %t -> %t (budget left %.0f%% -> %.0f%%)\n",
+				name, as.Alarming, bs.Alarming, as.BudgetRemaining*100, bs.BudgetRemaining*100)
+		}
+	}
+
+	// History series by key: report appearing/disappearing series and
+	// last-value movement on shared ones.
+	aHist, bHist := histByKey(a.History), histByKey(b.History)
+	for _, key := range unionKeys(aHist, bHist) {
+		as, aok := aHist[key]
+		bs, bok := bHist[key]
+		switch {
+		case !aok:
+			diffs++
+			fmt.Printf("  series %s: only in %s\n", key, filepath.Base(fs.Arg(1)))
+		case !bok:
+			diffs++
+			fmt.Printf("  series %s: only in %s\n", key, filepath.Base(fs.Arg(0)))
+		default:
+			av, bv := lastValue(as), lastValue(bs)
+			if av != bv {
+				diffs++
+				fmt.Printf("  series %s: last %.6g -> %.6g\n", key, av, bv)
+			}
+		}
+	}
+
+	if na, nb := len(a.Spans), len(b.Spans); na != nb {
+		diffs++
+		fmt.Printf("  spans:         %d -> %d\n", na, nb)
+	}
+	if na, nb := len(a.AuditRecords), len(b.AuditRecords); na != nb {
+		diffs++
+		fmt.Printf("  audit records: %d -> %d\n", na, nb)
+	}
+	if diffs == 0 {
+		fmt.Println("  bundles agree on every compared field")
+	}
+	return nil
+}
+
+func sloByName(states []slo.State) map[string]slo.State {
+	m := make(map[string]slo.State, len(states))
+	for _, st := range states {
+		m[st.Name] = st
+	}
+	return m
+}
+
+func histByKey(series []history.Series) map[string]history.Series {
+	m := make(map[string]history.Series, len(series))
+	for _, s := range series {
+		m[s.Key()] = s
+	}
+	return m
+}
+
+func lastValue(s history.Series) float64 {
+	if n := len(s.Points); n > 0 {
+		return s.Points[n-1].Value
+	}
+	return math.NaN()
+}
+
+// unionKeys returns the sorted union of both maps' keys.
+func unionKeys[V any](a, b map[string]V) []string {
+	set := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		set[k] = true
+	}
+	for k := range b {
+		set[k] = true
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func fmtUnix(sec float64) string {
+	return time.Unix(0, int64(sec*1e9)).UTC().Format("2006-01-02T15:04:05.000Z")
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lpvs/internal/emu"
+	"lpvs/internal/obs/flight"
+	"lpvs/internal/video"
+)
+
+// writeIncident runs a short emulator session with the flight
+// recorder armed and a 1ns slot-latency budget, so the SLO alarm fires
+// and at least one bundle lands in the returned directory.
+func writeIncident(tb testing.TB) (flightDir, auditDir string) {
+	tb.Helper()
+	flightDir = tb.TempDir()
+	auditDir = tb.TempDir()
+	e, err := emu.New(emu.Config{
+		Seed:           21,
+		GroupSize:      8,
+		Slots:          4,
+		Lambda:         1,
+		ServerStreams:  3,
+		Genre:          video.Gaming,
+		AuditDir:       auditDir,
+		FlightDir:      flightDir,
+		SLOSlotLatency: time.Nanosecond,
+	}, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if res.FlightBundles == 0 {
+		tb.Fatal("emulator run wrote no flight bundles")
+	}
+	return flightDir, auditDir
+}
+
+func TestListCommand(t *testing.T) {
+	dir, _ := writeIncident(t)
+	if err := runList([]string{dir}); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if err := runList([]string{t.TempDir()}); err == nil {
+		t.Fatal("list on an empty directory should fail")
+	}
+}
+
+// TestShowCommandReplaysByteIdentically is the kill-and-inspect
+// contract of DESIGN.md §15 from the CLI side: a bundle on disk, alone,
+// must reconstruct the incident — SLO states, metric history, and audit
+// records that replay byte-identically.
+func TestShowCommandReplaysByteIdentically(t *testing.T) {
+	dir, _ := writeIncident(t)
+	// A directory resolves to its newest bundle; an explicit file path
+	// must work too. Replay is on by default and errors on divergence.
+	if err := runShow([]string{dir}); err != nil {
+		t.Fatalf("show dir: %v", err)
+	}
+	paths, err := flight.ListBundles(dir)
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("ListBundles: %v (%d)", err, len(paths))
+	}
+	if err := runShow([]string{"-v", paths[0]}); err != nil {
+		t.Fatalf("show file: %v", err)
+	}
+
+	// The bundle must carry the forensic sections on its own.
+	b, err := flight.LoadBundle(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.SLO) == 0 || len(b.History) == 0 || len(b.AuditRecords) == 0 {
+		t.Fatalf("bundle missing sections: slo=%d history=%d audit=%d",
+			len(b.SLO), len(b.History), len(b.AuditRecords))
+	}
+	alarming := false
+	for _, st := range b.SLO {
+		alarming = alarming || st.Alarming
+	}
+	if !alarming {
+		t.Fatal("SLO-triggered bundle carries no alarming state")
+	}
+}
+
+func TestShowCommandFlagsForgedAudit(t *testing.T) {
+	dir, _ := writeIncident(t)
+	paths, err := flight.ListBundles(dir)
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("ListBundles: %v (%d)", err, len(paths))
+	}
+	b, err := flight.LoadBundle(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge the embedded audit tail: claim a different selection count
+	// in the canonical decision. Replay must flag the divergence.
+	forged := strings.Replace(string(b.AuditRecords[0]),
+		`"decision_canonical":"selected=`, `"decision_canonical":"selected=9`, 1)
+	if forged == string(b.AuditRecords[0]) {
+		t.Fatal("forgery did not change the record")
+	}
+	b.AuditRecords[0] = json.RawMessage(forged)
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forgedPath := filepath.Join(t.TempDir(), "forged"+flight.BundleExt)
+	if err := os.WriteFile(forgedPath, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := runShow([]string{forgedPath}); err == nil {
+		t.Fatal("show accepted a forged audit record")
+	}
+	// -replay=false only prints, so the forgery passes unnoticed.
+	if err := runShow([]string{"-replay=false", forgedPath}); err != nil {
+		t.Fatalf("show -replay=false: %v", err)
+	}
+}
+
+func TestDiffCommand(t *testing.T) {
+	dir, _ := writeIncident(t)
+	paths, err := flight.ListBundles(dir)
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("ListBundles: %v (%d)", err, len(paths))
+	}
+	// Self-diff agrees on everything.
+	if err := runDiff([]string{paths[0], paths[0]}); err != nil {
+		t.Fatalf("self diff: %v", err)
+	}
+	// Diff against a doctored copy exercises the field walk.
+	b, err := flight.LoadBundle(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Trigger = flight.TriggerManual
+	b.Reason = "operator capture"
+	b.AuditRecords = nil
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := filepath.Join(t.TempDir(), "other"+flight.BundleExt)
+	if err := os.WriteFile(other, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDiff([]string{paths[0], other}); err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if err := runDiff([]string{paths[0]}); err == nil {
+		t.Fatal("diff with one argument should fail")
+	}
+}
+
+func TestBundlePathRejectsMissing(t *testing.T) {
+	if _, err := bundlePath(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("bundlePath accepted a missing path")
+	}
+	if _, err := bundlePath(t.TempDir()); err == nil {
+		t.Fatal("bundlePath accepted an empty directory")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
@@ -28,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"lpvs/internal/obs/history"
 	"lpvs/internal/server"
 )
 
@@ -51,6 +53,7 @@ func main() {
 // frame (no screen clearing), which is also the integration-test mode.
 func run(ctx context.Context, out io.Writer, addr string, interval time.Duration, once bool) error {
 	client := &http.Client{Timeout: 10 * time.Second}
+	var prev *frame
 	for {
 		frame, err := fetchFrame(client, strings.TrimRight(addr, "/"))
 		if err != nil {
@@ -59,10 +62,12 @@ func run(ctx context.Context, out io.Writer, addr string, interval time.Duration
 			}
 			fmt.Fprintf(out, "lpvs-top: %v (retrying in %v)\n", err, interval)
 		} else {
+			rates, restarted := counterRates(prev, frame)
+			prev = frame
 			if !once {
 				fmt.Fprint(out, "\x1b[2J\x1b[H") // clear, home
 			}
-			render(out, frame)
+			render(out, frame, rates, restarted)
 			if once {
 				return nil
 			}
@@ -77,15 +82,22 @@ func run(ctx context.Context, out io.Writer, addr string, interval time.Duration
 
 // frame is one dashboard snapshot.
 type frame struct {
-	at      time.Time
-	status  server.StatusResponse
-	fleet   server.FleetResponse
-	slo     server.SLOResponse
-	runtime map[string]float64 // lpvs_go_* gauges from /metrics
+	at        time.Time
+	status    server.StatusResponse
+	fleet     server.FleetResponse
+	slo       server.SLOResponse
+	runtime   map[string]float64 // lpvs_go_* gauges from /metrics
+	counters  map[string]float64 // unlabeled lpvs_*_total counters
+	buildInfo string             // the lpvs_build_info series line (build identity)
+	history   *server.HistoryResponse
 }
 
+// rateCounters are the cumulative counters rendered as per-second
+// rates between two polls.
+var rateCounters = []string{"lpvs_ticks_total", "lpvs_reports_total", "lpvs_shed_total"}
+
 func fetchFrame(client *http.Client, base string) (*frame, error) {
-	f := &frame{at: time.Now(), runtime: map[string]float64{}}
+	f := &frame{at: time.Now(), runtime: map[string]float64{}, counters: map[string]float64{}}
 	if err := getJSON(client, base+"/v1/status", &f.status); err != nil {
 		return nil, err
 	}
@@ -104,20 +116,75 @@ func fetchFrame(client *http.Client, base string) (*frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, line := range strings.Split(string(body), "\n") {
-		if !strings.HasPrefix(line, "lpvs_go_") {
-			continue
-		}
-		name, val, ok := strings.Cut(line, " ")
-		if !ok {
-			continue
-		}
-		v, err := strconv.ParseFloat(val, 64)
-		if err == nil {
-			f.runtime[name] = v
+	parseMetrics(f, string(body))
+	// Range queries need the daemon's history store armed; older
+	// daemons (or -history-window 0) simply have no sparklines.
+	if f.status.HistoryWindowSec > 0 {
+		var h server.HistoryResponse
+		if err := getJSON(client, base+"/v1/history?series="+strings.Join(historySeries, ","), &h); err == nil {
+			f.history = &h
 		}
 	}
 	return f, nil
+}
+
+// parseMetrics folds one /metrics exposition into the frame: the
+// lpvs_go_* runtime gauges, the unlabeled cumulative counters behind
+// the rate row, and the build-info series line that identifies the
+// process generation.
+func parseMetrics(f *frame, body string) {
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "lpvs_build_info{") {
+			f.buildInfo = line
+			continue
+		}
+		if !strings.HasPrefix(line, "lpvs_") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || strings.Contains(name, "{") {
+			continue
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			continue
+		}
+		if strings.HasPrefix(name, "lpvs_go_") {
+			f.runtime[name] = v
+		} else if strings.HasSuffix(name, "_total") {
+			f.counters[name] = v
+		}
+	}
+}
+
+// counterRates turns two consecutive polls' cumulative counters into
+// per-second rates. A daemon restart between polls (different
+// lpvs_build_info series, different start time, or any counter going
+// backwards) resets the baseline instead of rendering negative rates:
+// the frame after a restart shows no rates, exactly like the first.
+func counterRates(prev, cur *frame) (rates map[string]float64, restarted bool) {
+	if prev == nil {
+		return nil, false
+	}
+	if prev.buildInfo != cur.buildInfo || prev.status.StartUnixSec != cur.status.StartUnixSec {
+		return nil, true
+	}
+	dt := cur.at.Sub(prev.at).Seconds()
+	if dt <= 0 {
+		return nil, false
+	}
+	rates = map[string]float64{}
+	for _, name := range rateCounters {
+		d := cur.counters[name] - prev.counters[name]
+		if d < 0 {
+			// Counter went backwards with an unchanged identity: a
+			// restart faster than one poll interval. Reset, don't
+			// extrapolate.
+			return nil, true
+		}
+		rates[name] = d / dt
+	}
+	return rates, false
 }
 
 func getJSON(client *http.Client, url string, out any) error {
@@ -132,7 +199,16 @@ func getJSON(client *http.Client, url string, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-func render(out io.Writer, f *frame) {
+// historySeries are the /v1/history prefixes behind the sparkline
+// section: tick throughput, tail latency, heap, and shed pressure.
+var historySeries = []string{
+	"lpvs_ticks_total",
+	"lpvs_tick_duration_seconds_p99",
+	"lpvs_go_heap_alloc_bytes",
+	"lpvs_shed_total",
+}
+
+func render(out io.Writer, f *frame, rates map[string]float64, restarted bool) {
 	st := f.status
 	uptime := time.Duration(st.UptimeMS) * time.Millisecond
 	fmt.Fprintf(out, "lpvs-top  %s  up %s  slot %d  workers %d\n",
@@ -140,6 +216,13 @@ func render(out io.Writer, f *frame) {
 	fmt.Fprintf(out, "devices %d  pending %d  selected %d  degraded %d  shed %d  cache-hit %.0f%%\n",
 		st.Devices, st.PendingReports, st.LastSelected,
 		st.DegradedTicks, st.ShedRequests, 100*st.PlanCacheHitRate)
+	switch {
+	case restarted:
+		fmt.Fprintf(out, "rates: daemon restarted, rebasing\n")
+	case rates != nil:
+		fmt.Fprintf(out, "rates: ticks %.2f/s  reports %.2f/s  shed %.2f/s\n",
+			rates["lpvs_ticks_total"], rates["lpvs_reports_total"], rates["lpvs_shed_total"])
+	}
 	if len(f.runtime) > 0 {
 		fmt.Fprintf(out, "go: heap %s  goroutines %.0f  gc-p99 %s  sched-p99 %s\n",
 			bytesHuman(f.runtime["lpvs_go_heap_alloc_bytes"]),
@@ -182,6 +265,44 @@ func render(out io.Writer, f *frame) {
 	} else if f.fleet.SeriesDropped > 0 {
 		fmt.Fprintf(out, "\nseries dropped over label budget: %d\n", f.fleet.SeriesDropped)
 	}
+
+	if f.history != nil && len(f.history.Series) > 0 {
+		window := time.Duration(f.history.WindowSec * float64(time.Second))
+		fmt.Fprintf(out, "\nHISTORY (last %s, %d samples)\n", window.Round(time.Second), f.history.Samples)
+		for _, s := range f.history.Series {
+			last := 0.0
+			if n := len(s.Points); n > 0 {
+				last = s.Points[n-1].Value
+			}
+			fmt.Fprintf(out, "%-32s %s  last %.4g\n", clip(s.Key(), 32), sparkline(s.Points), last)
+		}
+	}
+}
+
+// sparkBars are the eight block levels of the history sparklines
+// (shared vocabulary with lpvs-flight).
+var sparkBars = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders the point values as eight-level bars, newest last,
+// scaled to the series' own min..max (a flat series renders low bars).
+func sparkline(pts []history.Point) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		lo = math.Min(lo, p.Value)
+		hi = math.Max(hi, p.Value)
+	}
+	var sb strings.Builder
+	for _, p := range pts {
+		idx := 0
+		if hi > lo {
+			idx = int((p.Value - lo) / (hi - lo) * float64(len(sparkBars)-1))
+		}
+		sb.WriteRune(sparkBars[idx])
+	}
+	return sb.String()
 }
 
 // clip truncates a label to n runes for column alignment.

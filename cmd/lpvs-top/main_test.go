@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"lpvs/internal/obs/history"
 	"lpvs/internal/obs/runtimecollector"
 	"lpvs/internal/server"
 	"lpvs/internal/stats"
@@ -87,5 +88,139 @@ func TestOnceFailsFastOnDeadDaemon(t *testing.T) {
 	err := run(context.Background(), &out, "http://127.0.0.1:1", time.Second, true)
 	if err == nil {
 		t.Fatal("run -once against a dead daemon returned nil")
+	}
+}
+
+// TestHistorySparklines drives a daemon with the history store armed:
+// after two samples the frame must carry a HISTORY section with
+// sparkline rows for the queried series.
+func TestHistorySparklines(t *testing.T) {
+	stream, err := video.Generate(stats.NewRNG(1), video.DefaultGenConfig("live", video.Gaming, 90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Stream:          stream,
+		ServerStreams:   -1,
+		Lambda:          1,
+		HistoryWindow:   time.Minute,
+		HistoryInterval: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtimecollector.New(srv.Registry()).Sample()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/v1/tick", "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		srv.History().Sample()
+	}
+
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, ts.URL, time.Second, true); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"HISTORY (last 1m0s, 2 samples)",
+		"lpvs_ticks_total",
+		"lpvs_go_heap_alloc_bytes",
+		"▁", // at least one sparkline bar rendered
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("frame missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// mkFrame builds a minimal frame for the rate/restart unit tests.
+func mkFrame(at time.Time, start float64, build string, ticks, reports, shed float64) *frame {
+	f := &frame{at: at, counters: map[string]float64{
+		"lpvs_ticks_total":   ticks,
+		"lpvs_reports_total": reports,
+		"lpvs_shed_total":    shed,
+	}, buildInfo: build}
+	f.status.StartUnixSec = start
+	return f
+}
+
+func TestCounterRates(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	build := `lpvs_build_info{binary="lpvsd",version="v1",go_version="go"} 1`
+	a := mkFrame(t0, 100, build, 10, 40, 0)
+	b := mkFrame(t0.Add(2*time.Second), 100, build, 14, 50, 1)
+
+	if rates, restarted := counterRates(nil, a); rates != nil || restarted {
+		t.Fatalf("first frame: rates=%v restarted=%t, want nil/false", rates, restarted)
+	}
+	rates, restarted := counterRates(a, b)
+	if restarted {
+		t.Fatal("steady state flagged as restart")
+	}
+	if got := rates["lpvs_ticks_total"]; got != 2 {
+		t.Fatalf("tick rate = %v, want 2/s", got)
+	}
+	if got := rates["lpvs_reports_total"]; got != 5 {
+		t.Fatalf("report rate = %v, want 5/s", got)
+	}
+	if got := rates["lpvs_shed_total"]; got != 0.5 {
+		t.Fatalf("shed rate = %v, want 0.5/s", got)
+	}
+}
+
+// TestCounterRatesResetOnRestart is the restart-misrender fix: a new
+// process generation (start time or build identity change, or a
+// counter going backwards) must rebase instead of printing negative
+// rates.
+func TestCounterRatesResetOnRestart(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	build := `lpvs_build_info{binary="lpvsd",version="v1",go_version="go"} 1`
+	before := mkFrame(t0, 100, build, 500, 900, 30)
+
+	// Restart detected by start-time change: counters went backwards,
+	// but no negative rate may surface.
+	after := mkFrame(t0.Add(2*time.Second), 200, build, 3, 4, 0)
+	if rates, restarted := counterRates(before, after); !restarted || rates != nil {
+		t.Fatalf("start-time change: rates=%v restarted=%t, want nil/true", rates, restarted)
+	}
+
+	// Restart detected by a build-info change alone.
+	newBuild := `lpvs_build_info{binary="lpvsd",version="v2",go_version="go"} 1`
+	upgraded := mkFrame(t0.Add(2*time.Second), 100, newBuild, 600, 1000, 31)
+	if rates, restarted := counterRates(before, upgraded); !restarted || rates != nil {
+		t.Fatalf("build change: rates=%v restarted=%t, want nil/true", rates, restarted)
+	}
+
+	// Restart faster than one poll: identity unchanged but a counter
+	// went backwards.
+	flapped := mkFrame(t0.Add(2*time.Second), 100, build, 2, 1, 0)
+	if rates, restarted := counterRates(before, flapped); !restarted || rates != nil {
+		t.Fatalf("counter regression: rates=%v restarted=%t, want nil/true", rates, restarted)
+	}
+
+	// The frame after the rebase renders rates again.
+	next := mkFrame(t0.Add(4*time.Second), 200, build, 7, 8, 2)
+	if rates, restarted := counterRates(after, next); restarted || rates == nil {
+		t.Fatalf("post-restart frame: rates=%v restarted=%t, want rates/false", rates, restarted)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	pts := []history.Point{{UnixMS: 0, Value: 0}, {UnixMS: 1, Value: 5}, {UnixMS: 2, Value: 10}}
+	if got := sparkline(pts); got != "▁▄█" {
+		t.Fatalf("sparkline = %q, want ▁▄█", got)
+	}
+	flat := []history.Point{{Value: 3}, {Value: 3}}
+	if got := sparkline(flat); got != "▁▁" {
+		t.Fatalf("flat sparkline = %q, want ▁▁", got)
+	}
+	if got := sparkline(nil); got != "" {
+		t.Fatalf("empty sparkline = %q, want empty", got)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync"
 	"syscall"
 	"time"
 
@@ -67,6 +68,10 @@ func main() {
 		runtimeEvery  = flag.Duration("runtime-metrics-interval", 10*time.Second, "runtime self-telemetry sampling interval (0 = off)")
 		snapshotDir   = flag.String("snapshot-dir", "", "persist durable state to DIR/snapshot.lpvs and restore from it on boot (see DESIGN.md §14)")
 		snapshotEvery = flag.Duration("snapshot-interval", time.Minute, "background snapshot cadence when -snapshot-dir is set (0 = only on shutdown)")
+		historyWindow = flag.Duration("history-window", 15*time.Minute, "in-process metric history retention behind GET /v1/history (0 = off; see DESIGN.md §15)")
+		historyEvery  = flag.Duration("history-interval", 5*time.Second, "metric history sampling cadence")
+		flightDir     = flag.String("flight-dir", "", "arm the flight recorder: write incident bundles to DIR (inspect with lpvs-flight)")
+		flightTrig    = flag.String("flight-triggers", "all", "flight-recorder triggers: comma list of slo,panic,shed,manual, or all/none")
 		showVersion   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -112,6 +117,10 @@ func main() {
 		SLOTickLatency:     *sloLatency,
 		SnapshotDir:        *snapshotDir,
 		SnapshotInterval:   *snapshotEvery,
+		HistoryWindow:      *historyWindow,
+		HistoryInterval:    *historyEvery,
+		FlightDir:          *flightDir,
+		FlightTriggers:     *flightTrig,
 	})
 	if err != nil {
 		fatal(err)
@@ -137,11 +146,33 @@ func main() {
 	defer stop()
 
 	// Fleet-health background loops (DESIGN.md §13): runtime
-	// self-telemetry into /metrics and the SLO burn-rate evaluator.
+	// self-telemetry into /metrics, the SLO burn-rate evaluator, and the
+	// metric-history sampler (§15). They run on their own context, not
+	// the signal context, so the shutdown goroutine can stop them and
+	// WAIT for them before the final snapshot — the snapshot and final
+	// flight bundle must never race background writers.
+	bgCtx, bgStop := context.WithCancel(context.Background())
+	defer bgStop()
+	var bg sync.WaitGroup
 	if *runtimeEvery > 0 {
-		go runtimecollector.New(srv.Registry()).Run(ctx, *runtimeEvery)
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			runtimecollector.New(srv.Registry()).Run(bgCtx, *runtimeEvery)
+		}()
 	}
-	go srv.SLO().Run(ctx.Done(), *sloInterval)
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		srv.SLO().Run(bgCtx.Done(), *sloInterval)
+	}()
+	if h := srv.History(); h != nil {
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			h.Run(bgCtx.Done())
+		}()
+	}
 
 	// Periodic durable-state snapshots (DESIGN.md §14). The final
 	// snapshot is taken by the shutdown goroutine after drain, so a
@@ -212,6 +243,11 @@ func main() {
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			logger.Error("shutdown", "err", err)
 		}
+		// Stop the SLO evaluator, runtime collector, and history
+		// sampler — and wait for them — before the final snapshot, so
+		// nothing mutates state while it is being written.
+		bgStop()
+		bg.Wait()
 		// Snapshot after drain so the on-disk state reflects every
 		// admitted report.
 		if *snapshotDir != "" {
@@ -225,7 +261,8 @@ func main() {
 		"addr", *addr, "version", version, "capacity", *capacity,
 		"lambda", *lambda, "slot_sec", *slotSec, "workers", *workers,
 		"pprof", *enablePprof, "audit_dir", *auditDir,
-		"snapshot_dir", *snapshotDir,
+		"snapshot_dir", *snapshotDir, "flight_dir", *flightDir,
+		"history_window", *historyWindow,
 		"trace_sample", *traceSample,
 		"sched_deadline", *schedDeadline, "max_inflight", *maxInflight)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -30,7 +30,10 @@ import (
 	"lpvs/internal/device"
 	"lpvs/internal/display"
 	"lpvs/internal/edge"
+	"lpvs/internal/obs"
 	"lpvs/internal/obs/audit"
+	"lpvs/internal/obs/flight"
+	"lpvs/internal/obs/history"
 	"lpvs/internal/obs/slo"
 	"lpvs/internal/obs/span"
 	"lpvs/internal/scheduler"
@@ -143,6 +146,13 @@ type Config struct {
 	// gather / schedule (→ vc → compact / phase1 / phase2) / play /
 	// bayes-update. Decisions are identical with tracing on or off.
 	Tracer *span.Tracer
+	// FlightDir, when non-empty, arms a flight recorder on the run's
+	// synthetic-clock SLO engine: every alarm firing freezes an
+	// incident bundle (per-slot metric history, the span ring, recent
+	// audit records) into FlightDir — the same bundle format lpvsd
+	// writes, inspectable with lpvs-flight. Pure observation: excluded
+	// from the checkpoint config hash, decisions identical either way.
+	FlightDir string
 }
 
 // normalized fills defaults and validates.
@@ -271,6 +281,9 @@ type RunResult struct {
 	// the run (DESIGN.md §13).
 	SLO       []slo.State
 	SLOAlarms int
+	// FlightBundles counts incident bundles the run's flight recorder
+	// wrote (Config.FlightDir; 0 when disarmed).
+	FlightBundles int
 }
 
 // SlotStat is one slot's aggregate snapshot, taken after playback.
@@ -609,6 +622,10 @@ func (e *Emulator) Run() (*RunResult, error) {
 	// burn-rate state is observation, not decision input, and is not
 	// persisted (DESIGN.md §14).
 	sloClock := time.Unix(0, 0).Add(time.Duration(startSlot) * slotDur)
+	// flightRec is assigned after the engine exists; the transition
+	// hook only fires from Evaluate inside the slot loop, by which time
+	// it is set.
+	var flightRec *flight.Recorder
 	sloEng, err := slo.NewEngine(slo.Config{
 		FastWindow: 2 * slotDur,
 		SlowWindow: 10 * slotDur,
@@ -616,6 +633,9 @@ func (e *Emulator) Run() (*RunResult, error) {
 		OnTransition: func(st slo.State) {
 			if st.Alarming {
 				res.SLOAlarms++
+				if flightRec != nil {
+					flightRec.OnSLOTransition(st)
+				}
 			}
 		},
 	},
@@ -634,6 +654,38 @@ func (e *Emulator) Run() (*RunResult, error) {
 	)
 	if err != nil {
 		return nil, fmt.Errorf("emu: slo engine: %w", err)
+	}
+
+	// Flight recorder on the synthetic clock (DESIGN.md §15): a small
+	// live registry mirrors the shared metric vocabulary per slot, a
+	// history store samples it on the slot clock, and SLO alarms freeze
+	// the same bundle format lpvsd writes.
+	var flightHist *history.Store
+	var flightLive *liveMetrics
+	if e.cfg.FlightDir != "" {
+		reg := obs.NewRegistry()
+		flightLive = newLiveMetrics(reg)
+		flightHist = history.New(reg, history.Config{
+			Window:   10 * slotDur,
+			Interval: slotDur,
+			Now:      func() time.Time { return sloClock },
+		})
+		flightRec, err = flight.New(flight.Config{
+			Dir:       e.cfg.FlightDir,
+			Triggers:  flight.Triggers{SLOAlarm: true, Manual: true},
+			History:   flightHist,
+			Tracer:    e.cfg.Tracer,
+			SLOStates: sloEng.Snapshot,
+			Binary:    "lpvs-emu",
+			Now:       func() time.Time { return sloClock },
+			// The synthetic clock advances SlotSec per slot, so the
+			// default 30s cooldown would suppress nothing; keep it off
+			// and let every alarm firing produce its bundle.
+			Cooldown: -1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("emu: flight recorder: %w", err)
+		}
 	}
 
 	for slot := startSlot; slot < endSlot; slot++ {
@@ -685,14 +737,30 @@ func (e *Emulator) Run() (*RunResult, error) {
 			ssp.End()
 			res.SchedSeconds += schedSec
 			res.SchedCPUSeconds += schedCPUSec
+			// The flight tail mirrors the audit log: without -audit-dir
+			// there is nothing to tee and the slot never pays for
+			// encoding a record nobody persists.
 			if auditLog != nil && lpvsSched != nil {
 				rec := audit.NewRecord(slot, "vc", lpvsSched.Config(), reqs, decision)
 				rec.Seed = e.cfg.Seed
 				rec.UnixSec = float64(time.Now().UnixNano()) / 1e9
 				rec.TraceID = slotSp.TraceID()
-				if err := auditLog.Append(rec); err != nil {
+				// Encode once; the audit log and the flight recorder's
+				// tail ring get the same bytes, so bundles replay
+				// byte-identically against the log.
+				line, err := rec.Encode()
+				if err != nil {
 					slotSp.End()
 					return nil, fmt.Errorf("emu: slot %d: audit: %w", slot, err)
+				}
+				if auditLog != nil {
+					if err := auditLog.AppendLine(line); err != nil {
+						slotSp.End()
+						return nil, fmt.Errorf("emu: slot %d: audit: %w", slot, err)
+					}
+				}
+				if flightRec != nil {
+					flightRec.NoteAudit(line)
 				}
 			}
 		}
@@ -768,6 +836,13 @@ func (e *Emulator) Run() (*RunResult, error) {
 			sloDegraded++
 		}
 		sloClock = time.Unix(0, 0).Add(time.Duration(slot+1) * slotDur)
+		// Sample history on the advanced clock before evaluating, so a
+		// bundle captured by this Evaluate covers the slot that
+		// triggered the alarm.
+		if flightHist != nil {
+			flightLive.observe(e, stat)
+			flightHist.Sample()
+		}
 		sloEng.Evaluate()
 		slotSp.SetInt("watching", stat.Watching)
 		slotSp.SetInt("selected", stat.Selected)
@@ -778,6 +853,9 @@ func (e *Emulator) Run() (*RunResult, error) {
 	}
 
 	res.SLO = sloEng.Snapshot()
+	if flightRec != nil {
+		res.FlightBundles = int(flightRec.BundlesWritten())
+	}
 	e.nextSlot = endSlot
 
 	if endSlot < e.cfg.Slots {

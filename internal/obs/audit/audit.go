@@ -504,9 +504,18 @@ func (w *Writer) Append(rec *Record) error {
 	if err != nil {
 		return err
 	}
+	return w.AppendLine(line)
+}
+
+// AppendLine writes one already-encoded record line (as produced by
+// Record.Encode, trailing newline included). Callers that also feed
+// the flight recorder's audit tail encode once and hand the same
+// bytes to both sinks, so the bundle copy is byte-exact by
+// construction.
+func (w *Writer) AppendLine(line []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	_, err = w.w.Write(line)
+	_, err := w.w.Write(line)
 	return err
 }
 

@@ -98,3 +98,96 @@ func TestHistSumMidpoints(t *testing.T) {
 		t.Errorf("sum = %v, want 3", got)
 	}
 }
+
+// TestConcurrentStartStopAndScrape hammers the collector from three
+// directions at once — rapid Run start/cancel cycles, direct Sample
+// calls, and full registry scrapes — so the race detector can prove
+// the shutdown-ordering contract behind lpvsd's background loops
+// (DESIGN.md §15): sampling and scraping never race, even across
+// collector restarts.
+func TestConcurrentStartStopAndScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(reg)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Rapid start/cancel cycles of the background loop.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			var runWG sync.WaitGroup
+			runWG.Add(1)
+			go func() {
+				defer runWG.Done()
+				c.Run(ctx, time.Microsecond)
+			}()
+			time.Sleep(time.Millisecond)
+			cancel()
+			runWG.Wait()
+		}
+		close(done)
+	}()
+
+	// Direct sampling, as the shutdown path does for the final frame.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				c.Sample()
+			}
+		}
+	}()
+
+	// Scrapes while collecting, as /metrics does.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					var b strings.Builder
+					if err := reg.WriteText(&b); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if c.lastSample.Value() == 0 {
+		t.Fatal("no sample landed during the churn")
+	}
+}
+
+// TestTwoCollectorsOneRegistry: a second collector on the same
+// registry reuses the families instead of panicking, and concurrent
+// sampling from both stays race-free.
+func TestTwoCollectorsOneRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	a, b := New(reg), New(reg)
+	var wg sync.WaitGroup
+	for _, c := range []*Collector{a, b} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Sample()
+			}
+		}()
+	}
+	wg.Wait()
+	if a.lastSample.Value() == 0 || b.lastSample.Value() == 0 {
+		t.Fatal("a collector never sampled")
+	}
+}

@@ -237,14 +237,24 @@ func (e *Engine) Run(done <-chan struct{}, interval time.Duration) {
 // Evaluate samples every objective's counters once and recomputes the
 // burn state, firing transition callbacks and refreshing registered
 // gauges. Returns the fresh states in objective order.
+//
+// OnTransition callbacks fire after the engine lock is released, so a
+// callback may safely call back into the engine (the flight recorder
+// captures Snapshot() from inside its SLO trigger, for example).
 func (e *Engine) Evaluate() []State {
 	now := e.cfg.Now()
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	out := make([]State, 0, len(e.objs))
+	var fired []State
 	for _, os := range e.objs {
-		st := e.evaluateLocked(os, now)
+		st := e.evaluateLocked(os, now, &fired)
 		out = append(out, st)
+	}
+	e.mu.Unlock()
+	if e.cfg.OnTransition != nil {
+		for _, st := range fired {
+			e.cfg.OnTransition(st)
+		}
 	}
 	return out
 }
@@ -260,7 +270,7 @@ func (e *Engine) Snapshot() []State {
 	return out
 }
 
-func (e *Engine) evaluateLocked(os *objectiveState, now time.Time) State {
+func (e *Engine) evaluateLocked(os *objectiveState, now time.Time, fired *[]State) State {
 	bad, total := os.obj.Source()
 	// Clamp a counter reset: treat the reading as a fresh stream start.
 	if n := len(os.ring); n > 0 && (bad < os.ring[n-1].bad || total < os.ring[n-1].total) {
@@ -306,11 +316,11 @@ func (e *Engine) evaluateLocked(os *objectiveState, now time.Time) State {
 	if breachingAll && !os.alarming {
 		os.alarming = true
 		os.alarmSince = now
-		e.noteTransition(os, st, true)
+		*fired = append(*fired, e.noteTransition(os, st, true))
 	} else if !breachingAll && os.alarming {
 		os.alarming = false
 		os.alarmSince = time.Time{}
-		e.noteTransition(os, st, false)
+		*fired = append(*fired, e.noteTransition(os, st, false))
 	}
 	st.Alarming = os.alarming
 	if os.alarming {
@@ -334,8 +344,10 @@ func (e *Engine) evaluateLocked(os *objectiveState, now time.Time) State {
 	return st
 }
 
-// noteTransition logs, counts, and forwards one alarm state change.
-func (e *Engine) noteTransition(os *objectiveState, st State, alarming bool) {
+// noteTransition logs and counts one alarm state change and returns
+// the state to forward to OnTransition once the engine lock is
+// released (a callback re-entering the engine must not deadlock).
+func (e *Engine) noteTransition(os *objectiveState, st State, alarming bool) State {
 	st.Alarming = alarming
 	if alarming {
 		st.AlarmSinceUnix = float64(os.alarmSince.UnixNano()) / 1e9
@@ -355,9 +367,7 @@ func (e *Engine) noteTransition(os *objectiveState, st State, alarming bool) {
 		"slo", os.obj.Name, "state", direction,
 		"burn_fast", fast, "burn_slow", slow,
 		"threshold", e.cfg.Burn, "budget_remaining", st.BudgetRemaining)
-	if e.cfg.OnTransition != nil {
-		e.cfg.OnTransition(st)
-	}
+	return st
 }
 
 // windowState computes one window's burn from the sample ring: the

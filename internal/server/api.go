@@ -15,12 +15,15 @@
 //	GET  /v1/status    cluster-wide counters
 //	GET  /v1/fleet     per-channel and per-stream health rollup
 //	GET  /v1/slo       SLO burn-rate states
+//	GET  /v1/history   metric-history range queries (with -history-window)
+//	POST /v1/incident  manual flight-recorder capture (with -flight-dir)
 //	GET  /healthz      liveness
 //	GET  /readyz       readiness (503 while draining)
 package server
 
 import (
 	"lpvs/internal/display"
+	"lpvs/internal/obs/history"
 	"lpvs/internal/obs/slo"
 	"lpvs/internal/scheduler"
 )
@@ -249,6 +252,43 @@ type StatusResponse struct {
 	SnapshotErrors      uint64  `json:"snapshot_errors"`
 	SnapshotLastUnixSec int64   `json:"snapshot_last_unix_sec"`
 	SnapshotLastBytes   int64   `json:"snapshot_last_bytes"`
+	// Forensics (DESIGN.md §15). HistoryWindowSec is the metric-history
+	// retention window (0 = history off); FlightDir the incident-bundle
+	// directory ("" = recorder off); FlightTriggers the armed trigger
+	// set; FlightBundles / FlightLastUnixSec mirror the lpvs_flight_*
+	// metrics.
+	HistoryWindowSec   float64 `json:"history_window_sec,omitempty"`
+	HistoryIntervalSec float64 `json:"history_interval_sec,omitempty"`
+	HistorySamples     uint64  `json:"history_samples,omitempty"`
+	FlightDir          string  `json:"flight_dir,omitempty"`
+	FlightTriggers     string  `json:"flight_triggers,omitempty"`
+	FlightBundles      uint64  `json:"flight_bundles,omitempty"`
+	FlightLastUnixSec  float64 `json:"flight_last_unix_sec,omitempty"`
+}
+
+// HistoryResponse is the GET /v1/history range-query result: the
+// matching retained series, each a list of timestamped points whose
+// Kind says whether values are instantaneous readings or per-sample
+// deltas (see internal/obs/history).
+type HistoryResponse struct {
+	NowUnixSec  float64          `json:"now_unix_sec"`
+	WindowSec   float64          `json:"window_sec"`
+	IntervalSec float64          `json:"interval_sec"`
+	Samples     uint64           `json:"samples"`
+	Series      []history.Series `json:"series"`
+}
+
+// IncidentRequest is the optional POST /v1/incident body.
+type IncidentRequest struct {
+	Reason string `json:"reason"`
+}
+
+// IncidentResponse reports a manual flight-recorder capture.
+type IncidentResponse struct {
+	Path           string  `json:"path"`
+	Trigger        string  `json:"trigger"`
+	WrittenUnixSec float64 `json:"written_unix_sec"`
+	Bundles        uint64  `json:"bundles"`
 }
 
 // FleetResponse is the /v1/fleet health rollup: one row per channel

@@ -197,7 +197,14 @@ func (s *Server) newSLOEngine() (*slo.Engine, error) {
 		lat = DefaultSLOTickLatency
 	}
 	s.sloLatency = lat
-	return slo.NewEngine(slo.Config{Logger: s.log},
+	// The transition hook reads s.flight at fire time, so engine and
+	// recorder construction order in New does not matter.
+	onTransition := func(st slo.State) {
+		if s.flight != nil {
+			s.flight.OnSLOTransition(st)
+		}
+	}
+	return slo.NewEngine(slo.Config{Logger: s.log, OnTransition: onTransition},
 		slo.Objective{
 			Name:        "tick-latency",
 			Description: "Scheduling ticks must finish within " + lat.String() + ".",

@@ -67,6 +67,9 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 				s.log.Error("handler panic",
 					"path", r.URL.Path, "panic", fmt.Sprint(rec),
 					"stack", string(debug.Stack()))
+				if s.flight != nil {
+					s.flight.OnPanic(fmt.Sprintf("%s: %v", r.URL.Path, rec))
+				}
 				// The handler may have written already; this is then a
 				// no-op, and the client sees a truncated body — the best
 				// available outcome.
@@ -87,6 +90,9 @@ func (s *Server) admit(next http.Handler, routePath string) http.Handler {
 			s.shed.Add(1)
 			s.metrics.shed.Inc()
 			s.metrics.shedRoute.With(routePath).Inc()
+			if s.flight != nil {
+				s.flight.OnShed()
+			}
 			w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
 			writeErrorMsg(w, http.StatusTooManyRequests, CodeOverloaded,
 				fmt.Sprintf("edge at capacity (%d in flight); retry after %ds", cap(s.gate.sem), retryAfterSeconds))

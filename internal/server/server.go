@@ -20,6 +20,8 @@ import (
 	"lpvs/internal/edge"
 	"lpvs/internal/obs"
 	"lpvs/internal/obs/audit"
+	"lpvs/internal/obs/flight"
+	"lpvs/internal/obs/history"
 	"lpvs/internal/obs/slo"
 	"lpvs/internal/obs/span"
 	"lpvs/internal/scheduler"
@@ -97,6 +99,23 @@ type Config struct {
 	// loop (cmd/lpvsd owns the ticker); the server only surfaces it in
 	// /v1/status so operators can read the configured cadence.
 	SnapshotInterval time.Duration
+	// HistoryWindow, when positive, enables the in-process metric
+	// history ring (DESIGN.md §15): the registry is sampled every
+	// HistoryInterval and GET /v1/history serves range queries over the
+	// window. cmd/lpvsd owns the sampling ticker; tests drive
+	// History().Sample() directly.
+	HistoryWindow time.Duration
+	// HistoryInterval is the history sampling cadence (zero means
+	// history.DefaultInterval).
+	HistoryInterval time.Duration
+	// FlightDir, when non-empty, arms the black-box flight recorder
+	// (DESIGN.md §15): SLO alarm transitions, recovered panics, shed
+	// bursts, and POST /v1/incident each freeze a forensic bundle into
+	// FlightDir, inspectable with lpvs-flight.
+	FlightDir string
+	// FlightTriggers selects the armed triggers as a comma-separated
+	// list ("slo,panic,shed,manual", "all", "none"); empty means all.
+	FlightTriggers string
 }
 
 // deviceState is the daemon's per-device bookkeeping.
@@ -154,6 +173,13 @@ type Server struct {
 	snapErrors    atomic.Uint64
 	snapLastUnix  atomic.Int64
 	snapLastBytes atomic.Int64
+
+	// Forensics (DESIGN.md §15): the metric-history ring behind
+	// /v1/history and the black-box flight recorder. Both are nil when
+	// disabled and are strict observers — never consulted on the
+	// scheduling path.
+	history *history.Store
+	flight  *flight.Recorder
 
 	mu       sync.Mutex
 	slot     int
@@ -282,6 +308,18 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.slo = eng
 	s.slo.Register(s.metrics.reg)
+	if cfg.HistoryWindow > 0 {
+		s.history = history.New(s.metrics.reg, history.Config{
+			Window:   cfg.HistoryWindow,
+			Interval: cfg.HistoryInterval,
+		})
+		s.history.Register(s.metrics.reg)
+	}
+	if cfg.FlightDir != "" {
+		if err := s.newFlightRecorder(); err != nil {
+			return nil, fmt.Errorf("server: flight recorder: %w", err)
+		}
+	}
 	s.ready.Store(true)
 	return s, nil
 }
@@ -324,6 +362,10 @@ func (s *Server) Handler() http.Handler {
 		{method: "GET", path: "/v1/status", h: s.handleStatus},
 		{method: "GET", path: "/v1/fleet", h: s.handleFleet},
 		{method: "GET", path: "/v1/slo", h: s.handleSLO},
+		// History and incident capture stay ungated: forensics must
+		// keep working while admission control is shedding load.
+		{method: "GET", path: "/v1/history", h: s.handleHistory},
+		{method: "POST", path: "/v1/incident", h: s.handleIncident},
 		{method: "GET", path: "/metrics", h: s.handleMetrics},
 		{method: "GET", path: "/healthz", h: func(w http.ResponseWriter, _ *http.Request) {
 			w.WriteHeader(http.StatusOK)
@@ -544,10 +586,27 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 		rec := audit.NewRecord(s.slot, vcID, s.pool.Scheduler().Config(), reqs, dec)
 		rec.UnixSec = float64(time.Now().UnixNano()) / 1e9
 		rec.TraceID = sp.TraceID()
-		if err := s.audit.Append(rec); err != nil {
-			// Auditing is an observer: a full disk must not take the
-			// scheduling path down with it.
-			s.log.Error("audit append failed", "slot", s.slot, "err", err)
+		// Encode once and tee the same bytes to the audit log and the
+		// flight recorder's tail ring, so a bundle's embedded records
+		// are byte-exact copies of the logged ones. The tail mirrors
+		// the log — a daemon without -audit-dir captures bundles with
+		// no audit section, and the tick path never pays for encoding
+		// a record nobody persists.
+		line, err := rec.Encode()
+		switch {
+		case err != nil:
+			s.log.Error("audit encode failed", "slot", s.slot, "err", err)
+		default:
+			if s.audit != nil {
+				if err := s.audit.AppendLine(line); err != nil {
+					// Auditing is an observer: a full disk must not take
+					// the scheduling path down with it.
+					s.log.Error("audit append failed", "slot", s.slot, "err", err)
+				}
+			}
+			if s.flight != nil {
+				s.flight.NoteAudit(line)
+			}
 		}
 	}
 	s.lastSel = dec.Selected
@@ -829,6 +888,17 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	resp.SnapshotErrors = s.snapErrors.Load()
 	resp.SnapshotLastUnixSec = s.snapLastUnix.Load()
 	resp.SnapshotLastBytes = s.snapLastBytes.Load()
+	if s.history != nil {
+		resp.HistoryWindowSec = s.history.Window().Seconds()
+		resp.HistoryIntervalSec = s.history.Interval().Seconds()
+		resp.HistorySamples = s.history.Samples()
+	}
+	if s.flight != nil {
+		resp.FlightDir = s.flight.Dir()
+		resp.FlightTriggers = s.flight.Triggers().String()
+		resp.FlightBundles = s.flight.BundlesWritten()
+		_, resp.FlightLastUnixSec = s.flight.LastBundle()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
