@@ -7,7 +7,7 @@ GO ?= go
 # Per-target budget for `make fuzz-smoke`.
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet vet-extra fmt check bench bench-smoke fuzz-smoke audit-replay chaos-smoke slo-smoke snapshot-smoke flight-smoke
+.PHONY: all build test race vet vet-extra fmt check bench bench-smoke fuzz-smoke audit-replay chaos-smoke slo-smoke snapshot-smoke flight-smoke ingest-smoke
 
 all: build
 
@@ -44,7 +44,19 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: fmt vet vet-extra build race audit-replay chaos-smoke slo-smoke snapshot-smoke flight-smoke bench-smoke
+check: fmt vet vet-extra build race audit-replay chaos-smoke slo-smoke snapshot-smoke flight-smoke ingest-smoke bench-smoke
+
+# ingest-smoke drives the binary report codec (DESIGN.md §16) end to
+# end: the wire package's framing tests and fuzz seed corpora, the
+# server's negotiation / batch-cap / pool-aliasing / metrics tests and
+# the JSON-vs-binary decision differential, the client's fallback
+# regression against an old-daemon stub, then one pass of the ingest
+# benchmarks to guard the zero-alloc decode path against bitrot.
+ingest-smoke:
+	$(GO) test -count=1 ./internal/wire/
+	$(GO) test -count=1 ./internal/server/ -run 'Wire|Ingest|Batch|Differential|PoolScratch|MixedCodec|JSONDefault'
+	$(GO) test -count=1 ./internal/client/ -run 'Wire|Fallback|BinaryDefault|JSONReports'
+	$(GO) test -count=1 ./internal/server/ -run '^$$' -bench BenchmarkIngest -benchtime 1x -benchmem >/dev/null
 
 # chaos-smoke drives the resilience stack end to end: the retrying /
 # breaker-guarded client against a real daemon wrapped in the seeded

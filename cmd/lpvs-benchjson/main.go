@@ -27,13 +27,16 @@ import (
 	"strings"
 )
 
-// Result is one benchmark case's parsed outcome.
+// Result is one benchmark case's parsed outcome. Extra carries any
+// custom metrics the benchmark emitted via b.ReportMetric, keyed by
+// unit (e.g. "reports/s" from the ingest benchmarks).
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Environment records where the benchmarks ran.
@@ -53,13 +56,14 @@ type Report struct {
 	Benchmarks  []Result    `json:"benchmarks"`
 }
 
-// benchLine matches one `go test -bench -benchmem` result line, e.g.
+// benchLine matches the lead of one `go test -bench` result line, e.g.
 //
 //	BenchmarkFoo/case-8   120   9876543 ns/op   1234 B/op   56 allocs/op
 //
-// The memory columns are optional so plain -bench output still parses.
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+// The metric columns after the iteration count are parsed as generic
+// value/unit pairs, so custom b.ReportMetric units (reports/s) survive
+// alongside the standard ns/op, B/op and allocs/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
 
 // ParseBench extracts benchmark results and the reported CPU model from
 // `go test -bench` output.
@@ -77,11 +81,31 @@ func ParseBench(out string) (results []Result, cpu string) {
 			continue
 		}
 		iters, _ := strconv.Atoi(m[2])
-		ns, _ := strconv.ParseFloat(m[3], 64)
-		r := Result{Name: trimProcSuffix(m[1]), Iterations: iters, NsPerOp: ns}
-		if m[4] != "" {
-			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		r := Result{Name: trimProcSuffix(m[1]), Iterations: iters}
+		fields := strings.Fields(m[3])
+		seen := false
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+				seen = true
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			default:
+				if r.Extra == nil {
+					r.Extra = make(map[string]float64)
+				}
+				r.Extra[unit] = v
+			}
+		}
+		if !seen {
+			continue
 		}
 		results = append(results, r)
 	}

@@ -32,6 +32,24 @@ ok  	lpvs/internal/scheduler	12.3s
 	}
 }
 
+func TestParseBenchCustomMetrics(t *testing.T) {
+	out := `cpu: Test CPU
+BenchmarkIngest/binary-10k-8   50   21000000 ns/op   476190 reports/s   8192 B/op   3 allocs/op
+PASS
+`
+	results, _ := ParseBench(out)
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1", len(results))
+	}
+	r := results[0]
+	if r.NsPerOp != 21000000 || r.BytesPerOp != 8192 || r.AllocsPerOp != 3 {
+		t.Fatalf("standard columns: %+v", r)
+	}
+	if got := r.Extra["reports/s"]; got != 476190 {
+		t.Fatalf("reports/s = %v, extra %v", got, r.Extra)
+	}
+}
+
 func TestTrimProcSuffix(t *testing.T) {
 	for in, want := range map[string]string{
 		"BenchmarkFoo-8":          "BenchmarkFoo",

@@ -62,6 +62,7 @@ func main() {
 		traceSeed     = flag.Int64("trace-seed", 0, "seed for trace/span IDs (0 = default)")
 		schedDeadline = flag.Duration("sched-deadline", 0, "per-tick scheduling wall-clock budget; on expiry the tick degrades to the anytime shortcuts (0 = unbounded)")
 		maxInflight   = flag.Int("max-inflight", server.DefaultMaxInflight, "admitted heavy requests before 429 load shedding (negative = no gate)")
+		maxBatch      = flag.Int("max-batch-records", server.DefaultMaxBatchRecords, "records accepted per batch report before 413 (negative = unbounded)")
 		vcBudget      = flag.Int("vc-label-budget", 64, "per-family cap on per-VC labeled metric series (0 = no per-VC series, negative = uncapped)")
 		sloLatency    = flag.Duration("slo-tick-latency", server.DefaultSLOTickLatency, "tick wall-time budget behind the tick-latency SLO")
 		sloInterval   = flag.Duration("slo-interval", 5*time.Second, "background SLO burn-rate evaluation interval")
@@ -113,6 +114,7 @@ func main() {
 		DisableIncremental: !*incremental,
 		SchedDeadline:      *schedDeadline,
 		MaxInflight:        *maxInflight,
+		MaxBatchRecords:    *maxBatch,
 		VCLabelBudget:      *vcBudget,
 		SLOTickLatency:     *sloLatency,
 		SnapshotDir:        *snapshotDir,
@@ -264,7 +266,8 @@ func main() {
 		"snapshot_dir", *snapshotDir, "flight_dir", *flightDir,
 		"history_window", *historyWindow,
 		"trace_sample", *traceSample,
-		"sched_deadline", *schedDeadline, "max_inflight", *maxInflight)
+		"sched_deadline", *schedDeadline, "max_inflight", *maxInflight,
+		"max_batch_records", *maxBatch)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}

@@ -50,7 +50,10 @@ func main() {
 		clients = append(clients, c)
 	}
 	// Batched reporting: the whole fleet's slot reports ride one
-	// POST /v1/report round-trip instead of one per device.
+	// POST /v1/report round-trip instead of one per device, framed in
+	// the compact binary wire format (DESIGN.md §16) — the clients
+	// negotiate it automatically and fall back to JSON against daemons
+	// that predate the codec.
 	group, err := lpvs.NewClientFleet(clients...)
 	if err != nil {
 		log.Fatal(err)

@@ -7,17 +7,20 @@ package client
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
 	"lpvs/internal/device"
 	"lpvs/internal/display"
 	"lpvs/internal/server"
 	"lpvs/internal/stats"
+	"lpvs/internal/wire"
 )
 
 // Client talks to one LPVS edge daemon on behalf of one device.
@@ -31,6 +34,14 @@ type Client struct {
 	backoff time.Duration
 	breaker *breaker     // nil = no circuit breaking
 	budget  *retryBudget // nil = unbounded retries (up to `retries`)
+
+	// Codec negotiation (DESIGN.md §16): reports go out in the binary
+	// wire format by default; a daemon that does not speak it (415, or
+	// an old daemon's JSON-decode 400 on the binary body) flips the
+	// client to JSON for good. wireBuf is the reused encode buffer, so
+	// a steady-state reporter allocates no per-slot body.
+	jsonOnly bool
+	wireBuf  []byte
 }
 
 // Option customises a Client.
@@ -88,6 +99,13 @@ func WithRetryBudget(max, ratio float64) Option {
 	}
 }
 
+// WithJSONReports forces reports onto the JSON codec, skipping the
+// binary default and its negotiation round-trip (for old daemons known
+// in advance, or debugging with readable bodies).
+func WithJSONReports() Option {
+	return func(c *Client) { c.jsonOnly = true }
+}
+
 // SetChannel switches which of the edge's streams subsequent reports
 // subscribe to (empty = the site's default stream).
 func (c *Client) SetChannel(id string) { c.channel = id }
@@ -134,22 +152,77 @@ func (c *Client) ReportRequest() server.ReportRequest {
 	}
 }
 
-// Report sends the device's slot report.
+// Report sends the device's slot report, binary-framed unless the
+// client has negotiated down to JSON (see WithJSONReports and
+// wireFallback).
 func (c *Client) Report() (server.ReportResponse, error) {
 	var resp server.ReportResponse
-	err := c.post("/v1/report", c.ReportRequest(), &resp)
+	req := c.ReportRequest()
+	if !c.jsonOnly {
+		buf, err := wire.AppendSingle(c.wireBuf[:0], &req)
+		if err == nil {
+			c.wireBuf = buf
+			err = c.postWire(buf, &resp)
+			if !wireFallback(err) {
+				return resp, err
+			}
+			c.jsonOnly = true
+		}
+		// Unencodable report or a daemon without the codec: JSON below.
+	}
+	err := c.post("/v1/report", req, &resp)
 	return resp, err
 }
 
-// ReportBatch posts many reports as one JSON-array body — one
-// round-trip for a whole co-located fleet instead of one per device.
-// The reports need not belong to this client's device; the call just
-// rides its transport, retry and breaker machinery. Per-item failures
-// do not error the call — inspect the response's Results.
+// ReportBatch posts many reports as one body — one round-trip for a
+// whole co-located fleet instead of one per device — binary-framed
+// unless the client has negotiated down to JSON. The reports need not
+// belong to this client's device; the call just rides its transport,
+// retry and breaker machinery. Per-item failures do not error the call
+// — inspect the response's Results (rejections only on the binary
+// codec).
 func (c *Client) ReportBatch(reqs []server.ReportRequest) (server.BatchReportResponse, error) {
 	var resp server.BatchReportResponse
+	if !c.jsonOnly {
+		buf, err := wire.AppendBatch(c.wireBuf[:0], reqs)
+		if err == nil {
+			c.wireBuf = buf
+			err = c.postWire(buf, &resp)
+			if !wireFallback(err) {
+				return resp, err
+			}
+			c.jsonOnly = true
+		}
+	}
 	err := c.post("/v1/report", reqs, &resp)
 	return resp, err
+}
+
+// postWire posts a binary-framed report body; responses are JSON in
+// both codecs, so decoding is shared.
+func (c *Client) postWire(raw []byte, out any) error {
+	return c.withRetry(func() (*http.Response, error) {
+		return c.http.Post(c.base+"/v1/report", wire.ContentType, bytes.NewReader(raw))
+	}, "POST /v1/report", out)
+}
+
+// wireFallback reports whether a binary report's failure means the
+// daemon does not speak the codec: a 415 (version skew on a daemon
+// that knows the Content-Type), or the JSON-decode 400 an old daemon
+// produces when it tries to parse the binary body as JSON. Envelope
+// validation 400s (bad display, unknown channel) are NOT fallbacks —
+// resending them as JSON would fail identically.
+func wireFallback(err error) bool {
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		return false
+	}
+	if apiErr.Status == http.StatusUnsupportedMediaType {
+		return true
+	}
+	return apiErr.Status == http.StatusBadRequest &&
+		apiErr.Code == server.CodeBadRequest &&
+		strings.HasPrefix(apiErr.Message, "decode")
 }
 
 // Decision fetches the device's current transform decision.

@@ -13,6 +13,9 @@ import (
 // — only reporting aggregates.
 type Fleet struct {
 	clients []*Client
+	// reqs is the reused per-slot report batch; ReportBatch encodes it
+	// before returning, so overwriting it next slot is safe.
+	reqs []server.ReportRequest
 }
 
 // NewFleet builds a fleet from clients of the same edge daemon. The
@@ -42,13 +45,14 @@ func (f *Fleet) Clients() []*Client { return f.clients }
 // into one round-trip. Per-item rejections do not error the call —
 // they are returned in the response's Results.
 func (f *Fleet) Report() (server.BatchReportResponse, error) {
-	reqs := make([]server.ReportRequest, 0, len(f.clients))
+	reqs := f.reqs[:0]
 	for _, c := range f.clients {
 		if c.dev.State != device.Watching {
 			continue
 		}
 		reqs = append(reqs, c.ReportRequest())
 	}
+	f.reqs = reqs
 	if len(reqs) == 0 {
 		return server.BatchReportResponse{}, nil
 	}

@@ -3,7 +3,9 @@
 // tick, and serves per-device transform decisions and chunk metadata —
 // the deployable counterpart of the paper's Fig. 6 pipeline.
 //
-// API (all JSON):
+// API (JSON by default; POST /v1/report also negotiates the binary
+// report codec via Content-Type: application/x-lpvs-report — see
+// internal/wire and DESIGN.md §16):
 //
 //	POST /v1/report    device status + stream request for the next slot
 //	POST /v1/tick      advance the slot: run the scheduler on reports
@@ -22,52 +24,18 @@
 package server
 
 import (
-	"lpvs/internal/display"
 	"lpvs/internal/obs/history"
 	"lpvs/internal/obs/slo"
 	"lpvs/internal/scheduler"
+	"lpvs/internal/wire"
 )
 
-// ReportRequest is a device's slot report (information gathering).
-type ReportRequest struct {
-	DeviceID string `json:"device_id"`
-	// ChannelID selects which of the site's streams the device watches;
-	// empty means the default stream.
-	ChannelID        string  `json:"channel_id,omitempty"`
-	DisplayType      string  `json:"display_type"` // "LCD" or "OLED"
-	Width            int     `json:"width"`
-	Height           int     `json:"height"`
-	DiagonalInch     float64 `json:"diagonal_inch"`
-	Brightness       float64 `json:"brightness"`
-	EnergyFrac       float64 `json:"energy_frac"`
-	BatteryCapacityJ float64 `json:"battery_capacity_j"`
-	BasePowerW       float64 `json:"base_power_w"`
-}
-
-// Spec converts the wire form to a display spec.
-func (r ReportRequest) Spec() (display.Spec, error) {
-	ty := display.LCD
-	switch r.DisplayType {
-	case "LCD":
-	case "OLED":
-		ty = display.OLED
-	default:
-		return display.Spec{}, errBadDisplayType(r.DisplayType)
-	}
-	s := display.Spec{
-		Type:         ty,
-		Resolution:   display.Resolution{Width: r.Width, Height: r.Height},
-		DiagonalInch: r.DiagonalInch,
-		Brightness:   r.Brightness,
-	}
-	return s, s.Validate()
-}
-
-type errBadDisplayType string
-
-func (e errBadDisplayType) Error() string {
-	return "server: unknown display type " + string(e)
-}
+// ReportRequest is a device's slot report (information gathering). The
+// type lives in internal/wire — the payload of POST /v1/report in both
+// codecs, the JSON default and the binary
+// Content-Type: application/x-lpvs-report framing (DESIGN.md §16) —
+// and is aliased here so API consumers keep one import.
+type ReportRequest = wire.ReportRequest
 
 // ReportResponse acknowledges a report.
 type ReportResponse struct {
@@ -264,6 +232,19 @@ type StatusResponse struct {
 	FlightTriggers     string  `json:"flight_triggers,omitempty"`
 	FlightBundles      uint64  `json:"flight_bundles,omitempty"`
 	FlightLastUnixSec  float64 `json:"flight_last_unix_sec,omitempty"`
+	// Report-ingest counters (DESIGN.md §16), split by codec. Byte and
+	// record totals are lifetime uint64s — at fleet scale they overflow
+	// a signed 32-bit int in days, so they are kept unsigned end to end
+	// and mirror the lpvs_ingest_* metric families. MaxBatchRecords
+	// echoes the configured per-batch record cap (negative = unbounded).
+	IngestBytesJSON       uint64  `json:"ingest_bytes_json"`
+	IngestBytesBinary     uint64  `json:"ingest_bytes_binary"`
+	IngestRecordsJSON     uint64  `json:"ingest_records_json"`
+	IngestRecordsBinary   uint64  `json:"ingest_records_binary"`
+	IngestPoolGets        uint64  `json:"ingest_pool_gets"`
+	IngestPoolMisses      uint64  `json:"ingest_pool_misses"`
+	IngestPoolHitRate     float64 `json:"ingest_pool_hit_rate"`
+	IngestMaxBatchRecords int     `json:"ingest_max_batch_records"`
 }
 
 // HistoryResponse is the GET /v1/history range-query result: the
@@ -338,6 +319,10 @@ type ReadyResponse struct {
 
 // BatchReportResponse summarises one batch report: how many items were
 // staged for the next tick and each item's outcome, in input order.
+// Binary batches (Content-Type: application/x-lpvs-report) list only
+// the rejected items in Results — at 10k+ devices the all-accepted
+// per-item echo would dominate the response; Index says which input
+// record each entry refers to.
 type BatchReportResponse struct {
 	Slot     int                 `json:"slot"`
 	Accepted int                 `json:"accepted"`
@@ -347,8 +332,11 @@ type BatchReportResponse struct {
 
 // BatchReportResult is one batch item's outcome. Error is nil for
 // accepted items and carries the same envelope body a single-report
-// rejection would have returned.
+// rejection would have returned. Index is the item's position in the
+// submitted batch (meaningful for binary batches, whose Results list
+// only rejections; JSON batches echo every item in input order).
 type BatchReportResult struct {
+	Index    int        `json:"index,omitempty"`
 	DeviceID string     `json:"device_id"`
 	Accepted bool       `json:"accepted"`
 	Error    *ErrorBody `json:"error,omitempty"`

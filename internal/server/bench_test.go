@@ -1,12 +1,16 @@
 package server
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"testing"
 
 	"lpvs/internal/scheduler"
 	"lpvs/internal/stats"
 	"lpvs/internal/video"
+	"lpvs/internal/wire"
 )
 
 // benchTickServer builds a two-channel daemon with nDev staged device
@@ -57,6 +61,98 @@ func deviceID(i int) string {
 		i /= 10
 	}
 	return string(buf)
+}
+
+// ingestReports builds nDev valid reports spread across energy levels,
+// mirroring what a fleet posts every slot.
+func ingestReports(nDev int) []ReportRequest {
+	reqs := make([]ReportRequest, nDev)
+	for i := range reqs {
+		req := validReport(deviceID(i))
+		req.EnergyFrac = 0.05 + 0.9*float64(i)/float64(nDev)
+		reqs[i] = req
+	}
+	return reqs
+}
+
+// BenchmarkIngest measures POST /v1/report batch throughput for the
+// JSON and binary codecs at fleet scale, plus the pooled steady-state
+// decode in isolation. The codec cases report reports/s (picked up by
+// lpvs-benchjson into BENCH_ingest.json); decode-steady's allocs/op is
+// the zero-alloc contract — the pooled decoder with a warm intern
+// table must stay at 0 allocs (budget ≤2) per decoded batch.
+func BenchmarkIngest(b *testing.B) {
+	for _, nDev := range []int{10_000, 100_000} {
+		reqs := ingestReports(nDev)
+		jsonBody, err := json.Marshal(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wireBody, err := wire.AppendBatch(nil, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, bc := range []struct {
+			name string
+			ct   string
+			body []byte
+		}{
+			{"json", "application/json", jsonBody},
+			{"binary", wire.ContentType, wireBody},
+		} {
+			b.Run(fmt.Sprintf("%s-%dk", bc.name, nDev/1000), func(b *testing.B) {
+				s, err := New(Config{Stream: testStream(b), ServerStreams: -1, Lambda: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					req := httptest.NewRequest("POST", "/v1/report", bytes.NewReader(bc.body))
+					req.Header.Set("Content-Type", bc.ct)
+					rec := httptest.NewRecorder()
+					s.handleReport(rec, req)
+					if rec.Code != 200 {
+						b.Fatalf("report: HTTP %d: %s", rec.Code, rec.Body.String())
+					}
+				}
+				b.ReportMetric(float64(nDev)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+			})
+		}
+	}
+
+	b.Run("decode-steady", func(b *testing.B) {
+		const nDev = 512
+		reqs := ingestReports(nDev)
+		body, err := wire.AppendBatch(nil, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rd := bytes.NewReader(body)
+		dec := wire.NewDecoder(rd)
+		out := make([]ReportRequest, nDev)
+		decode := func() {
+			rd.Reset(body)
+			dec.Reset(rd)
+			if _, _, err := dec.Begin(); err != nil {
+				b.Fatal(err)
+			}
+			for i := range out {
+				if err := dec.Next(&out[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := dec.Finish(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		decode() // warm the intern table
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			decode()
+		}
+		b.ReportMetric(float64(nDev)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+	})
 }
 
 // BenchmarkFleetTick measures a full 10k-device tick with per-VC fleet

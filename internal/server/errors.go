@@ -26,6 +26,13 @@ const (
 	CodeNotScheduled = "not_scheduled"
 	// CodePayloadTooLarge: the request body exceeded the daemon's cap.
 	CodePayloadTooLarge = "payload_too_large"
+	// CodeBatchTooLarge: the batch declared more records than the
+	// daemon's per-batch cap — a byte cap alone would let a compact
+	// binary batch smuggle unbounded records under it.
+	CodeBatchTooLarge = "batch_too_large"
+	// CodeUnsupportedMedia: the Content-Type negotiated a codec version
+	// this daemon does not speak; clients fall back to JSON.
+	CodeUnsupportedMedia = "unsupported_media"
 	// CodeMethodNotAllowed: the route exists but not for this method;
 	// the Allow header lists the supported ones.
 	CodeMethodNotAllowed = "method_not_allowed"

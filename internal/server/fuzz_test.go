@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"net/http/httptest"
 	"testing"
+
+	"lpvs/internal/wire"
 )
 
 // FuzzReportHandler throws arbitrary JSON bodies at the report endpoint:
@@ -31,6 +33,50 @@ func FuzzReportHandler(f *testing.F) {
 	f.Fuzz(func(t *testing.T, body []byte) {
 		req := httptest.NewRequest("POST", "/v1/report", bytes.NewReader(body))
 		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		code := rec.Code
+		if code != 200 && (code < 400 || code >= 500) {
+			t.Fatalf("unexpected status %d for body %q", code, body)
+		}
+	})
+}
+
+// FuzzWireReportHandler throws arbitrary bytes at the report endpoint
+// under the binary content type: the daemon must fail closed — 200 for
+// well-formed frames of valid reports, 4xx for everything else, never
+// a panic or a 5xx. The decoder streams straight off the request body,
+// so this also exercises truncation mid-record.
+func FuzzWireReportHandler(f *testing.F) {
+	single, err := wire.AppendSingle(nil, &ReportRequest{
+		DeviceID: "dev-1", DisplayType: "OLED", Width: 1920, Height: 1080,
+		DiagonalInch: 6, Brightness: 0.6, EnergyFrac: 0.5,
+		BatteryCapacityJ: 50_000, BasePowerW: 0.4,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	batch, err := wire.AppendBatch(nil, []ReportRequest{validReport("dev-a"), validReport("dev-b")})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(single)
+	f.Add(batch)
+	f.Add(single[:len(single)-3]) // truncated tail
+	f.Add(batch[:10])             // header only
+	f.Add([]byte("LPWR"))
+	f.Add([]byte(`{"device_id":"x"}`)) // JSON under the binary content type
+	f.Add([]byte(``))
+
+	srv, err := New(Config{Stream: testStream(f), ServerStreams: -1, Lambda: 1, MaxBatchRecords: 64})
+	if err != nil {
+		f.Fatal(err)
+	}
+	handler := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/report", bytes.NewReader(body))
+		req.Header.Set("Content-Type", wire.ContentType)
 		rec := httptest.NewRecorder()
 		handler.ServeHTTP(rec, req)
 		code := rec.Code

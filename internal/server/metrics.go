@@ -53,6 +53,13 @@ type serverMetrics struct {
 	snapRestore *obs.CounterVec
 	panics      *obs.Counter
 
+	// Report-ingest telemetry (DESIGN.md §16), split by codec
+	// ("json" | "binary"); the pool counters are CounterFuncs over the
+	// server's atomics.
+	ingestBytes   *obs.CounterVec
+	ingestRecords *obs.CounterVec
+	ingestDecode  *obs.HistogramVec
+
 	// Per-VC fleet telemetry (DESIGN.md §13); nil when
 	// Config.VCLabelBudget is 0.
 	vc *vcMetrics
@@ -123,6 +130,13 @@ func newServerMetrics(s *Server) *serverMetrics {
 
 		snapRestore: reg.CounterVec("lpvs_snapshot_restore_total",
 			"Boot-time durable-state recoveries, by path taken (snapshot, audit, cold).", "path"),
+
+		ingestBytes: reg.CounterVec("lpvs_ingest_bytes_total",
+			"Report request-body bytes ingested on POST /v1/report, by codec.", "codec"),
+		ingestRecords: reg.CounterVec("lpvs_ingest_records_total",
+			"Device report records decoded on POST /v1/report, by codec.", "codec"),
+		ingestDecode: reg.HistogramVec("lpvs_ingest_decode_seconds",
+			"Report request-body decode time, by codec.", obs.ExpBuckets(1e-6, 4, 12), "codec"),
 
 		gammaSigmaMean: reg.Gauge("lpvs_gamma_sigma_mean",
 			"Mean posterior standard deviation of the per-device gamma estimators at the last tick."),
@@ -197,6 +211,16 @@ func newServerMetrics(s *Server) *serverMetrics {
 				n += st.estimator.Observations()
 			}
 			return float64(n)
+		})
+	// Ingest-pool telemetry (DESIGN.md §16): atomic-backed so a scrape
+	// never contends with the report hot path.
+	reg.CounterFunc("lpvs_ingest_pool_gets_total",
+		"Decode-scratch checkouts from the ingest pool.", func() float64 {
+			return float64(s.ingestPoolGets.Load())
+		})
+	reg.CounterFunc("lpvs_ingest_pool_misses_total",
+		"Decode-scratch checkouts that had to allocate a fresh workspace.", func() float64 {
+			return float64(s.ingestPoolMisses.Load())
 		})
 	// Durable-state telemetry (DESIGN.md §14): all atomic-backed, so
 	// scrapes never contend with the background snapshot loop.

@@ -27,6 +27,7 @@ import (
 	"lpvs/internal/scheduler"
 	"lpvs/internal/transform"
 	"lpvs/internal/video"
+	"lpvs/internal/wire"
 )
 
 // Config parameterises the edge daemon.
@@ -79,6 +80,11 @@ type Config struct {
 	// MaxBodyBytes caps one POST body (413 beyond). Zero means
 	// DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// MaxBatchRecords caps records per batch report in both codecs
+	// (typed 413 beyond — the byte cap alone would let a compact binary
+	// batch smuggle unbounded records under it). Zero means
+	// DefaultMaxBatchRecords; negative disables the cap.
+	MaxBatchRecords int
 	// VCLabelBudget enables the per-VC labeled metric series (lpvs_vc_*,
 	// by channel and scheduling stream) and caps the registry's labeled
 	// cardinality at that many series per family; overflow is refused
@@ -150,8 +156,21 @@ type Server struct {
 	// in /v1/status (atomics: shedding happens outside s.mu).
 	gate     *gate
 	maxBody  int64
+	maxBatch int
 	shed     atomic.Uint64
 	degraded atomic.Uint64
+
+	// Report-ingest state (DESIGN.md §16). The pool recycles decode
+	// scratch (decoder + record slices) across requests; the counters
+	// are atomics because ingest happens outside s.mu while /v1/status
+	// and /metrics read them. Byte/record totals are uint64 end to end.
+	ingestPool        sync.Pool
+	ingestPoolGets    atomic.Uint64
+	ingestPoolMisses  atomic.Uint64
+	ingestBytesJSON   atomic.Uint64
+	ingestBytesWire   atomic.Uint64
+	ingestRecordsJSON atomic.Uint64
+	ingestRecordsWire atomic.Uint64
 
 	// Fleet-health state (DESIGN.md §13). The SLO sources read only the
 	// atomics, so burn-rate evaluation never waits on s.mu; ready backs
@@ -181,13 +200,20 @@ type Server struct {
 	history *history.Store
 	flight  *flight.Recorder
 
-	mu       sync.Mutex
-	slot     int
-	pending  map[string]scheduler.Request
-	devices  map[string]*deviceState
-	lastSel  int
-	lastTick TickStats
-	tickSeen bool
+	mu      sync.Mutex
+	slot    int
+	pending map[string]scheduler.Request
+	// reqScratch is the tick's request batch, reused across ticks so
+	// the steady state allocates no per-tick slice. Safe to overwrite
+	// each tick: the audit log copies requests into its own records and
+	// the incremental scheduler rebinds its cached plan pointers to the
+	// current slice before any dereference (internal/scheduler
+	// incremental.go).
+	reqScratch []scheduler.Request
+	devices    map[string]*deviceState
+	lastSel    int
+	lastTick   TickStats
+	tickSeen   bool
 	// fleet accumulates per-channel health; prevVC holds the last pool
 	// stream snapshot per state key so stream counters emit as deltas.
 	fleet  map[string]*channelStat
@@ -272,6 +298,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	if s.maxBody == 0 {
 		s.maxBody = DefaultMaxBodyBytes
+	}
+	s.maxBatch = cfg.MaxBatchRecords
+	if s.maxBatch == 0 {
+		s.maxBatch = DefaultMaxBatchRecords
 	}
 	switch {
 	case cfg.MaxInflight == 0:
@@ -431,15 +461,23 @@ func readBody(r *http.Request) ([]byte, *apiError) {
 // handleReport accepts one device report, or — when the body is a JSON
 // array — a batch, cutting a fleet's round-trips per slot from N to 1.
 // A batch is applied item by item: valid reports are accepted even
-// when siblings fail, and the per-item outcomes are returned.
+// when siblings fail, and the per-item outcomes are returned. A
+// Content-Type of application/x-lpvs-report selects the binary codec
+// (DESIGN.md §16) instead; every other Content-Type means JSON, the
+// compatible default.
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get("Content-Type") == wire.ContentType {
+		s.handleReportWire(w, r)
+		return
+	}
+	start := time.Now()
 	body, aerr := readBody(r)
 	if aerr != nil {
 		aerr.write(w)
 		return
 	}
 	if trimmed := bytes.TrimLeft(body, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '[' {
-		s.handleReportBatch(w, trimmed)
+		s.handleReportBatch(w, trimmed, start)
 		return
 	}
 	var req ReportRequest
@@ -447,6 +485,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeErrorMsg(w, http.StatusBadRequest, CodeBadRequest, "decode: "+err.Error())
 		return
 	}
+	s.noteIngest("json", int64(len(body)), 1, time.Since(start).Seconds())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if aerr := s.acceptReportLocked(req); aerr != nil {
@@ -459,12 +498,17 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 // handleReportBatch applies a JSON array of reports under one lock
 // acquisition and returns per-item outcomes (200 even on partial
 // failure — the Results say which items need fixing).
-func (s *Server) handleReportBatch(w http.ResponseWriter, body []byte) {
+func (s *Server) handleReportBatch(w http.ResponseWriter, body []byte, start time.Time) {
 	var reqs []ReportRequest
 	if err := json.Unmarshal(body, &reqs); err != nil {
 		writeErrorMsg(w, http.StatusBadRequest, CodeBadRequest, "decode batch: "+err.Error())
 		return
 	}
+	if maxBatch := s.maxBatchRecords(); len(reqs) > maxBatch {
+		errBatchTooLarge(len(reqs), maxBatch).write(w)
+		return
+	}
+	s.noteIngest("json", int64(len(body)), len(reqs), time.Since(start).Seconds())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	resp := BatchReportResponse{
@@ -544,7 +588,7 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, sp := s.tracer.Start(tickCtx, "tick")
 	sp.SetInt("slot", s.slot)
-	reqs := make([]scheduler.Request, 0, len(s.pending))
+	reqs := s.reqScratch[:0]
 	for _, r := range s.pending {
 		reqs = append(reqs, r)
 	}
@@ -651,7 +695,11 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 		Degraded: stats.Degraded,
 		Sched:    stats,
 	}
-	s.pending = make(map[string]scheduler.Request)
+	// Steady-state reuse (DESIGN.md §16): keep the request slice's
+	// backing array for the next tick and clear the pending map in
+	// place — at a stable fleet size the tick allocates neither.
+	s.reqScratch = reqs
+	clear(s.pending)
 	s.slot++
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -899,6 +947,16 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		resp.FlightBundles = s.flight.BundlesWritten()
 		_, resp.FlightLastUnixSec = s.flight.LastBundle()
 	}
+	resp.IngestBytesJSON = s.ingestBytesJSON.Load()
+	resp.IngestBytesBinary = s.ingestBytesWire.Load()
+	resp.IngestRecordsJSON = s.ingestRecordsJSON.Load()
+	resp.IngestRecordsBinary = s.ingestRecordsWire.Load()
+	resp.IngestPoolGets = s.ingestPoolGets.Load()
+	resp.IngestPoolMisses = s.ingestPoolMisses.Load()
+	if gets := resp.IngestPoolGets; gets > 0 {
+		resp.IngestPoolHitRate = 1 - float64(resp.IngestPoolMisses)/float64(gets)
+	}
+	resp.IngestMaxBatchRecords = s.maxBatch
 	writeJSON(w, http.StatusOK, resp)
 }
 

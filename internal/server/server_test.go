@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -599,7 +600,7 @@ func TestConcurrentReports(t *testing.T) {
 			if err == nil {
 				resp.Body.Close()
 				if resp.StatusCode != 200 {
-					err = errBadDisplayType("status")
+					err = fmt.Errorf("status %d", resp.StatusCode)
 				}
 			}
 			errs <- err

@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeBatch is the fail-closed gate on the binary decoder: any
+// input either decodes to records that re-encode byte-identically
+// (canonical framing) or fails with one of the package sentinels.
+// Panics, silent truncation, and non-canonical accepts are all bugs.
+func FuzzDecodeBatch(f *testing.F) {
+	single, err := AppendSingle(nil, &ReportRequest{
+		DeviceID: "dev-0001", DisplayType: "OLED",
+		Width: 1920, Height: 1080, DiagonalInch: 6, Brightness: 0.6,
+		EnergyFrac: 0.42, BatteryCapacityJ: 50_000, BasePowerW: 0.4,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	batch, err := AppendBatch(nil, sampleReports())
+	if err != nil {
+		f.Fatal(err)
+	}
+	empty, err := AppendBatch(nil, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(single)
+	f.Add(batch)
+	f.Add(empty)
+	f.Add(batch[:len(batch)-3])                   // truncated tail
+	f.Add(append([]byte(nil), "LPWR"...))         // header only
+	f.Add([]byte("LPWR\x02\x02\xff\xff\xff\xff")) // absurd count
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqs, err := DecodeBatch(data)
+		if err != nil {
+			if !isWireError(err) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		var again []byte
+		if len(data) >= headerBytes && data[len(magic)+1] == KindSingle {
+			if len(reqs) != 1 {
+				t.Fatalf("single frame decoded %d records", len(reqs))
+			}
+			again, err = AppendSingle(nil, &reqs[0])
+		} else {
+			again, err = AppendBatch(nil, reqs)
+		}
+		if err != nil {
+			t.Fatalf("accepted input did not re-encode: %v", err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("decode/re-encode not canonical:\n in: %x\nout: %x", data, again)
+		}
+	})
+}

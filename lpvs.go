@@ -226,18 +226,27 @@ type (
 	EdgeDaemon = server.Server
 	// DeviceClient is the device side of the edge protocol.
 	DeviceClient = client.Client
+	// ClientOption customises a DeviceClient (retries, breaker, codec).
+	ClientOption = client.Option
 	// ClientFleet batches the per-slot report step of many co-located
 	// device clients into one round-trip.
 	ClientFleet = client.Fleet
 )
 
+// WithJSONReports forces a device client's reports onto the JSON codec
+// instead of the binary default (DESIGN.md §16) — for old daemons known
+// in advance, or debugging with readable bodies.
+func WithJSONReports() ClientOption { return client.WithJSONReports() }
+
 // NewEdgeDaemon builds the HTTP edge daemon.
 func NewEdgeDaemon(cfg EdgeDaemonConfig) (*EdgeDaemon, error) { return server.New(cfg) }
 
 // NewDeviceClient connects a device to an edge daemon. Pass nil for the
-// default HTTP client.
-func NewDeviceClient(baseURL string, dev *Device, httpClient *http.Client) (*DeviceClient, error) {
-	return client.New(baseURL, dev, httpClient)
+// default HTTP client. Reports go out in the compact binary wire format
+// by default, downgrading to JSON automatically against daemons that do
+// not speak it; see WithJSONReports to force JSON up front.
+func NewDeviceClient(baseURL string, dev *Device, httpClient *http.Client, opts ...ClientOption) (*DeviceClient, error) {
+	return client.New(baseURL, dev, httpClient, opts...)
 }
 
 // NewClientFleet groups device clients of one edge daemon for batched
