@@ -8,6 +8,16 @@
 //	lpvsd -log-level debug -log-format json
 //	lpvsd -pprof            # mounts net/http/pprof under /debug/pprof/
 //
+// Federation (DESIGN.md §17): -mode selects the process personality.
+// The default, edge, is the standalone daemon. A shard is an edge
+// daemon that additionally serves the node-to-node /v1/shard/* API
+// (per-channel federated ticks, state handoff, shard-map exchange);
+// a router owns a consistent-hash shard map and fronts the fleet:
+//
+//	lpvsd -mode shard  -addr :8081 -node-id a -channels music,news
+//	lpvsd -mode shard  -addr :8082 -node-id b -channels music,news
+//	lpvsd -mode router -addr :8080 -shard-map map.json
+//
 // A background ticker advances the scheduling slot every -slot seconds
 // (use -manual-tick to drive slots via POST /v1/tick instead, as the
 // tests and the streaming-service example do).
@@ -23,18 +33,22 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"lpvs/internal/obs"
 	"lpvs/internal/obs/runtimecollector"
+	"lpvs/internal/router"
 	"lpvs/internal/server"
+	"lpvs/internal/shard"
 	"lpvs/internal/stats"
 	"lpvs/internal/video"
 )
@@ -73,6 +87,11 @@ func main() {
 		historyEvery  = flag.Duration("history-interval", 5*time.Second, "metric history sampling cadence")
 		flightDir     = flag.String("flight-dir", "", "arm the flight recorder: write incident bundles to DIR (inspect with lpvs-flight)")
 		flightTrig    = flag.String("flight-triggers", "all", "flight-recorder triggers: comma list of slo,panic,shed,manual, or all/none")
+		mode          = flag.String("mode", "edge", "process personality: edge (standalone), shard (federation member), router (federation front door)")
+		nodeID        = flag.String("node-id", "", "this shard's node ID in the shard map (mode=shard)")
+		shardMapFile  = flag.String("shard-map", "", "shard map spec file, JSON {replicas, nodes:[{id,addr}]} (required for mode=router; optional epoch guard for mode=shard)")
+		channels      = flag.String("channels", "", "comma-separated extra channel IDs served alongside the default 'live' stream")
+		defaultChan   = flag.String("default-channel", "live", "channel assumed for reports without a channel_id (mode=router; must match the shards' default stream ID)")
 		showVersion   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -92,6 +111,23 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *mode == "router" {
+		runRouter(logger, routerOpts{
+			addr:         *addr,
+			mapFile:      *shardMapFile,
+			defaultChan:  *defaultChan,
+			slotSec:      *slotSec,
+			manualTick:   *manualTick,
+			enablePprof:  *enablePprof,
+			sloInterval:  *sloInterval,
+			runtimeEvery: *runtimeEvery,
+		})
+		return
+	}
+	if *mode != "edge" && *mode != "shard" {
+		fatal(fmt.Errorf("unknown -mode %q (edge, shard, router)", *mode))
+	}
+
 	genre, err := parseGenre(*genreName)
 	if err != nil {
 		fatal(err)
@@ -101,8 +137,35 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Extra channels share the genre and slot geometry; each gets its
+	// own derived seed so content differs across channels but stays
+	// reproducible across daemons started with the same flags.
+	var extras []*video.Video
+	if *channels != "" {
+		for i, id := range strings.Split(*channels, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			v, err := video.Generate(stats.NewRNG(*seed+int64(i)+1), video.DefaultGenConfig(id, genre, chunks))
+			if err != nil {
+				fatal(err)
+			}
+			extras = append(extras, v)
+		}
+	}
+	var smap *shard.Map
+	if *shardMapFile != "" {
+		if smap, err = shard.ParseFile(*shardMapFile); err != nil {
+			fatal(err)
+		}
+	}
 	srv, err := server.New(server.Config{
 		Stream:             stream,
+		ExtraStreams:       extras,
+		ShardMode:          *mode == "shard",
+		NodeID:             *nodeID,
+		ShardMap:           smap,
 		ServerStreams:      *capacity,
 		Lambda:             *lambda,
 		SlotSec:            *slotSec,
@@ -197,24 +260,14 @@ func main() {
 	}
 
 	if !*manualTick {
-		go func() {
-			client := &http.Client{Timeout: 30 * time.Second}
-			ticker := time.NewTicker(time.Duration(*slotSec * float64(time.Second)))
-			defer ticker.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-ticker.C:
-				}
-				resp, err := client.Post("http://localhost"+normalizeAddr(*addr)+"/v1/tick", "application/json", nil)
-				if err != nil {
-					logger.Warn("tick", "err", err)
-					continue
-				}
-				resp.Body.Close()
-			}
-		}()
+		// A shard's slots are advanced by its router's fan-out when one
+		// is deployed; the local ticker targets the shard endpoint so a
+		// router-less shard (tests, development) still advances.
+		tickPath := "/v1/tick"
+		if *mode == "shard" {
+			tickPath = "/v1/shard/tick"
+		}
+		go runTicker(ctx, logger, "http://localhost"+normalizeAddr(*addr)+tickPath, *slotSec)
 	}
 
 	// Server-side timeouts (DESIGN.md §12): a client that stalls its
@@ -268,6 +321,126 @@ func main() {
 		"trace_sample", *traceSample,
 		"sched_deadline", *schedDeadline, "max_inflight", *maxInflight,
 		"max_batch_records", *maxBatch)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	<-shutdownDone
+}
+
+// runTicker posts the slot-advance endpoint every slot period until
+// ctx is done.
+func runTicker(ctx context.Context, logger *slog.Logger, url string, slotSec float64) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	ticker := time.NewTicker(time.Duration(slotSec * float64(time.Second)))
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		resp, err := client.Post(url, "application/json", nil)
+		if err != nil {
+			logger.Warn("tick", "err", err)
+			continue
+		}
+		resp.Body.Close()
+	}
+}
+
+type routerOpts struct {
+	addr         string
+	mapFile      string
+	defaultChan  string
+	slotSec      float64
+	manualTick   bool
+	enablePprof  bool
+	sloInterval  time.Duration
+	runtimeEvery time.Duration
+}
+
+// runRouter is the -mode=router personality: no streams, no
+// scheduler — just the federation front door over the shard map.
+func runRouter(logger *slog.Logger, o routerOpts) {
+	fatal := func(err error) {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
+	if o.mapFile == "" {
+		fatal(errors.New("-mode=router requires -shard-map"))
+	}
+	m, err := shard.ParseFile(o.mapFile)
+	if err != nil {
+		fatal(err)
+	}
+	rt, err := router.New(router.Config{
+		Map:            m,
+		DefaultChannel: o.defaultChan,
+		Logger:         logger,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	obs.RegisterBuildInfo(rt.Registry(), "lpvsd", version)
+
+	handler := rt.Handler()
+	if o.enablePprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	bgCtx, bgStop := context.WithCancel(context.Background())
+	defer bgStop()
+	var bg sync.WaitGroup
+	if o.runtimeEvery > 0 {
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			runtimecollector.New(rt.Registry()).Run(bgCtx, o.runtimeEvery)
+		}()
+	}
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		rt.SLO().Run(bgCtx.Done(), o.sloInterval)
+	}()
+	if !o.manualTick {
+		go runTicker(ctx, logger, "http://localhost"+normalizeAddr(o.addr)+"/v1/tick", o.slotSec)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              o.addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		logger.Info("shutting down")
+		rt.SetReady(false)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Error("shutdown", "err", err)
+		}
+		bgStop()
+		bg.Wait()
+	}()
+
+	logger.Info("lpvsd router listening", "addr", o.addr, "version", version,
+		"epoch", m.Epoch(), "nodes", len(m.Nodes()), "default_channel", o.defaultChan)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}

@@ -1,20 +1,18 @@
 // Package client implements the device side of the LPVS edge protocol:
 // reporting status, fetching decisions and chunk metadata, simulating
 // playback with the local display power model, and feeding realised
-// power reductions back to the edge.
+// power reductions back to the edge. Its transport layer — the Caller
+// in options.go — is shared with the router's shard-forwarding client,
+// so both surfaces are configured through one Options API.
 package client
 
 import (
-	"bytes"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
-	"time"
 
 	"lpvs/internal/device"
 	"lpvs/internal/display"
@@ -25,15 +23,9 @@ import (
 
 // Client talks to one LPVS edge daemon on behalf of one device.
 type Client struct {
-	base    string
-	http    *http.Client
+	call    *Caller
 	dev     *device.Device
 	channel string // stream the device watches; empty = the default
-
-	retries int
-	backoff time.Duration
-	breaker *breaker     // nil = no circuit breaking
-	budget  *retryBudget // nil = unbounded retries (up to `retries`)
 
 	// Codec negotiation (DESIGN.md §16): reports go out in the binary
 	// wire format by default; a daemon that does not speak it (415, or
@@ -44,74 +36,13 @@ type Client struct {
 	wireBuf  []byte
 }
 
-// Option customises a Client.
-type Option func(*Client)
-
-// WithRetries makes the client retry transport errors, 5xx responses
-// and shed (429) requests up to n extra attempts with exponential
-// backoff starting at initial; a server Retry-After hint overrides the
-// computed backoff for that attempt. Other 4xx responses are never
-// retried — they mean the request is wrong.
-func WithRetries(n int, initial time.Duration) Option {
-	return func(c *Client) {
-		if n < 0 {
-			n = 0
-		}
-		if initial <= 0 {
-			initial = 50 * time.Millisecond
-		}
-		c.retries = n
-		c.backoff = initial
-	}
-}
-
-// WithCircuitBreaker opens the circuit after `threshold` consecutive
-// failures (transport errors, 5xx, 429): while open, calls fail
-// immediately with ErrCircuitOpen instead of touching the network;
-// after `cooldown` one probe is admitted and its outcome closes or
-// re-opens the circuit. Any response from a live server — including
-// 4xx — counts as a success for the breaker.
-func WithCircuitBreaker(threshold int, cooldown time.Duration) Option {
-	return func(c *Client) {
-		if threshold < 1 {
-			threshold = 1
-		}
-		if cooldown <= 0 {
-			cooldown = time.Second
-		}
-		c.breaker = newBreaker(threshold, cooldown)
-	}
-}
-
-// WithRetryBudget bounds retry amplification: each retry spends one
-// token from a bucket of `max`, refilled by `ratio` tokens per
-// successful request. When the bucket is empty, failures surface
-// immediately instead of multiplying load on a struggling edge.
-func WithRetryBudget(max, ratio float64) Option {
-	return func(c *Client) {
-		if max < 1 {
-			max = 1
-		}
-		if ratio <= 0 {
-			ratio = 0.1
-		}
-		c.budget = newRetryBudget(max, ratio)
-	}
-}
-
-// WithJSONReports forces reports onto the JSON codec, skipping the
-// binary default and its negotiation round-trip (for old daemons known
-// in advance, or debugging with readable bodies).
-func WithJSONReports() Option {
-	return func(c *Client) { c.jsonOnly = true }
-}
-
 // SetChannel switches which of the edge's streams subsequent reports
 // subscribe to (empty = the site's default stream).
 func (c *Client) SetChannel(id string) { c.channel = id }
 
 // New builds a client for the device against the daemon at baseURL.
-// Pass nil for the default HTTP client.
+// Pass nil for the default HTTP client (WithHTTPClient also sets it;
+// the explicit parameter wins when non-nil).
 func New(baseURL string, dev *device.Device, httpClient *http.Client, opts ...Option) (*Client, error) {
 	if dev == nil {
 		return nil, fmt.Errorf("client: nil device")
@@ -122,18 +53,23 @@ func New(baseURL string, dev *device.Device, httpClient *http.Client, opts ...Op
 	if _, err := url.Parse(baseURL); err != nil {
 		return nil, fmt.Errorf("client: bad base URL: %w", err)
 	}
-	if httpClient == nil {
-		httpClient = http.DefaultClient
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
 	}
-	c := &Client{base: baseURL, http: httpClient, dev: dev}
-	for _, o := range opts {
-		o(c)
+	if httpClient != nil {
+		o.HTTP = httpClient
 	}
-	return c, nil
+	return &Client{call: newCaller(baseURL, o), dev: dev, jsonOnly: o.JSONReports}, nil
 }
 
 // Device returns the client's device.
 func (c *Client) Device() *device.Device { return c.dev }
+
+// Caller exposes the client's underlying transport, so fleet-level
+// helpers can ride the same retry/breaker/budget machinery for
+// requests that are not tied to this device.
+func (c *Client) Caller() *Caller { return c.call }
 
 // ReportRequest builds the device's slot report in wire form — what
 // Report sends, exposed so batching callers (Fleet) can aggregate.
@@ -162,7 +98,7 @@ func (c *Client) Report() (server.ReportResponse, error) {
 		buf, err := wire.AppendSingle(c.wireBuf[:0], &req)
 		if err == nil {
 			c.wireBuf = buf
-			err = c.postWire(buf, &resp)
+			err = c.call.PostRaw("/v1/report", wire.ContentType, buf, &resp)
 			if !wireFallback(err) {
 				return resp, err
 			}
@@ -170,7 +106,7 @@ func (c *Client) Report() (server.ReportResponse, error) {
 		}
 		// Unencodable report or a daemon without the codec: JSON below.
 	}
-	err := c.post("/v1/report", req, &resp)
+	err := c.call.PostJSON("/v1/report", req, &resp)
 	return resp, err
 }
 
@@ -187,23 +123,15 @@ func (c *Client) ReportBatch(reqs []server.ReportRequest) (server.BatchReportRes
 		buf, err := wire.AppendBatch(c.wireBuf[:0], reqs)
 		if err == nil {
 			c.wireBuf = buf
-			err = c.postWire(buf, &resp)
+			err = c.call.PostRaw("/v1/report", wire.ContentType, buf, &resp)
 			if !wireFallback(err) {
 				return resp, err
 			}
 			c.jsonOnly = true
 		}
 	}
-	err := c.post("/v1/report", reqs, &resp)
+	err := c.call.PostJSON("/v1/report", reqs, &resp)
 	return resp, err
-}
-
-// postWire posts a binary-framed report body; responses are JSON in
-// both codecs, so decoding is shared.
-func (c *Client) postWire(raw []byte, out any) error {
-	return c.withRetry(func() (*http.Response, error) {
-		return c.http.Post(c.base+"/v1/report", wire.ContentType, bytes.NewReader(raw))
-	}, "POST /v1/report", out)
 }
 
 // wireFallback reports whether a binary report's failure means the
@@ -228,21 +156,21 @@ func wireFallback(err error) bool {
 // Decision fetches the device's current transform decision.
 func (c *Client) Decision() (server.DecisionResponse, error) {
 	var resp server.DecisionResponse
-	err := c.get("/v1/decision?device="+url.QueryEscape(c.dev.ID), &resp)
+	err := c.call.GetJSON("/v1/decision?device="+url.QueryEscape(c.dev.ID), &resp)
 	return resp, err
 }
 
 // Chunk fetches metadata of one chunk in the device's current slot.
 func (c *Client) Chunk(index int) (server.ChunkResponse, error) {
 	var resp server.ChunkResponse
-	err := c.get("/v1/chunk?device="+url.QueryEscape(c.dev.ID)+"&index="+strconv.Itoa(index), &resp)
+	err := c.call.GetJSON("/v1/chunk?device="+url.QueryEscape(c.dev.ID)+"&index="+strconv.Itoa(index), &resp)
 	return resp, err
 }
 
 // Playlist fetches the manifest of the device's current slot.
 func (c *Client) Playlist() (server.PlaylistResponse, error) {
 	var resp server.PlaylistResponse
-	err := c.get("/v1/playlist?device="+url.QueryEscape(c.dev.ID), &resp)
+	err := c.call.GetJSON("/v1/playlist?device="+url.QueryEscape(c.dev.ID), &resp)
 	return resp, err
 }
 
@@ -259,7 +187,7 @@ func (c *Client) PlayCurrentSlot() (SlotResult, error) {
 // Observe reports the realised mean power reduction of the played slot.
 func (c *Client) Observe(reduction float64) (server.ObserveResponse, error) {
 	var resp server.ObserveResponse
-	err := c.post("/v1/observe", server.ObserveRequest{DeviceID: c.dev.ID, Reduction: reduction}, &resp)
+	err := c.call.PostJSON("/v1/observe", server.ObserveRequest{DeviceID: c.dev.ID, Reduction: reduction}, &resp)
 	return resp, err
 }
 
@@ -330,110 +258,4 @@ func (c *Client) PlaySlot(chunks int) (SlotResult, error) {
 		}
 	}
 	return res, nil
-}
-
-func (c *Client) post(path string, body, out any) error {
-	buf, err := json.Marshal(body)
-	if err != nil {
-		return fmt.Errorf("client: marshal: %w", err)
-	}
-	return c.withRetry(func() (*http.Response, error) {
-		return c.http.Post(c.base+path, "application/json", bytes.NewReader(buf))
-	}, "POST "+path, out)
-}
-
-func (c *Client) get(path string, out any) error {
-	return c.withRetry(func() (*http.Response, error) {
-		return c.http.Get(c.base + path)
-	}, "GET "+path, out)
-}
-
-// withRetry runs the request, retrying transport failures, 5xx
-// responses and shed (429) requests with exponential backoff when the
-// client was built with WithRetries. A server Retry-After hint
-// replaces the computed backoff for that attempt; the circuit breaker
-// and retry budget (when configured) gate every attempt.
-func (c *Client) withRetry(do func() (*http.Response, error), label string, out any) error {
-	delay := c.backoff
-	var lastErr error
-	for attempt := 0; attempt <= c.retries; attempt++ {
-		if attempt > 0 {
-			if c.budget != nil && !c.budget.spend() {
-				return fmt.Errorf("client: %s: retry budget exhausted: %w", label, lastErr)
-			}
-			time.Sleep(delay)
-			delay *= 2
-		}
-		if c.breaker != nil {
-			if err := c.breaker.allow(); err != nil {
-				if lastErr != nil {
-					return fmt.Errorf("%w (last error: %w)", err, lastErr)
-				}
-				return err
-			}
-		}
-		resp, err := do()
-		if err != nil {
-			lastErr = fmt.Errorf("client: %s: %w", label, err)
-			c.recordOutcome(false)
-			continue
-		}
-		if retriableStatus(resp.StatusCode) {
-			if ra := retryAfter(resp); ra > 0 {
-				delay = ra
-			}
-			lastErr = decode(resp, out)
-			resp.Body.Close()
-			c.recordOutcome(false)
-			continue
-		}
-		err = decode(resp, out)
-		resp.Body.Close()
-		// The server answered and was not failing: a 4xx is the
-		// caller's problem, not the edge's health.
-		c.recordOutcome(true)
-		if c.budget != nil && err == nil {
-			c.budget.earn()
-		}
-		return err
-	}
-	return lastErr
-}
-
-// retriableStatus: server faults and shedding; never other 4xx.
-func retriableStatus(code int) bool {
-	return code >= 500 || code == http.StatusTooManyRequests
-}
-
-func (c *Client) recordOutcome(success bool) {
-	if c.breaker != nil {
-		c.breaker.record(success)
-	}
-}
-
-// decode parses a response: 200 bodies into out, everything else into
-// a typed *APIError carrying the v1 envelope's code and retryability
-// (code "unknown" when the body was not an envelope).
-func decode(resp *http.Response, out any) error {
-	if resp.StatusCode != http.StatusOK {
-		apiErr := &APIError{
-			Status:     resp.StatusCode,
-			Code:       "unknown",
-			Message:    fmt.Sprintf("status %d", resp.StatusCode),
-			Retryable:  retriableStatus(resp.StatusCode),
-			RetryAfter: retryAfter(resp),
-		}
-		var env server.ErrorResponse
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
-		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
-			apiErr.Code = env.Error.Code
-			apiErr.Message = env.Error.Message
-			apiErr.Retryable = env.Error.Retryable
-		}
-		return apiErr
-	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: decode: %w", err)
-	}
-	return nil
 }

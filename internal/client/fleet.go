@@ -25,13 +25,16 @@ func NewFleet(clients ...*Client) (*Fleet, error) {
 	if len(clients) == 0 {
 		return nil, fmt.Errorf("client: empty fleet")
 	}
-	base := clients[0].base
+	if clients[0] == nil {
+		return nil, fmt.Errorf("client: nil client in fleet")
+	}
+	base := clients[0].call.Base()
 	for _, c := range clients {
 		if c == nil {
 			return nil, fmt.Errorf("client: nil client in fleet")
 		}
-		if c.base != base {
-			return nil, fmt.Errorf("client: fleet spans edges %q and %q", base, c.base)
+		if c.call.Base() != base {
+			return nil, fmt.Errorf("client: fleet spans edges %q and %q", base, c.call.Base())
 		}
 	}
 	return &Fleet{clients: clients}, nil

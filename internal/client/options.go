@@ -1,0 +1,282 @@
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"lpvs/internal/server"
+)
+
+// This file is the shared transport option set and the Caller it
+// configures. The device Client and the router's shard-forwarding
+// client (internal/router) are both built on one Caller per base URL,
+// so retries, the circuit breaker, the retry budget and Retry-After
+// handling behave identically on the public edge and on the
+// node-to-node /v1/shard/* surface.
+
+// Options is the resolved transport/resilience configuration. Build it
+// by applying Option funcs; the zero value means "no retries, no
+// breaker, no budget, binary reports, http.DefaultClient".
+type Options struct {
+	// HTTP is the underlying transport (nil = http.DefaultClient).
+	HTTP *http.Client
+	// Retries and Backoff configure WithRetries.
+	Retries int
+	Backoff time.Duration
+	// BreakerThreshold and BreakerCooldown configure WithCircuitBreaker
+	// (threshold 0 = no breaker).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// BudgetMax and BudgetRatio configure WithRetryBudget (max 0 = no
+	// budget).
+	BudgetMax   float64
+	BudgetRatio float64
+	// JSONReports forces the JSON report codec (WithJSONReports).
+	JSONReports bool
+}
+
+// Option customises a Client or a Caller.
+type Option func(*Options)
+
+// WithHTTPClient sets the underlying *http.Client (timeouts,
+// transport); nil keeps http.DefaultClient.
+func WithHTTPClient(h *http.Client) Option {
+	return func(o *Options) { o.HTTP = h }
+}
+
+// WithRetries makes the caller retry transport errors, 5xx responses
+// and shed (429) requests up to n extra attempts with exponential
+// backoff starting at initial; a server Retry-After hint overrides the
+// computed backoff for that attempt. Other 4xx responses are never
+// retried — they mean the request is wrong.
+func WithRetries(n int, initial time.Duration) Option {
+	return func(o *Options) {
+		if n < 0 {
+			n = 0
+		}
+		if initial <= 0 {
+			initial = 50 * time.Millisecond
+		}
+		o.Retries = n
+		o.Backoff = initial
+	}
+}
+
+// WithCircuitBreaker opens the circuit after `threshold` consecutive
+// failures (transport errors, 5xx, 429): while open, calls fail
+// immediately with ErrCircuitOpen instead of touching the network;
+// after `cooldown` one probe is admitted and its outcome closes or
+// re-opens the circuit. Any response from a live server — including
+// 4xx — counts as a success for the breaker.
+func WithCircuitBreaker(threshold int, cooldown time.Duration) Option {
+	return func(o *Options) {
+		if threshold < 1 {
+			threshold = 1
+		}
+		if cooldown <= 0 {
+			cooldown = time.Second
+		}
+		o.BreakerThreshold = threshold
+		o.BreakerCooldown = cooldown
+	}
+}
+
+// WithRetryBudget bounds retry amplification: each retry spends one
+// token from a bucket of `max`, refilled by `ratio` tokens per
+// successful request. When the bucket is empty, failures surface
+// immediately instead of multiplying load on a struggling edge.
+func WithRetryBudget(max, ratio float64) Option {
+	return func(o *Options) {
+		if max < 1 {
+			max = 1
+		}
+		if ratio <= 0 {
+			ratio = 0.1
+		}
+		o.BudgetMax = max
+		o.BudgetRatio = ratio
+	}
+}
+
+// WithJSONReports forces reports onto the JSON codec, skipping the
+// binary default and its negotiation round-trip (for old daemons known
+// in advance, or debugging with readable bodies).
+func WithJSONReports() Option {
+	return func(o *Options) { o.JSONReports = true }
+}
+
+// Caller is a resilient HTTP caller bound to one base URL: retries
+// with exponential backoff and Retry-After honouring, an optional
+// circuit breaker, and an optional retry budget. Every non-200
+// response surfaces as a typed *APIError carrying the v1 envelope.
+type Caller struct {
+	base string
+	http *http.Client
+
+	retries int
+	backoff time.Duration
+	breaker *breaker     // nil = no circuit breaking
+	budget  *retryBudget // nil = unbounded retries (up to `retries`)
+}
+
+// NewCaller builds a caller for the daemon at baseURL.
+func NewCaller(baseURL string, opts ...Option) (*Caller, error) {
+	if _, err := url.Parse(baseURL); err != nil {
+		return nil, fmt.Errorf("client: bad base URL: %w", err)
+	}
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return newCaller(baseURL, o), nil
+}
+
+// newCaller wires resolved Options to a base URL (shared with Client,
+// whose New keeps its httpClient parameter for compatibility).
+func newCaller(baseURL string, o Options) *Caller {
+	c := &Caller{
+		base:    baseURL,
+		http:    o.HTTP,
+		retries: o.Retries,
+		backoff: o.Backoff,
+	}
+	if c.http == nil {
+		c.http = http.DefaultClient
+	}
+	if o.BreakerThreshold > 0 {
+		c.breaker = newBreaker(o.BreakerThreshold, o.BreakerCooldown)
+	}
+	if o.BudgetMax > 0 {
+		c.budget = newRetryBudget(o.BudgetMax, o.BudgetRatio)
+	}
+	return c
+}
+
+// Base returns the caller's base URL.
+func (c *Caller) Base() string { return c.base }
+
+// GetJSON GETs base+path and decodes the 200 body into out (non-200s
+// become *APIError).
+func (c *Caller) GetJSON(path string, out any) error {
+	return c.withRetry(func() (*http.Response, error) {
+		return c.http.Get(c.base + path)
+	}, "GET "+path, out)
+}
+
+// PostJSON POSTs body as JSON to base+path and decodes the response.
+func (c *Caller) PostJSON(path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("client: marshal: %w", err)
+	}
+	return c.withRetry(func() (*http.Response, error) {
+		return c.http.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	}, "POST "+path, out)
+}
+
+// PostRaw POSTs a pre-encoded body with an explicit Content-Type
+// (the binary report codec path) and decodes the JSON response.
+func (c *Caller) PostRaw(path, contentType string, raw []byte, out any) error {
+	return c.withRetry(func() (*http.Response, error) {
+		return c.http.Post(c.base+path, contentType, bytes.NewReader(raw))
+	}, "POST "+path, out)
+}
+
+// withRetry runs the request, retrying transport failures, 5xx
+// responses and shed (429) requests with exponential backoff when the
+// caller was built with WithRetries. A server Retry-After hint
+// replaces the computed backoff for that attempt; the circuit breaker
+// and retry budget (when configured) gate every attempt.
+func (c *Caller) withRetry(do func() (*http.Response, error), label string, out any) error {
+	delay := c.backoff
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			if c.budget != nil && !c.budget.spend() {
+				return fmt.Errorf("client: %s: retry budget exhausted: %w", label, lastErr)
+			}
+			time.Sleep(delay)
+			delay *= 2
+		}
+		if c.breaker != nil {
+			if err := c.breaker.allow(); err != nil {
+				if lastErr != nil {
+					return fmt.Errorf("%w (last error: %w)", err, lastErr)
+				}
+				return err
+			}
+		}
+		resp, err := do()
+		if err != nil {
+			lastErr = fmt.Errorf("client: %s: %w", label, err)
+			c.recordOutcome(false)
+			continue
+		}
+		if retriableStatus(resp.StatusCode) {
+			if ra := retryAfter(resp); ra > 0 {
+				delay = ra
+			}
+			lastErr = decode(resp, out)
+			resp.Body.Close()
+			c.recordOutcome(false)
+			continue
+		}
+		err = decode(resp, out)
+		resp.Body.Close()
+		// The server answered and was not failing: a 4xx is the
+		// caller's problem, not the edge's health.
+		c.recordOutcome(true)
+		if c.budget != nil && err == nil {
+			c.budget.earn()
+		}
+		return err
+	}
+	return lastErr
+}
+
+// retriableStatus: server faults and shedding; never other 4xx.
+func retriableStatus(code int) bool {
+	return code >= 500 || code == http.StatusTooManyRequests
+}
+
+func (c *Caller) recordOutcome(success bool) {
+	if c.breaker != nil {
+		c.breaker.record(success)
+	}
+}
+
+// decode parses a response: 200 bodies into out, everything else into
+// a typed *APIError carrying the v1 envelope's code and retryability
+// (code "unknown" when the body was not an envelope).
+func decode(resp *http.Response, out any) error {
+	if resp.StatusCode != http.StatusOK {
+		apiErr := &APIError{
+			Status:     resp.StatusCode,
+			Code:       "unknown",
+			Message:    fmt.Sprintf("status %d", resp.StatusCode),
+			Retryable:  retriableStatus(resp.StatusCode),
+			RetryAfter: retryAfter(resp),
+		}
+		var env server.ErrorResponse
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+			apiErr.Code = env.Error.Code
+			apiErr.Message = env.Error.Message
+			apiErr.Retryable = env.Error.Retryable
+		}
+		return apiErr
+	}
+	if out == nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode: %w", err)
+	}
+	return nil
+}

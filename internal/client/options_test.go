@@ -1,0 +1,119 @@
+package client
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lpvs/internal/server"
+)
+
+// The Caller is the shared transport under both the device Client and
+// the router's shard-forwarding client; these tests pin its public
+// surface directly.
+
+func TestCallerEnvelopeError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":{"code":"unknown_device","message":"nope","retryable":false}}`))
+	}))
+	defer ts.Close()
+
+	c, err := NewCaller(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct{}
+	err = c.GetJSON("/v1/decision?device=x", &out)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *APIError, got %v", err)
+	}
+	if apiErr.Status != http.StatusNotFound || apiErr.Code != server.CodeUnknownDevice {
+		t.Fatalf("bad envelope decode: %+v", apiErr)
+	}
+}
+
+func TestCallerRetriesThenSucceeds(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	c, err := NewCaller(ts.URL, WithRetries(3, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if err := c.PostJSON("/x", map[string]int{}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK || calls.Load() != 3 {
+		t.Fatalf("ok=%v calls=%d", out.OK, calls.Load())
+	}
+}
+
+func TestCallerBreakerShared(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c, err := NewCaller(ts.URL, WithCircuitBreaker(2, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.GetJSON("/a", nil)
+	c.GetJSON("/a", nil) // second failure opens the circuit
+	err = c.GetJSON("/a", nil)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("want ErrCircuitOpen, got %v", err)
+	}
+}
+
+func TestCallerNilOut(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"whatever": 1}`))
+	}))
+	defer ts.Close()
+	c, err := NewCaller(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.GetJSON("/x", nil); err != nil {
+		t.Fatalf("nil out should discard the body: %v", err)
+	}
+}
+
+func TestWithHTTPClientOption(t *testing.T) {
+	used := false
+	hc := &http.Client{Transport: roundTripFunc(func(r *http.Request) (*http.Response, error) {
+		used = true
+		return nil, errors.New("sentinel")
+	})}
+	c, err := NewCaller("http://example.invalid", WithHTTPClient(hc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.GetJSON("/x", nil); err == nil {
+		t.Fatal("want transport error")
+	}
+	if !used {
+		t.Fatal("WithHTTPClient transport not used")
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }

@@ -1,0 +1,525 @@
+package router
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lpvs/internal/client"
+	"lpvs/internal/obs"
+	"lpvs/internal/obs/slo"
+	"lpvs/internal/server"
+	"lpvs/internal/shard"
+)
+
+// Config configures a router process.
+type Config struct {
+	// Map is the initial shard map (required). Every node in it gets a
+	// resilient forwarding client (shared retry/breaker/budget stack
+	// with the public edge client).
+	Map *shard.Map
+	// DefaultChannel is the channel assumed for reports that carry no
+	// ChannelID — it must match the shards' default stream ID, or the
+	// router and the shards would disagree on which VC such devices
+	// belong to.
+	DefaultChannel string
+	// ClientOptions tune the per-shard forwarding transport (retries,
+	// breaker, retry budget, HTTP client) — the same option set the
+	// public edge client accepts.
+	ClientOptions []client.Option
+	// MaxBodyBytes caps POST bodies (0 = server.DefaultMaxBodyBytes,
+	// negative = unbounded), mirroring the edge daemon's guardrail.
+	MaxBodyBytes int64
+	// Logger receives operational logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// Router is the federation front door: it owns the shard map, fans
+// ticks out, forwards reports to channel owners, and proxies
+// per-device reads. One Router instance is one process personality —
+// it holds no scheduling state of its own, only routing state.
+type Router struct {
+	cfg   Config
+	log   *slog.Logger
+	reg   *obs.Registry
+	httpM *obs.HTTPMetrics
+	slo   *slo.Engine
+	start time.Time
+	ready atomic.Bool
+
+	// Lifetime counters (status + SLO sources; atomics so SLO
+	// evaluation never touches mu).
+	ticks           atomic.Uint64
+	tickShardCalls  atomic.Uint64
+	tickShardErrors atomic.Uint64
+	forwards        atomic.Uint64
+	forwardErrors   atomic.Uint64
+	proxies         atomic.Uint64
+	reshards        atomic.Uint64
+	handoffStates   atomic.Uint64
+
+	// Per-node labeled series.
+	mShardTicks   *obs.CounterVec
+	mShardErrors  *obs.CounterVec
+	mShardTickDur *obs.HistogramVec
+
+	mu      sync.Mutex
+	m       *shard.Map
+	callers map[string]*client.Caller // node ID -> forwarding client
+	devices map[string]string         // device ID -> channel (routing hints)
+	slot    int
+}
+
+// New builds a router over cfg.Map. The per-node forwarding clients
+// share the edge client's resilience stack; a node keeps its breaker
+// and budget state across reshards as long as it stays a member.
+func New(cfg Config) (*Router, error) {
+	if cfg.Map == nil {
+		return nil, fmt.Errorf("router: nil shard map")
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = server.DefaultMaxBodyBytes
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	rt := &Router{
+		cfg:     cfg,
+		log:     log,
+		reg:     obs.NewRegistry(),
+		start:   time.Now(),
+		m:       cfg.Map,
+		callers: map[string]*client.Caller{},
+		devices: map[string]string{},
+	}
+	rt.ready.Store(true)
+	for _, n := range cfg.Map.Nodes() {
+		c, err := client.NewCaller(n.Addr, cfg.ClientOptions...)
+		if err != nil {
+			return nil, fmt.Errorf("router: node %s: %w", n.ID, err)
+		}
+		rt.callers[n.ID] = c
+	}
+	rt.httpM = obs.NewHTTPMetrics(rt.reg, log)
+	rt.registerMetrics()
+	eng, err := slo.NewEngine(slo.Config{Logger: log},
+		slo.Objective{
+			Name:        "shard-tick-errors",
+			Description: "Per-shard tick fan-out calls must succeed.",
+			Target:      0.99,
+			Source: func() (float64, float64) {
+				return float64(rt.tickShardErrors.Load()), float64(rt.tickShardCalls.Load())
+			},
+		},
+		slo.Objective{
+			Name:        "forward-errors",
+			Description: "Report forwards to shard owners must succeed.",
+			Target:      0.99,
+			Source: func() (float64, float64) {
+				return float64(rt.forwardErrors.Load()), float64(rt.forwards.Load())
+			},
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	rt.slo = eng
+	eng.Register(rt.reg)
+	return rt, nil
+}
+
+func (rt *Router) registerMetrics() {
+	rt.reg.GaugeFunc("lpvs_shard_nodes",
+		"Shard nodes in the installed map.", func() float64 {
+			rt.mu.Lock()
+			defer rt.mu.Unlock()
+			return float64(len(rt.m.Nodes()))
+		})
+	rt.reg.CounterFunc("lpvs_router_ticks_total",
+		"Federated ticks fanned out by this router.", func() float64 { return float64(rt.ticks.Load()) })
+	rt.reg.CounterFunc("lpvs_router_reports_forwarded_total",
+		"Device reports forwarded to shard owners.", func() float64 { return float64(rt.forwards.Load()) })
+	rt.reg.CounterFunc("lpvs_router_forward_errors_total",
+		"Report forwards that failed.", func() float64 { return float64(rt.forwardErrors.Load()) })
+	rt.reg.CounterFunc("lpvs_router_proxied_total",
+		"Per-device reads proxied to shards.", func() float64 { return float64(rt.proxies.Load()) })
+	rt.reg.CounterFunc("lpvs_router_reshards_total",
+		"Shard-map installs accepted.", func() float64 { return float64(rt.reshards.Load()) })
+	rt.reg.CounterFunc("lpvs_router_handoff_states_total",
+		"Incremental stream states warm-handed during reshards.", func() float64 { return float64(rt.handoffStates.Load()) })
+	rt.mShardTicks = rt.reg.CounterVec("lpvs_shard_ticks_total",
+		"Shard tick calls, by node.", "node")
+	rt.mShardErrors = rt.reg.CounterVec("lpvs_shard_tick_errors_total",
+		"Failed shard tick calls, by node.", "node")
+	rt.mShardTickDur = rt.reg.HistogramVec("lpvs_shard_tick_seconds",
+		"Shard tick call wall time, by node.", obs.DefBuckets(), "node")
+}
+
+// SLO exposes the router's burn-rate engine (cmd/lpvsd runs its
+// sampling loop; tests evaluate it directly).
+func (rt *Router) SLO() *slo.Engine { return rt.slo }
+
+// Registry exposes the router's metric registry so the owner can add
+// process-level collectors (build info, runtime self-telemetry).
+func (rt *Router) Registry() *obs.Registry { return rt.reg }
+
+// SetReady flips the readiness probe, mirroring the edge daemon's
+// drain semantics.
+func (rt *Router) SetReady(ready bool) { rt.ready.Store(ready) }
+
+// Map returns the currently installed shard map.
+func (rt *Router) Map() *shard.Map {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.m
+}
+
+// snapshot returns the map and a node-ordered caller slice to fan out
+// against, without holding mu across network calls.
+func (rt *Router) snapshot() (*shard.Map, []shard.Node, []*client.Caller) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	nodes := rt.m.Nodes()
+	callers := make([]*client.Caller, len(nodes))
+	for i, n := range nodes {
+		callers[i] = rt.callers[n.ID]
+	}
+	return rt.m, nodes, callers
+}
+
+type route struct {
+	method string
+	path   string
+	h      http.HandlerFunc
+}
+
+// Handler builds the router's HTTP surface: the public v1 device API
+// (forwarded), the federation control plane, and the obs endpoints —
+// with the same 405+Allow and envelope-404 routing contract as the
+// edge daemon.
+func (rt *Router) Handler() http.Handler {
+	routes := []route{
+		{method: "POST", path: "/v1/report", h: rt.handleReport},
+		{method: "POST", path: "/v1/tick", h: rt.handleTick},
+		{method: "GET", path: "/v1/decision", h: rt.proxyDeviceGet},
+		{method: "GET", path: "/v1/chunk", h: rt.proxyDeviceGet},
+		{method: "GET", path: "/v1/playlist", h: rt.proxyDeviceGet},
+		{method: "GET", path: "/v1/explain", h: rt.proxyDeviceGet},
+		{method: "POST", path: "/v1/observe", h: rt.handleObserve},
+		{method: "GET", path: "/v1/status", h: rt.handleStatus},
+		{method: "GET", path: "/v1/fleet", h: rt.handleFleet},
+		{method: "GET", path: "/v1/slo", h: rt.handleSLO},
+		{method: "GET", path: "/v1/shard/map", h: rt.handleMapGet},
+		{method: "POST", path: "/v1/shard/map", h: rt.handleMapPost},
+		{method: "GET", path: "/metrics", h: rt.handleMetrics},
+		{method: "GET", path: "/healthz", h: func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(http.StatusOK)
+		}},
+		{method: "GET", path: "/readyz", h: rt.handleReadyz},
+	}
+	mux := http.NewServeMux()
+	allow := map[string][]string{}
+	for _, r := range routes {
+		var h http.Handler = r.h
+		if r.method == "POST" && rt.cfg.MaxBodyBytes > 0 {
+			max := rt.cfg.MaxBodyBytes
+			inner := h
+			h = http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+				req.Body = http.MaxBytesReader(w, req.Body, max)
+				inner.ServeHTTP(w, req)
+			})
+		}
+		pattern := r.method + " " + r.path
+		mux.Handle(pattern, rt.httpM.Instrument(pattern, h))
+		allow[r.path] = append(allow[r.path], r.method)
+	}
+	for path, methods := range allow {
+		sort.Strings(methods)
+		ms := methods
+		mux.Handle(path, rt.httpM.Instrument(path, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Allow", joinComma(ms))
+			server.WriteEnvelopeError(w, http.StatusMethodNotAllowed, server.CodeMethodNotAllowed,
+				fmt.Sprintf("method %s not allowed (allow: %s)", r.Method, joinComma(ms)))
+		})))
+	}
+	mux.Handle("/", rt.httpM.Instrument("fallback", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		server.WriteEnvelopeError(w, http.StatusNotFound, server.CodeNotFound, "no such route: "+r.URL.Path)
+	})))
+	return mux
+}
+
+func joinComma(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ", "
+		}
+		out += s
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeUpstream renders an upstream call failure: a shard's envelope
+// error passes through verbatim (status, code, and prose), anything
+// else — dial failure, open breaker, exhausted retries — becomes a
+// 502 shard_unavailable.
+func writeUpstream(w http.ResponseWriter, err error) {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		server.WriteEnvelopeError(w, apiErr.Status, apiErr.Code, apiErr.Message)
+		return
+	}
+	server.WriteEnvelopeError(w, http.StatusBadGateway, server.CodeShardUnavailable, err.Error())
+}
+
+func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !rt.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, server.ReadyResponse{Ready: false, Reason: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, server.ReadyResponse{Ready: true})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rt.reg.Handler().ServeHTTP(w, r)
+}
+
+func (rt *Router) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, server.SLOResponse{
+		EvalUnixSec: float64(time.Now().UnixNano()) / 1e9,
+		Objectives:  rt.slo.Evaluate(),
+	})
+}
+
+// handleStatus reports this process's flat fields (router state only
+// — never shard state) plus one sub-object per shard with the
+// shard's own live status document. A shard that cannot be reached
+// keeps its row with OK=false, so the fleet view never understates
+// membership.
+func (rt *Router) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	m, nodes, callers := rt.snapshot()
+	shards := make([]ShardStatus, len(nodes))
+	var wg sync.WaitGroup
+	for i := range nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			shards[i] = ShardStatus{Node: nodes[i].ID, Addr: nodes[i].Addr}
+			var st server.StatusResponse
+			if err := callers[i].GetJSON("/v1/status", &st); err != nil {
+				shards[i].Error = err.Error()
+				return
+			}
+			shards[i].OK = true
+			shards[i].Status = &st
+		}(i)
+	}
+	wg.Wait()
+
+	rt.mu.Lock()
+	slot := rt.slot
+	known := len(rt.devices)
+	rt.mu.Unlock()
+	writeJSON(w, http.StatusOK, StatusResponse{
+		Mode:             "router",
+		Slot:             slot,
+		Epoch:            m.Epoch(),
+		Nodes:            len(nodes),
+		KnownDevices:     known,
+		StartUnixSec:     float64(rt.start.UnixNano()) / 1e9,
+		UptimeMS:         time.Since(rt.start).Milliseconds(),
+		Ticks:            rt.ticks.Load(),
+		TickShardErrors:  rt.tickShardErrors.Load(),
+		ReportsForwarded: rt.forwards.Load(),
+		ForwardErrors:    rt.forwardErrors.Load(),
+		ProxiedRequests:  rt.proxies.Load(),
+		Reshards:         rt.reshards.Load(),
+		HandoffStates:    rt.handoffStates.Load(),
+		Shards:           shards,
+	})
+}
+
+// handleFleet merges the shards' fleet rollups. Each channel is owned
+// by exactly one shard, so the channel rows concatenate; stream rows
+// get their owning node prefixed onto the state key so per-shard
+// streams with the same key stay distinguishable.
+func (rt *Router) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	_, nodes, callers := rt.snapshot()
+	resps := make([]*server.FleetResponse, len(nodes))
+	var wg sync.WaitGroup
+	for i := range nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var fr server.FleetResponse
+			if err := callers[i].GetJSON("/v1/fleet", &fr); err == nil {
+				resps[i] = &fr
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	rt.mu.Lock()
+	merged := server.FleetResponse{Slot: rt.slot}
+	rt.mu.Unlock()
+	for i, fr := range resps {
+		if fr == nil {
+			continue
+		}
+		if fr.VCLabelBudget > merged.VCLabelBudget {
+			merged.VCLabelBudget = fr.VCLabelBudget
+		}
+		merged.SeriesDropped += fr.SeriesDropped
+		merged.Channels = append(merged.Channels, fr.Channels...)
+		for _, vs := range fr.Streams {
+			vs.Key = nodes[i].ID + "/" + vs.Key
+			merged.Streams = append(merged.Streams, vs)
+		}
+	}
+	sort.Slice(merged.Channels, func(a, b int) bool {
+		return merged.Channels[a].Channel < merged.Channels[b].Channel
+	})
+	writeJSON(w, http.StatusOK, merged)
+}
+
+func (rt *Router) handleMapGet(w http.ResponseWriter, _ *http.Request) {
+	m := rt.Map()
+	writeJSON(w, http.StatusOK, server.ShardMapResponse{
+		Epoch:    m.Epoch(),
+		Replicas: m.Replicas(),
+		Nodes:    m.Nodes(),
+	})
+}
+
+// handleMapPost installs a new shard map: it computes which channels
+// change owner, warm-hands their incremental scheduling state from
+// old owner to new owner, installs the map, and pushes it to every
+// member shard. The whole reshard runs under mu — ticks quiesce for
+// its duration, which is what makes the handoff race-free (no shard
+// can solve a moved channel mid-copy). A channel whose old owner is
+// unreachable simply cold-starts on the new owner; the scheduler's
+// config-signature guard makes any handoff skip decision-safe.
+func (rt *Router) handleMapPost(w http.ResponseWriter, r *http.Request) {
+	var spec shard.Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		server.WriteEnvelopeError(w, http.StatusBadRequest, server.CodeBadRequest, "decode: "+err.Error())
+		return
+	}
+	next, err := shard.FromSpec(spec)
+	if err != nil {
+		server.WriteEnvelopeError(w, http.StatusBadRequest, server.CodeBadRequest, err.Error())
+		return
+	}
+
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+
+	// Forwarding clients for new members; departing members' callers
+	// are dropped (their breaker state goes with them), surviving
+	// members keep theirs.
+	nextCallers := map[string]*client.Caller{}
+	for _, n := range next.Nodes() {
+		if c, ok := rt.callers[n.ID]; ok && c.Base() == n.Addr {
+			nextCallers[n.ID] = c
+			continue
+		}
+		c, err := client.NewCaller(n.Addr, rt.cfg.ClientOptions...)
+		if err != nil {
+			server.WriteEnvelopeError(w, http.StatusBadRequest, server.CodeBadRequest,
+				fmt.Sprintf("node %s: %v", n.ID, err))
+			return
+		}
+		nextCallers[n.ID] = c
+	}
+
+	moved := rt.movedChannelsLocked(next)
+	handed := 0
+	for _, ch := range moved {
+		oldOwner := rt.m.Owner(ch)
+		newOwner := next.Owner(ch)
+		oldC, newC := rt.callers[oldOwner.ID], nextCallers[newOwner.ID]
+		if oldC == nil || newC == nil {
+			continue
+		}
+		handed += rt.handoffChannel(ch, oldC, newC)
+	}
+
+	rt.m = next
+	rt.callers = nextCallers
+	rt.reshards.Add(1)
+	rt.handoffStates.Add(uint64(handed))
+
+	// Push the new map to every member so their epoch guards accept
+	// the next tick without a mismatch round-trip. Push failures are
+	// non-fatal: the tick path re-pushes on shard_epoch_mismatch.
+	spec = next.Spec()
+	for id, c := range nextCallers {
+		if err := c.PostJSON("/v1/shard/map", spec, nil); err != nil {
+			rt.log.Warn("shard map push failed", "node", id, "err", err)
+		}
+	}
+
+	rt.log.Info("reshard installed", "epoch", next.Epoch(),
+		"nodes", len(next.Nodes()), "moved", len(moved), "handoff_states", handed)
+	writeJSON(w, http.StatusOK, ReshardResponse{
+		Epoch:         next.Epoch(),
+		Replicas:      next.Replicas(),
+		Nodes:         next.Nodes(),
+		Moved:         moved,
+		HandoffStates: handed,
+	})
+}
+
+// movedChannelsLocked lists the channels known to this router whose
+// owner differs between the installed and the next map.
+func (rt *Router) movedChannelsLocked(next *shard.Map) []string {
+	seen := map[string]bool{}
+	if rt.cfg.DefaultChannel != "" {
+		seen[rt.cfg.DefaultChannel] = true
+	}
+	for _, ch := range rt.devices {
+		seen[ch] = true
+	}
+	chans := make([]string, 0, len(seen))
+	for ch := range seen {
+		chans = append(chans, ch)
+	}
+	sort.Strings(chans)
+	return shard.Moved(rt.m, next, chans)
+}
+
+// handoffChannel copies one channel's incremental scheduling state
+// from its old owner to its new one, returning how many states were
+// restored (0 on any failure — the channel then cold-starts, which
+// is always decision-safe).
+func (rt *Router) handoffChannel(ch string, oldC, newC *client.Caller) int {
+	q := url.Values{"key": []string{"ch:" + ch}}
+	var st server.ShardStateResponse
+	if err := oldC.GetJSON("/v1/shard/state?"+q.Encode(), &st); err != nil {
+		rt.log.Warn("handoff export failed; channel cold-starts", "channel", ch, "err", err)
+		return 0
+	}
+	if len(st.States) == 0 {
+		return 0
+	}
+	var ho server.ShardHandoffResponse
+	if err := newC.PostJSON("/v1/shard/handoff", server.ShardHandoffRequest{States: st.States}, &ho); err != nil {
+		rt.log.Warn("handoff import failed; channel cold-starts", "channel", ch, "err", err)
+		return 0
+	}
+	return ho.Restored
+}

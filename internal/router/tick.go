@@ -1,0 +1,174 @@
+package router
+
+import (
+	"errors"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"lpvs/internal/client"
+	"lpvs/internal/server"
+	"lpvs/internal/shard"
+)
+
+// This file is the router's scheduling data plane: one logical tick
+// fanned out to every shard concurrently and merged back into a
+// single deterministic response. The merge is a pure function over
+// the (node, result) pairs — results land in a position-addressed
+// slice and MergeTicks sorts the decisions by VC ID — so the
+// response bytes are independent of which shard answered first. That
+// is the federation's analogue of the scheduler pool's
+// serial-vs-parallel differential, and the property the router's
+// race-mode merge test pins.
+
+// handleTick fans POST /v1/shard/tick out to every shard in the
+// installed map and merges the per-channel decisions. A shard that
+// fails keeps its row in the response (OK=false) and marks the tick
+// Degraded; its channels simply keep their previous decisions until
+// the next tick reaches it. Only when every shard fails does the
+// router answer 502 shard_unavailable.
+func (rt *Router) handleTick(w http.ResponseWriter, _ *http.Request) {
+	m, nodes, callers := rt.snapshot()
+	start := time.Now()
+
+	results := make([]*server.ShardTickResponse, len(nodes))
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for i := range nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = rt.tickShard(callers[i], nodes[i], m)
+		}(i)
+	}
+	wg.Wait()
+
+	rt.mu.Lock()
+	slot := rt.slot
+	rt.slot++
+	rt.mu.Unlock()
+	rt.ticks.Add(1)
+
+	merged := MergeTicks(slot, m.Epoch(), nodes, results, errs)
+	merged.Sched.DurationSec = time.Since(start).Seconds()
+	if merged.ShardErrors == len(nodes) {
+		server.WriteEnvelopeError(w, http.StatusBadGateway, server.CodeShardUnavailable,
+			"all shards failed this tick")
+		return
+	}
+	rt.log.Info("router tick", "slot", slot, "shards", len(nodes),
+		"shard_errors", merged.ShardErrors, "vcs", len(merged.VCs),
+		"reports", merged.Reports, "selected", merged.Selected,
+		"duration_ms", merged.Sched.DurationSec*1000)
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// tickShard runs one shard's leg of the fan-out. On a 409
+// shard_epoch_mismatch the router pushes its own map and retries the
+// tick once — the normal convergence path right after a reshard when
+// a shard missed the push.
+func (rt *Router) tickShard(c *client.Caller, n shard.Node, m *shard.Map) (*server.ShardTickResponse, error) {
+	req := server.ShardTickRequest{Node: n.ID, Epoch: m.Epoch()}
+	callStart := time.Now()
+	rt.tickShardCalls.Add(1)
+	rt.mShardTicks.With(n.ID).Inc()
+
+	var resp server.ShardTickResponse
+	err := c.PostJSON("/v1/shard/tick", req, &resp)
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) && apiErr.Code == server.CodeEpochMismatch {
+		if perr := c.PostJSON("/v1/shard/map", m.Spec(), nil); perr == nil {
+			resp = server.ShardTickResponse{}
+			err = c.PostJSON("/v1/shard/tick", req, &resp)
+		}
+	}
+	rt.mShardTickDur.With(n.ID).Observe(time.Since(callStart).Seconds())
+	if err != nil {
+		rt.tickShardErrors.Add(1)
+		rt.mShardErrors.With(n.ID).Inc()
+		rt.log.Warn("shard tick failed", "node", n.ID, "err", err)
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// MergeTicks merges per-shard tick results into one deterministic
+// response: decisions sorted by (VC ID, node) — channel IDs are
+// globally unique across shards (each channel has exactly one
+// consistent-hash owner), so this is the "decisions in VC-ID order"
+// merge contract — and scheduling stats aggregated the same way a
+// shard aggregates its channel VCs. Pure: same inputs, byte-identical
+// output, regardless of fan-out completion order. nodes, results and
+// errs are parallel slices; a nil result with its error represents a
+// failed shard.
+func MergeTicks(slot int, epoch string, nodes []shard.Node, results []*server.ShardTickResponse, errs []error) TickResponse {
+	merged := TickResponse{
+		Slot:   slot,
+		Epoch:  epoch,
+		Shards: make([]ShardTickSummary, len(nodes)),
+		Sched:  server.TickStats{Slot: slot, Phase1Optimal: true},
+	}
+	for i, n := range nodes {
+		sum := ShardTickSummary{Node: n.ID}
+		res := results[i]
+		if res == nil {
+			sum.Error = "no response"
+			if errs[i] != nil {
+				sum.Error = errs[i].Error()
+			}
+			var apiErr *client.APIError
+			if errors.As(errs[i], &apiErr) {
+				sum.Code = apiErr.Code
+			} else {
+				sum.Code = server.CodeShardUnavailable
+			}
+			merged.ShardErrors++
+			merged.Degraded = true
+			merged.Shards[i] = sum
+			continue
+		}
+		sum.OK = true
+		sum.Slot = res.Slot
+		sum.Reports = res.Reports
+		sum.VCs = len(res.VCs)
+		merged.Shards[i] = sum
+
+		merged.Reports += res.Reports
+		merged.Eligible += res.Eligible
+		merged.Selected += res.Selected
+		merged.Swaps += res.Swaps
+		merged.Degraded = merged.Degraded || res.Degraded
+		for _, vc := range res.VCs {
+			merged.VCs = append(merged.VCs, VCDecision{Node: n.ID, ShardVCDecision: vc})
+		}
+
+		st := res.Sched
+		merged.Sched.Reports += st.Reports
+		merged.Sched.Eligible += st.Eligible
+		merged.Sched.Selected += st.Selected
+		merged.Sched.Swaps += st.Swaps
+		merged.Sched.Phase1Optimal = merged.Sched.Phase1Optimal && st.Phase1Optimal
+		merged.Sched.CompactSec += st.CompactSec
+		merged.Sched.Phase1Sec += st.Phase1Sec
+		merged.Sched.Phase2Sec += st.Phase2Sec
+		merged.Sched.CPUSec += st.CPUSec
+		merged.Sched.CacheHits += st.CacheHits
+		merged.Sched.CacheMisses += st.CacheMisses
+		merged.Sched.CacheEvictions += st.CacheEvictions
+		merged.Sched.Phase1Nodes += st.Phase1Nodes
+		merged.Sched.Phase1Warm = merged.Sched.Phase1Warm || st.Phase1Warm
+		merged.Sched.Replayed = merged.Sched.Replayed || st.Replayed
+		if st.Degraded {
+			merged.Sched.Degraded = true
+			merged.Sched.DegradedReason = st.DegradedReason
+		}
+	}
+	sort.Slice(merged.VCs, func(a, b int) bool {
+		if merged.VCs[a].VC != merged.VCs[b].VC {
+			return merged.VCs[a].VC < merged.VCs[b].VC
+		}
+		return merged.VCs[a].Node < merged.VCs[b].Node
+	})
+	return merged
+}

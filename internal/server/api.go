@@ -27,6 +27,7 @@ import (
 	"lpvs/internal/obs/history"
 	"lpvs/internal/obs/slo"
 	"lpvs/internal/scheduler"
+	"lpvs/internal/shard"
 	"lpvs/internal/wire"
 )
 
@@ -245,6 +246,18 @@ type StatusResponse struct {
 	IngestPoolMisses      uint64  `json:"ingest_pool_misses"`
 	IngestPoolHitRate     float64 `json:"ingest_pool_hit_rate"`
 	IngestMaxBatchRecords int     `json:"ingest_max_batch_records"`
+	// Shard-federation fields (DESIGN.md §17), all describing THIS
+	// process only: ShardMode/ShardNodeID identify the personality,
+	// ShardEpoch the installed map version, and the counters its
+	// federated tick/handoff traffic. A router's /v1/status reports its
+	// per-shard view in a separate `shards` sub-object instead of
+	// folding downstream state into these flat fields.
+	ShardMode            bool   `json:"shard_mode,omitempty"`
+	ShardNodeID          string `json:"shard_node_id,omitempty"`
+	ShardEpoch           string `json:"shard_epoch,omitempty"`
+	ShardTicks           uint64 `json:"shard_ticks,omitempty"`
+	ShardVCsDecided      uint64 `json:"shard_vcs_decided,omitempty"`
+	ShardHandoffRestored uint64 `json:"shard_handoff_restored,omitempty"`
 }
 
 // HistoryResponse is the GET /v1/history range-query result: the
@@ -328,6 +341,77 @@ type BatchReportResponse struct {
 	Accepted int                 `json:"accepted"`
 	Rejected int                 `json:"rejected"`
 	Results  []BatchReportResult `json:"results"`
+}
+
+// ShardTickRequest is the optional POST /v1/shard/tick body. Node and
+// Epoch, when set, let the shard verify the caller's view of the
+// federation before scheduling: a tick addressed to the wrong node is
+// a 409 wrong_shard, a stale map epoch a 409 shard_epoch_mismatch.
+type ShardTickRequest struct {
+	Node  string `json:"node,omitempty"`
+	Epoch string `json:"epoch,omitempty"`
+}
+
+// ShardVCDecision is one channel VC's outcome within a shard tick. A
+// shard schedules each channel as its own VC (ID = channel ID), so
+// the router can merge the federation's decisions in VC-ID order.
+// Canonical carries the decision's canonical bytes — the same encoding
+// the pool's serial-vs-parallel differential compares — so merge-level
+// determinism is checkable end to end.
+type ShardVCDecision struct {
+	VC        string  `json:"vc"`
+	Reports   int     `json:"reports"`
+	Eligible  int     `json:"eligible"`
+	Selected  int     `json:"selected"`
+	Swaps     int     `json:"swaps"`
+	Degraded  bool    `json:"degraded"`
+	WallSec   float64 `json:"wall_sec"`
+	Canonical []byte  `json:"canonical"`
+}
+
+// ShardTickResponse summarises one shard's federated tick: the flat
+// counters aggregate across the shard's channel VCs; VCs carries the
+// per-channel decisions in VC-ID order.
+type ShardTickResponse struct {
+	Node     string            `json:"node,omitempty"`
+	Slot     int               `json:"slot"`
+	Epoch    string            `json:"epoch,omitempty"`
+	Reports  int               `json:"reports"`
+	Eligible int               `json:"eligible"`
+	Selected int               `json:"selected"`
+	Swaps    int               `json:"swaps"`
+	Degraded bool              `json:"degraded"`
+	VCs      []ShardVCDecision `json:"vcs"`
+	Sched    TickStats         `json:"sched"`
+}
+
+// ShardStateResponse is the GET /v1/shard/state body: the shard's
+// exportable incremental stream states (scheduler warm seeds, config-
+// signature-guarded), for warm handoff when a reshard moves channels.
+type ShardStateResponse struct {
+	Node   string                  `json:"node,omitempty"`
+	States []scheduler.StreamState `json:"states"`
+}
+
+// ShardHandoffRequest imports stream states exported by another shard.
+type ShardHandoffRequest struct {
+	States []scheduler.StreamState `json:"states"`
+}
+
+// ShardHandoffResponse reports how many states were adopted; the rest
+// were skipped (config mismatch, already-live key, empty seed) — always
+// safe, the moved channel just cold-starts behind the fingerprint
+// guard.
+type ShardHandoffResponse struct {
+	Restored int `json:"restored"`
+}
+
+// ShardMapResponse is the shard-map epoch exchange body (GET and POST
+// /v1/shard/map).
+type ShardMapResponse struct {
+	Epoch    string       `json:"epoch"`
+	Replicas int          `json:"replicas"`
+	Nodes    []shard.Node `json:"nodes"`
 }
 
 // BatchReportResult is one batch item's outcome. Error is nil for

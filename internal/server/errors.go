@@ -41,6 +41,16 @@ const (
 	CodeOverloaded = "overloaded"
 	// CodeInternal: the daemon failed; the request may succeed later.
 	CodeInternal = "internal"
+	// CodeEpochMismatch: the caller's shard-map epoch differs from the
+	// one installed on this node — ownership may disagree, so the node
+	// refuses to act. Exchange maps via /v1/shard/map and retry.
+	CodeEpochMismatch = "shard_epoch_mismatch"
+	// CodeWrongShard: the request was addressed to a node ID this
+	// process is not — a routing bug or a stale shard map.
+	CodeWrongShard = "wrong_shard"
+	// CodeShardUnavailable: a downstream shard could not be reached or
+	// failed; the router degrades rather than guessing its decisions.
+	CodeShardUnavailable = "shard_unavailable"
 )
 
 // ErrorBody is the envelope payload.
@@ -65,6 +75,19 @@ func retryable(status int) bool {
 func writeError(w http.ResponseWriter, status int, code string, err error) {
 	writeErrorMsg(w, status, code, err.Error())
 }
+
+// WriteEnvelopeError renders the v1 error envelope for other servers
+// speaking the same API (the router in internal/router), so every
+// personality's errors are byte-compatible with the edge daemon's.
+func WriteEnvelopeError(w http.ResponseWriter, status int, code, msg string) {
+	writeErrorMsg(w, status, code, msg)
+}
+
+// Retryable is the v1 envelope's retryability classification: overload
+// (429) and server faults (5xx) are worth retrying, other client
+// errors never are. Exported for servers composing envelope bodies
+// (the router's per-item batch results).
+func Retryable(status int) bool { return retryable(status) }
 
 // writeErrorMsg is writeError with a pre-rendered message.
 func writeErrorMsg(w http.ResponseWriter, status int, code, msg string) {

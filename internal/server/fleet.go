@@ -86,9 +86,10 @@ type channelStat struct {
 }
 
 // fleetTickLocked folds one finished tick into the per-channel and
-// per-stream telemetry. Called from handleTick with s.mu held, strictly
-// after the decision is final (observation only).
-func (s *Server) fleetTickLocked(reqs []scheduler.Request, dec scheduler.Decision) {
+// per-stream telemetry. A standalone tick passes its one decision; a
+// shard tick passes one per channel VC. Called with s.mu held,
+// strictly after the decisions are final (observation only).
+func (s *Server) fleetTickLocked(reqs []scheduler.Request, decs []scheduler.Decision) {
 	// Per-tick channel aggregates.
 	type agg struct {
 		devices, admitted, eligible, selected int
@@ -118,14 +119,16 @@ func (s *Server) fleetTickLocked(reqs []scheduler.Request, dec scheduler.Decisio
 			a.admitted++
 		}
 	}
-	for id, v := range dec.Verdicts {
-		if _, a := chOf(id); a != nil && v.Eligible {
-			a.eligible++
+	for i := range decs {
+		for id, v := range decs[i].Verdicts {
+			if _, a := chOf(id); a != nil && v.Eligible {
+				a.eligible++
+			}
 		}
-	}
-	for id, on := range dec.Transform {
-		if _, a := chOf(id); a != nil && on {
-			a.selected++
+		for id, on := range decs[i].Transform {
+			if _, a := chOf(id); a != nil && on {
+				a.selected++
+			}
 		}
 	}
 

@@ -222,6 +222,28 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Decode-scratch checkouts that had to allocate a fresh workspace.", func() float64 {
 			return float64(s.ingestPoolMisses.Load())
 		})
+	// Shard-federation telemetry (DESIGN.md §17): atomic-backed and
+	// registered in every personality (zero outside shard mode), so
+	// dashboards need no per-mode metric discovery.
+	reg.GaugeFunc("lpvs_shard_mode",
+		"1 when the node-to-node /v1/shard/* surface is enabled.", func() float64 {
+			if s.cfg.ShardMode {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("lpvs_shard_ticks_total",
+		"Federated shard ticks served on POST /v1/shard/tick.", func() float64 {
+			return float64(s.shardTicks.Load())
+		})
+	reg.CounterFunc("lpvs_shard_vcs_decided_total",
+		"Channel VCs decided across federated shard ticks.", func() float64 {
+			return float64(s.shardVCsDecided.Load())
+		})
+	reg.CounterFunc("lpvs_shard_handoff_restored_total",
+		"Incremental stream states adopted from reshard handoffs.", func() float64 {
+			return float64(s.handoffRestored.Load())
+		})
 	// Durable-state telemetry (DESIGN.md §14): all atomic-backed, so
 	// scrapes never contend with the background snapshot loop.
 	reg.CounterFunc("lpvs_snapshot_writes_total",

@@ -25,6 +25,7 @@ import (
 	"lpvs/internal/obs/slo"
 	"lpvs/internal/obs/span"
 	"lpvs/internal/scheduler"
+	"lpvs/internal/shard"
 	"lpvs/internal/transform"
 	"lpvs/internal/video"
 	"lpvs/internal/wire"
@@ -122,6 +123,20 @@ type Config struct {
 	// FlightTriggers selects the armed triggers as a comma-separated
 	// list ("slo,panic,shed,manual", "all", "none"); empty means all.
 	FlightTriggers string
+	// ShardMode enables the node-to-node /v1/shard/* surface (DESIGN.md
+	// §17): federated per-channel ticks, incremental-state handoff, and
+	// shard-map epoch exchange. Off by default; the endpoints then
+	// answer an envelope 404, so a mis-pointed router fails loudly.
+	ShardMode bool
+	// NodeID is this process's identity in a shard federation. Shard
+	// ticks addressed to a different node are refused with 409
+	// wrong_shard; empty skips the check.
+	NodeID string
+	// ShardMap, when non-nil, is the boot-time shard map; /v1/shard/*
+	// requests carrying a different epoch are refused with 409
+	// shard_epoch_mismatch until maps are re-exchanged. POST
+	// /v1/shard/map installs newer maps at runtime.
+	ShardMap *shard.Map
 }
 
 // deviceState is the daemon's per-device bookkeeping.
@@ -193,6 +208,13 @@ type Server struct {
 	snapLastUnix  atomic.Int64
 	snapLastBytes atomic.Int64
 
+	// Shard-federation state (DESIGN.md §17). shardMap is guarded by
+	// mu (POST /v1/shard/map replaces it); the counters are atomics
+	// mirrored in /metrics.
+	shardTicks      atomic.Uint64
+	shardVCsDecided atomic.Uint64
+	handoffRestored atomic.Uint64
+
 	// Forensics (DESIGN.md §15): the metric-history ring behind
 	// /v1/history and the black-box flight recorder. Both are nil when
 	// disabled and are strict observers — never consulted on the
@@ -210,10 +232,16 @@ type Server struct {
 	// current slice before any dereference (internal/scheduler
 	// incremental.go).
 	reqScratch []scheduler.Request
+	// decScratch carries the single decision of a standalone tick into
+	// the (multi-decision) fleet fold without a per-tick allocation.
+	decScratch [1]scheduler.Decision
 	devices    map[string]*deviceState
 	lastSel    int
 	lastTick   TickStats
 	tickSeen   bool
+	// shardMap is the installed federation map (nil outside shard
+	// deployments); see Config.ShardMap.
+	shardMap *shard.Map
 	// fleet accumulates per-channel health; prevVC holds the last pool
 	// stream snapshot per state key so stream counters emit as deltas.
 	fleet  map[string]*channelStat
@@ -295,6 +323,7 @@ func New(cfg Config) (*Server, error) {
 		fleet:     make(map[string]*channelStat),
 		prevVC:    make(map[string]scheduler.VCStat),
 		maxBody:   cfg.MaxBodyBytes,
+		shardMap:  cfg.ShardMap,
 	}
 	if s.maxBody == 0 {
 		s.maxBody = DefaultMaxBodyBytes
@@ -396,6 +425,14 @@ func (s *Server) Handler() http.Handler {
 		// keep working while admission control is shedding load.
 		{method: "GET", path: "/v1/history", h: s.handleHistory},
 		{method: "POST", path: "/v1/incident", h: s.handleIncident},
+		// Node-to-node shard surface (DESIGN.md §17). Registered in
+		// every personality — outside shard mode they answer an envelope
+		// 404 — so routing behavior (405 + Allow included) is uniform.
+		{method: "POST", path: "/v1/shard/tick", h: s.handleShardTick, gated: true},
+		{method: "GET", path: "/v1/shard/state", h: s.handleShardState},
+		{method: "POST", path: "/v1/shard/handoff", h: s.handleShardHandoff, gated: true},
+		{method: "GET", path: "/v1/shard/map", h: s.handleShardMapGet},
+		{method: "POST", path: "/v1/shard/map", h: s.handleShardMapPost},
 		{method: "GET", path: "/metrics", h: s.handleMetrics},
 		{method: "GET", path: "/healthz", h: func(w http.ResponseWriter, _ *http.Request) {
 			w.WriteHeader(http.StatusOK)
@@ -680,7 +717,8 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 	}
 	s.lastTick = stats
 	s.observeTick(stats)
-	s.fleetTickLocked(reqs, dec)
+	s.decScratch[0] = dec
+	s.fleetTickLocked(reqs, s.decScratch[:])
 	s.log.Info("tick",
 		"slot", stats.Slot, "reports", stats.Reports,
 		"eligible", stats.Eligible, "selected", stats.Selected,
@@ -957,6 +995,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		resp.IngestPoolHitRate = 1 - float64(resp.IngestPoolMisses)/float64(gets)
 	}
 	resp.IngestMaxBatchRecords = s.maxBatch
+	resp.ShardMode = s.cfg.ShardMode
+	resp.ShardNodeID = s.cfg.NodeID
+	if s.shardMap != nil {
+		resp.ShardEpoch = s.shardMap.Epoch()
+	}
+	resp.ShardTicks = s.shardTicks.Load()
+	resp.ShardVCsDecided = s.shardVCsDecided.Load()
+	resp.ShardHandoffRestored = s.handoffRestored.Load()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -2,6 +2,7 @@ package lpvs
 
 import (
 	"io"
+	"time"
 
 	"net/http"
 
@@ -12,8 +13,10 @@ import (
 	"lpvs/internal/edge"
 	"lpvs/internal/emu"
 	"lpvs/internal/fleet"
+	"lpvs/internal/router"
 	"lpvs/internal/scheduler"
 	"lpvs/internal/server"
+	"lpvs/internal/shard"
 	"lpvs/internal/stats"
 	"lpvs/internal/survey"
 	"lpvs/internal/trace"
@@ -231,12 +234,42 @@ type (
 	// ClientFleet batches the per-slot report step of many co-located
 	// device clients into one round-trip.
 	ClientFleet = client.Fleet
+	// Caller is the shared resilient HTTP transport (retries, breaker,
+	// retry budget, v1 error envelopes) that both DeviceClient and the
+	// router's shard-forwarding client are built on.
+	Caller = client.Caller
+	// APIError is a non-2xx v1 response decoded from the uniform
+	// {code,message,retryable} envelope.
+	APIError = client.APIError
 )
 
 // WithJSONReports forces a device client's reports onto the JSON codec
 // instead of the binary default (DESIGN.md §16) — for old daemons known
 // in advance, or debugging with readable bodies.
 func WithJSONReports() ClientOption { return client.WithJSONReports() }
+
+// WithHTTPClient substitutes the underlying *http.Client.
+func WithHTTPClient(h *http.Client) ClientOption { return client.WithHTTPClient(h) }
+
+// WithRetries bounds retry attempts and sets the initial backoff for
+// retryable failures (per the envelope's retryable flag).
+func WithRetries(n int, initial time.Duration) ClientOption { return client.WithRetries(n, initial) }
+
+// WithCircuitBreaker opens the client's breaker after threshold
+// consecutive failures, fast-failing calls for the cooldown.
+func WithCircuitBreaker(threshold int, cooldown time.Duration) ClientOption {
+	return client.WithCircuitBreaker(threshold, cooldown)
+}
+
+// WithRetryBudget caps the client-wide ratio of retries to requests,
+// preventing retry storms against a struggling daemon.
+func WithRetryBudget(max, ratio float64) ClientOption { return client.WithRetryBudget(max, ratio) }
+
+// NewCaller builds the bare resilient transport for custom v1 API
+// consumers (dashboards, ops tooling) without a device attached.
+func NewCaller(baseURL string, opts ...ClientOption) (*Caller, error) {
+	return client.NewCaller(baseURL, opts...)
+}
 
 // NewEdgeDaemon builds the HTTP edge daemon.
 func NewEdgeDaemon(cfg EdgeDaemonConfig) (*EdgeDaemon, error) { return server.New(cfg) }
@@ -254,6 +287,38 @@ func NewDeviceClient(baseURL string, dev *Device, httpClient *http.Client, opts 
 func NewClientFleet(clients ...*DeviceClient) (*ClientFleet, error) {
 	return client.NewFleet(clients...)
 }
+
+type (
+	// ShardNode is one member of a federation: a stable node ID (which
+	// feeds the hash ring) and the address peers dial.
+	ShardNode = shard.Node
+	// ShardSpec is the portable shard-map form (JSON file / wire).
+	ShardSpec = shard.Spec
+	// ShardMap is a consistent-hash map of VC state keys to nodes; its
+	// Epoch fingerprints membership for the /v1/shard/* exchange.
+	ShardMap = shard.Map
+	// RouterConfig parameterises the federation router.
+	RouterConfig = router.Config
+	// Router is the federation front door: it owns a ShardMap, fans
+	// POST /v1/tick out to shard owners, merges decisions in VC-ID
+	// order, and forwards device traffic to each channel's owner.
+	Router = router.Router
+)
+
+// NewShardMap builds a consistent-hash map over the node set;
+// replicas <= 0 uses the default virtual-point count.
+func NewShardMap(nodes []ShardNode, replicas int) (*ShardMap, error) {
+	return shard.New(nodes, replicas)
+}
+
+// ParseShardMapFile loads a ShardSpec JSON file (see `lpvsd -shard-map`
+// and `lpvs-shard plan`) and builds the map.
+func ParseShardMapFile(path string) (*ShardMap, error) { return shard.ParseFile(path) }
+
+// NewRouter builds the federation router over an installed shard map.
+// Serve its Handler; DESIGN.md §17 describes the merge and handoff
+// contracts, and `lpvsd -mode=router` is the packaged form.
+func NewRouter(cfg RouterConfig) (*Router, error) { return router.New(cfg) }
 
 // NewDeviceFleet generates n random devices, mirroring the paper's
 // random assignment of display specs and Gaussian energy states.
